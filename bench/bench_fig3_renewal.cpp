@@ -1,0 +1,99 @@
+// Experiment F3 — Figure 3: client lease renewal timing.
+//
+// The lease obtained by an ACK covers [t_C1, t_C1 + tau), measured from the
+// FIRST transmission of the acknowledged message — not from the ACK's
+// receipt at t_C2. The client can only act on the lease once the ACK
+// arrives, so the usable window is [t_C2, t_C1 + tau): one round trip
+// shorter than tau. This bench measures that geometry across network
+// latencies and shows why the send-time anchoring is required for the
+// safety proof.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/client_lease_agent.hpp"
+#include "metrics/histogram.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+struct RenewalStats {
+  metrics::Histogram activation_delay_ms;  // t_C2 - t_C1
+  metrics::Histogram usable_fraction;      // (t_C1 + tau - t_C2) / tau
+  std::uint64_t renewals{0};
+};
+
+RenewalStats run(double rtt_ms, double tau_s) {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 1;
+  cfg.workload.num_files = 1;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 120.0;
+  cfg.lease.tau = sim::local_seconds_d(tau_s);
+  cfg.control_net.latency = sim::seconds_d(rtt_ms / 2000.0);
+  cfg.control_net.jitter = sim::seconds_d(rtt_ms / 8000.0);
+  cfg.clock_skew_mode = +2;  // ideal clocks: local and global frames coincide
+
+  workload::Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(1.0);
+
+  RenewalStats stats;
+  auto& c0 = sc.client(0);
+  const auto* agent = c0.lease_agent();
+
+  // Issue a getattr every 800ms; each ACK opportunistically renews.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&, tick]() {
+    if (sc.engine().now().seconds() < 60.0) {
+      const auto before = agent->renewals();
+      c0.getattr(sc.fd(0, 0), [&, before](Result<protocol::FileAttr>) {
+        if (agent->renewals() > before) {
+          // lease_start is t_C1 (client-local == global here, rate 1.0-ish);
+          // "now" is t_C2.
+          const double t_c1 = agent->lease_start().seconds();
+          const double t_c2 = sc.engine().now().seconds();
+          stats.activation_delay_ms.add((t_c2 - t_c1) * 1000.0);
+          stats.usable_fraction.add((t_c1 + tau_s - t_c2) / tau_s);
+          ++stats.renewals;
+        }
+      });
+      sc.engine().schedule_after(sim::millis(800), [tick]() { (*tick)(); });
+    }
+  };
+  (*tick)();
+  sc.run_until_s(61.0);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F3: lease renewal timing (paper Figure 3)\n\n");
+
+  Table tbl({"RTT (ms)", "tau (s)", "renewals", "t_C2-t_C1 p50 (ms)", "t_C2-t_C1 p99 (ms)",
+             "usable lease p50", "usable lease min"});
+  tbl.title("Lease valid from SEND time t_C1; usable only after ACK at t_C2");
+  for (double tau : {1.0, 10.0}) {
+    for (double rtt : {0.5, 2.0, 10.0, 50.0, 200.0}) {
+      auto s = run(rtt, tau);
+      tbl.row()
+          .cell(rtt, 1)
+          .cell(tau, 0)
+          .cell(s.renewals)
+          .cell(s.activation_delay_ms.quantile(0.5), 2)
+          .cell(s.activation_delay_ms.quantile(0.99), 2)
+          .cell(s.usable_fraction.quantile(0.5), 4)
+          .cell(s.usable_fraction.min(), 4);
+    }
+  }
+  tbl.print(std::cout);
+
+  std::printf(
+      "\nReading: the activation delay equals one network round trip; the usable\n"
+      "fraction of each lease is 1 - RTT/tau. Anchoring at t_C1 (the send) is what\n"
+      "guarantees t_C1 <= t_S2 and hence Theorem 3.1; anchoring at t_C2 would credit\n"
+      "the client with time the server never promised.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment F4 — Figure 4: the four phases of the lease period.
+//
+// Sweeps the client's activity rate and measures where lease time is spent:
+// an active client lives its whole life in phase 1 (zero keep-alives — the
+// opportunistic-renewal claim); an idle client dips into phase 2 and renews
+// with NULL messages; only an isolated client ever reaches phases 3 and 4.
+// Also ablates the phase-boundary placement: starting keep-alives later
+// (larger phase2_frac) risks spurious expiry under packet loss.
+#include <array>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/client_lease_agent.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+struct PhaseTimes {
+  std::array<double, 6> in_phase{};  // indexed by LeasePhase
+  std::uint64_t keepalives{0};
+  std::uint64_t expiries{0};
+};
+
+PhaseTimes run_activity(double interarrival_s, bool partitioned, double phase2_frac = 0.5,
+                        double loss = 0.0) {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 1;
+  cfg.workload.num_files = 2;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.mean_interarrival_s = interarrival_s;
+  cfg.workload.run_seconds = 60.0;
+  cfg.lease.tau = sim::local_seconds(10);
+  cfg.lease.phase2_frac = phase2_frac;
+  cfg.lease.phase3_frac = std::max(0.75, phase2_frac + 0.1);
+  cfg.control_net.drop_probability = loss;
+
+  workload::Scenario sc(cfg);
+  sc.setup();
+
+  PhaseTimes out;
+  auto& c0 = sc.client(0);
+  double last_change = 0.0;
+  core::LeasePhase current = core::LeasePhase::kNoLease;
+  c0.on_phase_change = [&](core::LeasePhase, core::LeasePhase to) {
+    const double now = sc.engine().now().seconds();
+    out.in_phase[static_cast<std::size_t>(current)] += now - last_change;
+    last_change = now;
+    current = to;
+  };
+
+  if (interarrival_s > 0) {
+    // Server-visible activity (metadata requests): a fully-cached working
+    // set would be served locally and look idle to the server, so drive
+    // getattr traffic at the requested rate.
+    auto tick = std::make_shared<std::function<void()>>();
+    auto rng = std::make_shared<sim::Rng>(7);
+    *tick = [&sc, &c0, tick, rng, interarrival_s]() {
+      if (sc.engine().now().seconds() < 60.0) {
+        if (c0.accepting()) {
+          c0.getattr(sc.fd(0, 0), [](Result<protocol::FileAttr>) {});
+        }
+        sc.engine().schedule_after(sim::seconds_d(rng->exponential(interarrival_s)),
+                                   [tick]() { (*tick)(); });
+      }
+    };
+    sc.engine().schedule_at(sim::SimTime{} + sim::millis(600), [tick]() { (*tick)(); });
+  }
+  if (partitioned) {
+    sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(10.0), [&]() {
+      sc.control_net().reachability().sever_pair(c0.id(), sc.server_node());
+    });
+  }
+  sc.run_until_s(60.0);
+  out.in_phase[static_cast<std::size_t>(current)] +=
+      sc.engine().now().seconds() - last_change;
+  out.keepalives = c0.lease_agent()->keepalives_sent();
+  out.expiries = c0.lease_agent()->expiries();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F4: time in each lease phase vs client activity (paper Figure 4)\n\n");
+
+  {
+    Table tbl({"workload", "phase1 %", "phase2 %", "phase3 %", "phase4 %", "expired %",
+               "keep-alives", "expiries"});
+    tbl.title("60s run, tau=10s, phases at 0.5/0.75/0.85");
+    struct Row {
+      const char* name;
+      double ia;
+      bool part;
+    };
+    for (const Row& r : {Row{"busy (20 ops/s)", 0.05, false}, Row{"moderate (1 op/s)", 1.0, false},
+                         Row{"idle (no ops)", 0.0, false},
+                         Row{"isolated at t=10s", 0.05, true}}) {
+      auto p = run_activity(r.ia, r.part);
+      const double total = p.in_phase[1] + p.in_phase[2] + p.in_phase[3] + p.in_phase[4] +
+                           p.in_phase[5] + p.in_phase[0];
+      auto pct = [&](int i) { return 100.0 * p.in_phase[static_cast<std::size_t>(i)] / total; };
+      tbl.row()
+          .cell(r.name)
+          .cell(pct(1), 1)
+          .cell(pct(2), 1)
+          .cell(pct(3), 1)
+          .cell(pct(4), 1)
+          .cell(pct(5), 1)
+          .cell(p.keepalives)
+          .cell(p.expiries);
+    }
+    tbl.print(std::cout);
+    std::printf("\nPaper claim (3.1/3.2): \"an active client spends virtually all of its time\n"
+                "in phase 1\" with zero lease-only messages; only isolation reaches 3/4.\n\n");
+  }
+
+  {
+    Table tbl({"phase2 starts at", "loss", "keep-alives", "spurious expiries"});
+    tbl.title("Ablation: keep-alive start boundary vs packet loss (idle client)");
+    for (double frac : {0.3, 0.5, 0.7}) {
+      for (double loss : {0.0, 0.05, 0.20}) {
+        auto p = run_activity(0.0, false, frac, loss);
+        tbl.row()
+            .cell(frac, 2)
+            .cell(loss, 2)
+            .cell(p.keepalives)
+            .cell(p.expiries);
+      }
+    }
+    tbl.print(std::cout);
+    std::printf("\nStarting renewal later sends fewer NULL messages but leaves fewer retries\n"
+                "before the lease runs out; under heavy loss that converts into spurious\n"
+                "expiries. The default 0.5 boundary keeps expiries at zero.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Experiment F5 — Figure 5: NACKs for inconsistent clients.
+//
+// A transient partition makes a client miss a lock demand; when the network
+// heals, the server is already timing the client out. The paper's design
+// answers the client's requests with NACKs so it learns immediately that it
+// missed a message; the ablation silently ignores them ("correct, [but]
+// leads to further unnecessary message traffic"). This bench measures the
+// request traffic and the time until the client begins recovery, with and
+// without NACKs.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "client/client.hpp"
+#include "server/server.hpp"
+
+using namespace stank;
+
+namespace {
+
+struct NackOutcome {
+  std::uint64_t client_requests{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t nacks{0};
+  double recovery_noticed_at{-1};  // client enters phase >= 3
+  double reregistered_at{-1};
+};
+
+// The scenario wrapper cannot toggle server flags, so assemble the stack
+// directly.
+NackOutcome run_direct(bool nack_enabled) {
+  sim::Engine engine;
+  net::ControlNet cnet(engine, sim::Rng(1), {});
+  storage::SanFabric san(engine, sim::Rng(2), {});
+  san.add_disk(DiskId{1}, 4096, 256);
+
+  server::ServerConfig scfg;
+  scfg.id = NodeId{1};
+  scfg.lease.tau = sim::local_seconds(10);
+  scfg.block_size = 256;
+  scfg.data_disks = {DiskId{1}};
+  scfg.nack_suspect = nack_enabled;
+  server::Server server(engine, cnet, san, sim::LocalClock(1.0), scfg);
+  server.start();
+  (void)server.preallocate("/f", 1024);
+
+  auto mk_client = [&](std::uint32_t id) {
+    client::ClientConfig c;
+    c.id = NodeId{id};
+    c.server = NodeId{1};
+    c.lease = scfg.lease;
+    c.block_size = 256;
+    return std::make_unique<client::Client>(engine, cnet, san, sim::LocalClock(1.0), c);
+  };
+  auto c0 = mk_client(100);
+  auto c1 = mk_client(101);
+  c0->start();
+  c1->start();
+  engine.run_until(sim::SimTime{} + sim::seconds(1));
+
+  client::Fd fd0 = 0, fd1 = 0;
+  c0->open("/f", false, [&](Result<client::Fd> r) { fd0 = r.value(); });
+  c1->open("/f", false, [&](Result<client::Fd> r) { fd1 = r.value(); });
+  engine.run_until(sim::SimTime{} + sim::seconds_d(1.2));
+  c0->lock(fd0, protocol::LockMode::kExclusive, [](Status) {});
+  engine.run_until(sim::SimTime{} + sim::seconds(2));
+
+  // Transient partition [2s, 6s); c1 requests the lock at 3s so the demand
+  // to c0 is lost.
+  cnet.reachability().sever_pair(NodeId{100}, NodeId{1});
+  engine.schedule_at(sim::SimTime{} + sim::seconds(3), [&]() {
+    c1->lock(fd1, protocol::LockMode::kExclusive, [](Status) {});
+  });
+  engine.schedule_at(sim::SimTime{} + sim::seconds(6),
+                     [&]() { cnet.reachability().heal(); });
+
+  NackOutcome out;
+  // After healing, c0's local process keeps working: one getattr per 500ms.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&, tick]() {
+    if (engine.now().seconds() < 40.0) {
+      if (c0->accepting()) {
+        c0->getattr(fd0, [](Result<protocol::FileAttr>) {});
+      }
+      if (out.recovery_noticed_at < 0 &&
+          static_cast<int>(c0->lease_phase()) >= static_cast<int>(core::LeasePhase::kSuspect)) {
+        out.recovery_noticed_at = engine.now().seconds();
+      }
+      if (out.reregistered_at < 0 && server.session_epoch(NodeId{100}) >= 2) {
+        out.reregistered_at = engine.now().seconds();
+      }
+      engine.schedule_after(sim::millis(100), [tick]() { (*tick)(); });
+    }
+  };
+  engine.schedule_at(sim::SimTime{} + sim::seconds_d(6.1), [tick]() { (*tick)(); });
+  engine.run_until(sim::SimTime{} + sim::seconds(40));
+
+  out.client_requests = c0->counters().requests_sent;
+  out.retransmissions = c0->counters().retransmissions;
+  out.nacks = server.counters().nacks_sent;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F5: NACKs for inconsistent clients (paper Figure 5 / section 3.3)\n\n");
+
+  Table tbl({"server policy", "C1 requests sent", "retransmissions", "NACKs",
+             "recovery noticed (s)", "re-registered (s)"});
+  tbl.title("Transient partition [2s,6s); missed demand; tau=10s");
+  for (bool nack : {true, false}) {
+    auto o = run_direct(nack);
+    tbl.row()
+        .cell(nack ? "NACK (paper)" : "silent ignore")
+        .cell(o.client_requests)
+        .cell(o.retransmissions)
+        .cell(o.nacks)
+        .cell(o.recovery_noticed_at, 2)
+        .cell(o.reregistered_at, 2);
+  }
+  tbl.print(std::cout);
+
+  std::printf(
+      "\nWith NACKs the client learns it missed a message on its FIRST post-heal\n"
+      "request and enters phase 3 directly; silently ignoring it forces every request\n"
+      "through the full retransmission schedule before timing out — more traffic, and\n"
+      "the client only discovers the problem through its own keep-alive failures.\n");
+  return 0;
+}

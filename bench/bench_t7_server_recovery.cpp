@@ -1,0 +1,141 @@
+// Experiment T7 (extension, paper section 6) — server failure and
+// client-driven lock reassertion.
+//
+// Two questions:
+//  1. Does a quick server restart preserve client caches? (reassertion vs
+//     cold invalidation)
+//  2. How long must the post-restart grace period be? The restarted server
+//     has no lock state; if it grants fresh locks too early, a pre-crash
+//     lock holder that is STILL ISOLATED may collide with the new grantee.
+//     The safe bound is tau(1+eps) — the longest any pre-crash lease can
+//     outlive the crash.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "verify/stamp.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+struct T7Row {
+  verify::ViolationSummary violations;
+  bool cache_survived{false};
+  double waiter_delay_s{-1};
+};
+
+// Healthy client 0 holds dirty data; client 1 is ISOLATED holding dirty
+// data on another file's block; the server crashes and restarts with the
+// given grace period; client 2 then wants client 1's file.
+T7Row run(double grace_s) {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 3;
+  cfg.workload.num_files = 2;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 120.0;
+  cfg.lease.tau = sim::local_seconds(8);
+  if (grace_s > 0) {
+    cfg.recovery_grace = sim::local_seconds_d(grace_s);
+  }
+
+  workload::Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(1.0);
+  const std::uint32_t bs = cfg.block_size;
+
+  auto write_stamped = [&](std::size_t ci, std::size_t fi, std::uint64_t block) {
+    auto& c = sc.client(ci);
+    const FileId file = sc.file_id(fi);
+    c.lock(sc.fd(ci, fi), protocol::LockMode::kExclusive, [&, ci, fi, file, block](Status) {
+      const std::uint64_t v = sc.next_version(file, block);
+      verify::Stamp st{file, block, v, sc.client_node(ci)};
+      sc.client(ci).write(sc.fd(ci, fi), block * bs, verify::make_stamped_block(bs, st),
+                          [&sc, st, ci](Status ok) {
+                            if (ok.is_ok()) {
+                              sc.history().on_buffered_write(sc.engine().now(),
+                                                             sc.client_node(ci), st);
+                            }
+                          });
+    });
+  };
+  write_stamped(0, 0, 0);  // healthy client, file 0
+  write_stamped(1, 1, 0);  // soon-isolated client, file 1
+  sc.run_until_s(2.0);
+
+  // Isolate client 1, crash the server, restart with the chosen grace.
+  sc.control_net().reachability().sever_pair(sc.client_node(1), sc.server_node());
+  sc.server().crash();
+  T7Row out;
+  sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(2.5),
+                          [&]() { sc.server().restart(); });
+  // Healthy client discovers the restart quickly.
+  sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(3.0), [&]() {
+    sc.client(0).getattr(sc.fd(0, 0), [](Result<protocol::FileAttr>) {});
+  });
+  // Client 2 wants the isolated client's file.
+  const double req_at = 3.5;
+  sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(req_at), [&]() {
+    sc.client(2).lock(sc.fd(2, 1), protocol::LockMode::kExclusive, [&](Status st) {
+      if (!st.is_ok()) return;
+      out.waiter_delay_s = sc.engine().now().seconds() - req_at;
+      const FileId file = sc.file_id(1);
+      const std::uint64_t v = sc.next_version(file, 0);
+      verify::Stamp stamp{file, 0, v, sc.client_node(2)};
+      sc.client(2).write(sc.fd(2, 1), 0, verify::make_stamped_block(bs, stamp),
+                         [&sc, stamp](Status ok) {
+                           if (ok.is_ok()) {
+                             sc.history().on_buffered_write(sc.engine().now(),
+                                                            sc.client_node(2), stamp);
+                             sc.client(2).fsync(sc.fd(2, 1), [](Status) {});
+                           }
+                         });
+    });
+  });
+
+  sc.run_until_s(6.0);
+  out.cache_survived = sc.client(0).cache().dirty_count() > 0 &&
+                       sc.client(0).registered() &&
+                       sc.client(0).server_incarnation() == 2;
+  sc.run_until_s(40.0);
+  auto r = sc.finish();
+  out.violations = r.violations;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("T7 (extension): server crash + client-driven lock reassertion (section 6)\n\n");
+
+  Table tbl({"grace period", "healthy cache survived", "write races", "stale reads",
+             "lost updates", "waiter delay (s)"});
+  tbl.title("Server crashes at t=2.5s with one healthy and one ISOLATED dirty client (tau=8s)");
+  struct Cfg {
+    const char* name;
+    double grace_s;
+  };
+  for (const Cfg& c : {Cfg{"0.5s (too short!)", 0.5}, Cfg{"4s (half tau)", 4.0},
+                       Cfg{"tau(1+eps) [default]", 0.0}}) {
+    auto row = run(c.grace_s);
+    tbl.row()
+        .cell(c.name)
+        .cell(row.cache_survived ? "yes" : "NO")
+        .cell(row.violations.write_order)
+        .cell(row.violations.stale_reads)
+        .cell(row.violations.lost_updates)
+        .cell(row.waiter_delay_s, 2);
+  }
+  tbl.print(std::cout);
+
+  std::printf(
+      "\nReading: the healthy client re-registers under the new incarnation and\n"
+      "REASSERTS its lock, so its dirty cache survives the server failure intact —\n"
+      "the combined lock-reassertion + lease design of section 6. The waiter for the\n"
+      "ISOLATED client's file must sit out the grace period (~tau(1+eps)): the\n"
+      "restarted server has no lock state, and only the lease bound proves the\n"
+      "isolated holder has stopped. A too-short grace hands the isolated client's\n"
+      "lock to a new writer while the old one is still flushing — the violations in\n"
+      "the first row — which is why the default grace is tau(1+eps).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Section 2.1 made executable: why fencing alone is not enough.
+//
+// The same failure is injected twice — client 0 is partitioned from the
+// server while holding an exclusive lock over dirty cached data, and client
+// 1 keeps reading and writing the file — under two recovery policies:
+//
+//   fence-only     the server fences client 0 and steals its lock at once
+//                  (the "currently accepted solution" the paper critiques);
+//   lease+fence    the paper's protocol: wait out tau(1+eps) first.
+//
+// The consistency checker then reports what each policy did to the data:
+// fence-only strands client 0's dirty pages (lost update) and lets its local
+// processes keep reading a stale cache (stale reads); the lease protocol
+// produces a clean history.
+//
+// Build & run:  ./build/examples/fencing_vs_lease
+#include <cstdio>
+
+#include "verify/stamp.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+verify::ViolationSummary run_policy(server::RecoveryMode recovery) {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 2;
+  cfg.workload.num_files = 1;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 60.0;
+  cfg.lease.tau = sim::local_seconds(8);
+  cfg.recovery = recovery;
+
+  workload::Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(1.0);
+
+  const std::uint32_t bs = cfg.block_size;
+  const FileId file = sc.file_id(0);
+  auto& c0 = sc.client(0);
+  auto& c1 = sc.client(1);
+
+  // c0 buffers dirty versions of blocks 0 AND 1 under its exclusive lock.
+  // Block 0 will be overwritten by c1; block 1 exists only in c0's cache —
+  // if recovery strands it, that is a lost update.
+  c0.lock(sc.fd(0, 0), protocol::LockMode::kExclusive, [&](Status) {
+    for (std::uint64_t b : {0ULL, 1ULL}) {
+      const std::uint64_t v = sc.next_version(file, b);
+      verify::Stamp st{file, b, v, c0.id()};
+      c0.write(sc.fd(0, 0), b * bs, verify::make_stamped_block(bs, st), [&, st](Status ok) {
+        if (ok.is_ok()) sc.history().on_buffered_write(sc.engine().now(), c0.id(), st);
+      });
+    }
+  });
+  sc.run_until_s(2.0);
+
+  // Partition c0 from the server (control network only).
+  sc.control_net().reachability().sever_pair(c0.id(), sc.server_node());
+
+  // c1 writes the same block at t=3s — the server must revoke c0's lock.
+  sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(3.0), [&]() {
+    c1.lock(sc.fd(1, 0), protocol::LockMode::kExclusive, [&](Status st) {
+      if (!st.is_ok()) return;
+      const std::uint64_t v = sc.next_version(file, 0);
+      verify::Stamp stamp{file, 0, v, c1.id()};
+      c1.write(sc.fd(1, 0), 0, verify::make_stamped_block(bs, stamp), [&, stamp](Status ok) {
+        if (ok.is_ok()) sc.history().on_buffered_write(sc.engine().now(), c1.id(), stamp);
+        c1.fsync(sc.fd(1, 0), [](Status) {});
+      });
+    });
+  });
+
+  // Meanwhile c0's local processes keep reading their (possibly stale)
+  // cache: every 500 ms until its lease machinery stops it.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&, tick]() {
+    if (c0.accepting()) {
+      const sim::SimTime t0 = sc.engine().now();
+      c0.read(sc.fd(0, 0), 0, bs, [&, t0](Result<Bytes> res) {
+        if (!res.ok() || res.value().size() != bs) return;
+        auto stamp = verify::decode_stamp(res.value());
+        verify::ReadRec rec;
+        rec.start = t0;
+        rec.end = sc.engine().now();
+        rec.client = c0.id();
+        rec.file = file;
+        rec.block = 0;
+        rec.observed_version = stamp ? stamp->version : 0;
+        sc.history().on_read(rec);
+      });
+    }
+    sc.engine().schedule_after(sim::millis(500), [tick]() { (*tick)(); });
+  };
+  (*tick)();
+
+  sc.run_until_s(40.0);
+  auto result = sc.finish();
+  return result.violations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Injected failure: control-network partition of a client holding dirty,\n"
+              "exclusively-locked data, while another client updates the same block.\n\n");
+  std::printf("%-12s | %-11s | %-11s | %-12s\n", "policy", "stale-reads", "lost-updates",
+              "write-races");
+  std::printf("-------------|-------------|-------------|-------------\n");
+  for (auto mode : {server::RecoveryMode::kFenceOnly, server::RecoveryMode::kLeaseAndFence}) {
+    auto v = run_policy(mode);
+    std::printf("%-12s | %11zu | %11zu | %12zu\n", to_string(mode), v.stale_reads,
+                v.lost_updates, v.write_order);
+  }
+  std::printf("\nFencing alone violates both guarantees; the lease protocol preserves them\n"
+              "at the cost of waiting out tau(1+eps) before the steal.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// A realistic multi-client workload with random failure injection, fully
+// verified.
+//
+// Eight clients hammer a shared file pool (Zipf popularity, 70% reads) while
+// random control-network partitions, crashes, and SAN cuts strike. At the
+// end the consistency checker replays the complete history: under the
+// paper's lease+fence protocol the file system stays sequentially
+// consistent through all of it.
+//
+// Build & run:  ./build/examples/multi_client_workload [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 8;
+  cfg.workload.num_files = 24;
+  cfg.workload.file_blocks = 8;
+  cfg.workload.read_fraction = 0.7;
+  cfg.workload.mean_interarrival_s = 0.04;
+  cfg.workload.run_seconds = 90.0;
+  cfg.workload.seed = seed;
+  cfg.lease.tau = sim::local_seconds(8);
+  cfg.recovery = server::RecoveryMode::kLeaseAndFence;
+
+  // Random failures across the run.
+  sim::Rng frng(seed ^ 0xFA11FA11);
+  cfg.failures = workload::FailurePlan::random(frng, cfg.workload, 6);
+
+  std::printf("seed=%llu: %zu failure events scheduled:\n",
+              static_cast<unsigned long long>(seed), cfg.failures.events.size());
+  for (const auto& ev : cfg.failures.events) {
+    std::printf("  t=%6.2fs  client %u  %s\n", ev.at_s, ev.client_idx, to_string(ev.kind));
+  }
+
+  workload::Scenario sc(cfg);
+  auto r = sc.run();
+
+  std::printf("\n-- results --\n");
+  std::printf("ops: %llu reads, %llu writes ok; %llu failed/rejected\n",
+              static_cast<unsigned long long>(r.reads_ok),
+              static_cast<unsigned long long>(r.writes_ok),
+              static_cast<unsigned long long>(r.ops_failed));
+  std::printf("op latency: p50=%.2fms p99=%.2fms\n", r.op_latency_ms.quantile(0.5),
+              r.op_latency_ms.quantile(0.99));
+  std::printf("server: %llu txns, %llu lock grants, %llu demands, %llu steals, %llu fences\n",
+              static_cast<unsigned long long>(r.server.transactions),
+              static_cast<unsigned long long>(r.server.lock_grants),
+              static_cast<unsigned long long>(r.server.lock_demands),
+              static_cast<unsigned long long>(r.server.lock_steals),
+              static_cast<unsigned long long>(r.server.fences_issued));
+  std::printf("lease: server ops=%llu, peak state=%zuB; client keep-alives=%llu\n",
+              static_cast<unsigned long long>(r.server.lease_ops), r.max_lease_state_bytes,
+              static_cast<unsigned long long>(r.clients.lease_only_msgs));
+  std::printf("network: %llu datagrams (%llu dropped by partitions)\n",
+              static_cast<unsigned long long>(r.net.sent),
+              static_cast<unsigned long long>(r.net.dropped_partition));
+
+  std::printf("\n-- consistency verdict --\n");
+  std::printf("stale reads:   %zu\n", r.violations.stale_reads);
+  std::printf("lost updates:  %zu\n", r.violations.lost_updates);
+  std::printf("write races:   %zu\n", r.violations.write_order);
+  for (const auto& v : r.violation_list) {
+    std::printf("  [%s] t=%.3fs %s\n", to_string(v.kind), v.at.seconds(), v.detail.c_str());
+  }
+  if (r.violations.total() == 0) {
+    std::printf("history is sequentially consistent: the lease protocol held.\n");
+  }
+  return r.violations.total() == 0 ? 0 : 1;
+}

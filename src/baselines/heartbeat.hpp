@@ -1,0 +1,110 @@
+// Frangipani-style leasing (Thekkath, Mann, Lee 1997), as the paper's
+// section 5 characterizes it: "Frangipani uses heartbeats and loosely
+// synchronized clocks ... Also, Frangipani stores lease information at the
+// locking authority, rather than having a passive authority."
+//
+// Server side: a per-client lease table renewed by heartbeats — the server
+// does lease work on EVERY heartbeat of EVERY client, all the time.
+//
+// Client side: an unconditional heartbeat every tau * beat_frac, active or
+// idle; no piggybacking on regular traffic.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/strong_id.hpp"
+#include "metrics/counters.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::baselines {
+
+// Server-side per-client heartbeat lease table.
+class HeartbeatTable {
+ public:
+  HeartbeatTable(sim::LocalDuration tau, metrics::Counters& counters)
+      : tau_(tau), counters_(&counters) {}
+
+  void renew(NodeId client, sim::LocalTime now) {
+    ++counters_->lease_ops;
+    table_[client] = now + tau_;
+  }
+
+  void drop(NodeId client) {
+    ++counters_->lease_ops;
+    table_.erase(client);
+  }
+
+  [[nodiscard]] bool valid(NodeId client, sim::LocalTime now) const {
+    auto it = table_.find(client);
+    return it != table_.end() && now < it->second;
+  }
+
+  // Earliest safe steal time for the client's locks, given the clock bound.
+  [[nodiscard]] sim::LocalTime steal_time(NodeId client, sim::LocalTime now, double eps) const {
+    auto it = table_.find(client);
+    if (it == table_.end()) {
+      return now;
+    }
+    const sim::LocalDuration remaining =
+        it->second > now ? it->second - now : sim::LocalDuration{0};
+    return now + remaining * (1.0 + eps);
+  }
+
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+  [[nodiscard]] std::size_t state_bytes() const {
+    return table_.size() * (sizeof(NodeId) + sizeof(sim::LocalTime) + 2 * sizeof(void*));
+  }
+
+ private:
+  sim::LocalDuration tau_;
+  metrics::Counters* counters_;
+  std::unordered_map<NodeId, sim::LocalTime> table_;
+};
+
+// Client-side heartbeat loop with local expiry detection.
+class HeartbeatClientScheduler {
+ public:
+  struct Hooks {
+    // Send one heartbeat (its ACK should call on_ack with the heartbeat's
+    // first-transmission time).
+    std::function<void()> send_heartbeat;
+    // No ACK within tau: the client must consider its lease lost, discard
+    // its cache and locks.
+    std::function<void()> expired;
+  };
+
+  HeartbeatClientScheduler(sim::NodeClock& clock, sim::LocalDuration tau, double beat_frac,
+                           Hooks hooks);
+  ~HeartbeatClientScheduler();
+
+  HeartbeatClientScheduler(const HeartbeatClientScheduler&) = delete;
+  HeartbeatClientScheduler& operator=(const HeartbeatClientScheduler&) = delete;
+
+  void start();
+  void stop();
+  void on_ack(sim::LocalTime t_send);
+
+  // Real Frangipani checks lease validity on every operation, not only at
+  // heartbeat ticks; the client consults this before serving from cache.
+  [[nodiscard]] bool lease_valid(sim::LocalTime now) const {
+    return running_ && now < lease_start_ + tau_;
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+
+ private:
+  void beat();
+
+  sim::NodeClock* clock_;
+  sim::LocalDuration tau_;
+  double beat_frac_;
+  Hooks hooks_;
+  bool running_{false};
+  sim::LocalTime lease_start_{};
+  sim::TimerId timer_{0};
+  std::uint64_t heartbeats_sent_{0};
+};
+
+}  // namespace stank::baselines

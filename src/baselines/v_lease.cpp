@@ -1,0 +1,77 @@
+#include "baselines/v_lease.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::baselines {
+
+VLeaseClientScheduler::VLeaseClientScheduler(sim::NodeClock& clock, sim::LocalDuration tau,
+                                             double renew_frac, Hooks hooks)
+    : clock_(&clock), tau_(tau), renew_frac_(renew_frac), hooks_(std::move(hooks)) {
+  STANK_ASSERT(renew_frac > 0.0 && renew_frac < 1.0);
+}
+
+VLeaseClientScheduler::~VLeaseClientScheduler() { clear(); }
+
+void VLeaseClientScheduler::object_acquired(FileId object) {
+  auto [it, inserted] = objects_.emplace(object, Entry{clock_->now(), 0});
+  if (!inserted) {
+    it->second.lease_start = clock_->now();
+    clock_->cancel(it->second.timer);
+  }
+  arm(object);
+}
+
+void VLeaseClientScheduler::object_released(FileId object) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  clock_->cancel(it->second.timer);
+  objects_.erase(it);
+}
+
+void VLeaseClientScheduler::renewed(FileId object, sim::LocalTime t_send) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  if (t_send <= it->second.lease_start) return;
+  it->second.lease_start = t_send;
+  clock_->cancel(it->second.timer);
+  arm(object);
+}
+
+void VLeaseClientScheduler::clear() {
+  for (auto& [object, e] : objects_) {
+    clock_->cancel(e.timer);
+  }
+  objects_.clear();
+}
+
+void VLeaseClientScheduler::arm(FileId object) {
+  Entry& e = objects_.at(object);
+  const sim::LocalTime renew_at = e.lease_start + tau_ * renew_frac_;
+  const sim::LocalTime now = clock_->now();
+  sim::LocalDuration delay = renew_at > now ? renew_at - now : sim::LocalDuration{1};
+  e.timer = clock_->schedule_after(delay, [this, object]() { tick(object); });
+}
+
+void VLeaseClientScheduler::tick(FileId object) {
+  auto it = objects_.find(object);
+  if (it == objects_.end()) return;
+  const sim::LocalTime now = clock_->now();
+  if (now >= it->second.lease_start + tau_) {
+    // Lease lapsed: renewal attempts failed for a full period.
+    objects_.erase(it);
+    if (hooks_.object_expired) hooks_.object_expired(object);
+    return;
+  }
+  ++renewals_sent_;
+  if (hooks_.send_renew) hooks_.send_renew(object);
+  // Re-arm a retry at a fraction of the remaining window, floored so retry
+  // events cannot pile up geometrically as the expiry approaches.
+  Entry& e = objects_.at(object);
+  const sim::LocalTime expiry = e.lease_start + tau_;
+  sim::LocalDuration delay = (expiry - now) / std::int64_t{4};
+  const sim::LocalDuration floor = tau_ / std::int64_t{16};
+  if (delay < floor) delay = floor;
+  e.timer = clock_->schedule_after(delay, [this, object]() { tick(object); });
+}
+
+}  // namespace stank::baselines

@@ -1,0 +1,140 @@
+// V-system-style per-object leases (Gray & Cheriton 1989), as the paper's
+// section 4 characterizes them: "a client holds one lease for every data
+// object that it can write ... the renewal has a message cost".
+//
+// Server side: a lease table with one entry per (client, object), renewed by
+// explicit RenewObj messages — memory and computation proportional to the
+// number of cached objects, in contrast to the Storage Tank authority's
+// zero-state design.
+//
+// Client side: a scheduler that re-sends a renewal for every held object at
+// a fixed fraction of tau — message cost proportional to cache size, even
+// when the client is otherwise active.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "metrics/counters.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::baselines {
+
+// Server-side per-object lease table.
+class VLeaseTable {
+ public:
+  VLeaseTable(sim::LocalDuration tau, metrics::Counters& counters)
+      : tau_(tau), counters_(&counters) {}
+
+  // Grant or renew the lease on (client, object); every call is lease work
+  // the server must perform.
+  void renew(NodeId client, FileId object, sim::LocalTime now) {
+    ++counters_->lease_ops;
+    table_[{client, object}] = now + tau_;
+  }
+
+  void drop(NodeId client, FileId object) {
+    ++counters_->lease_ops;
+    table_.erase({client, object});
+  }
+
+  void drop_client(NodeId client) {
+    ++counters_->lease_ops;
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->first.first == client) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] bool valid(NodeId client, FileId object, sim::LocalTime now) const {
+    auto it = table_.find({client, object});
+    return it != table_.end() && now < it->second;
+  }
+
+  // When may the server safely steal this object's lock: the recorded lease
+  // expiry scaled by the clock bound.
+  [[nodiscard]] sim::LocalTime steal_time(NodeId client, FileId object, sim::LocalTime now,
+                                          double eps) const {
+    auto it = table_.find({client, object});
+    if (it == table_.end()) {
+      return now;  // no lease: steal immediately
+    }
+    const sim::LocalDuration remaining =
+        it->second > now ? it->second - now : sim::LocalDuration{0};
+    return now + remaining * (1.0 + eps);
+  }
+
+  [[nodiscard]] std::size_t entries() const { return table_.size(); }
+  [[nodiscard]] std::size_t state_bytes() const {
+    return table_.size() *
+           (sizeof(std::pair<std::pair<NodeId, FileId>, sim::LocalTime>) + 3 * sizeof(void*));
+  }
+
+ private:
+  sim::LocalDuration tau_;
+  metrics::Counters* counters_;
+  std::map<std::pair<NodeId, FileId>, sim::LocalTime> table_;
+};
+
+// Client-side renewal scheduler: one renewal stream per held object.
+class VLeaseClientScheduler {
+ public:
+  struct Hooks {
+    // Send one RenewObj message for this object (its ACK should call
+    // renewed()).
+    std::function<void(FileId)> send_renew;
+    // The object's lease lapsed without a successful renewal: the client
+    // must invalidate that object and drop its lock.
+    std::function<void(FileId)> object_expired;
+  };
+
+  VLeaseClientScheduler(sim::NodeClock& clock, sim::LocalDuration tau, double renew_frac,
+                        Hooks hooks);
+  ~VLeaseClientScheduler();
+
+  VLeaseClientScheduler(const VLeaseClientScheduler&) = delete;
+  VLeaseClientScheduler& operator=(const VLeaseClientScheduler&) = delete;
+
+  // The client obtained (lock on) this object; lease starts now.
+  void object_acquired(FileId object);
+  void object_released(FileId object);
+  // A renewal ACK arrived for this object; t_send is the renewal's first
+  // transmission time.
+  void renewed(FileId object, sim::LocalTime t_send);
+  void clear();
+
+  // Per-operation validity check (the lock is only usable while its lease
+  // lives); untracked objects report invalid.
+  [[nodiscard]] bool object_valid(FileId object, sim::LocalTime now) const {
+    auto it = objects_.find(object);
+    return it != objects_.end() && now < it->second.lease_start + tau_;
+  }
+
+  [[nodiscard]] std::size_t tracked_objects() const { return objects_.size(); }
+  [[nodiscard]] std::uint64_t renewals_sent() const { return renewals_sent_; }
+
+ private:
+  struct Entry {
+    sim::LocalTime lease_start;
+    sim::TimerId timer{0};
+  };
+
+  void arm(FileId object);
+  void tick(FileId object);
+
+  sim::NodeClock* clock_;
+  sim::LocalDuration tau_;
+  double renew_frac_;
+  Hooks hooks_;
+  std::unordered_map<FileId, Entry> objects_;
+  std::uint64_t renewals_sent_{0};
+};
+
+}  // namespace stank::baselines

@@ -1,0 +1,146 @@
+#include "client/cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::client {
+
+BlockCache::BlockCache(std::uint32_t block_size, std::size_t capacity_pages)
+    : block_size_(block_size), capacity_(capacity_pages) {
+  STANK_ASSERT(block_size > 0);
+}
+
+void BlockCache::touch(const std::map<Key, Entry>::iterator& it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+BlockCache::Page* BlockCache::find(FileId file, std::uint64_t fb) {
+  auto it = pages_.find({file, fb});
+  if (it == pages_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch(it);
+  return &it->second.page;
+}
+
+const BlockCache::Page* BlockCache::peek(FileId file, std::uint64_t fb) const {
+  auto it = pages_.find({file, fb});
+  return it == pages_.end() ? nullptr : &it->second.page;
+}
+
+BlockCache::Page& BlockCache::put(FileId file, std::uint64_t fb, Bytes data, bool dirty) {
+  STANK_ASSERT_MSG(data.size() == block_size_, "page must be exactly one block");
+  const Key key{file, fb};
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    lru_.push_front(key);
+    it = pages_.emplace(key, Entry{Page{std::move(data), dirty}, lru_.begin()}).first;
+  } else {
+    it->second.page.data = std::move(data);
+    it->second.page.dirty = dirty;
+    touch(it);
+  }
+  return it->second.page;
+}
+
+void BlockCache::mark_dirty(FileId file, std::uint64_t fb) {
+  auto it = pages_.find({file, fb});
+  STANK_ASSERT_MSG(it != pages_.end(), "mark_dirty of uncached page");
+  it->second.page.dirty = true;
+}
+
+void BlockCache::mark_clean(FileId file, std::uint64_t fb) {
+  auto it = pages_.find({file, fb});
+  if (it != pages_.end()) {
+    it->second.page.dirty = false;
+  }
+}
+
+std::vector<std::uint64_t> BlockCache::dirty_blocks(FileId file) const {
+  std::vector<std::uint64_t> out;
+  for (auto it = pages_.lower_bound({file, 0}); it != pages_.end() && it->first.first == file;
+       ++it) {
+    if (it->second.page.dirty) {
+      out.push_back(it->first.second);
+    }
+  }
+  return out;
+}
+
+std::vector<BlockCache::Key> BlockCache::all_dirty() const {
+  std::vector<Key> out;
+  for (const auto& [key, entry] : pages_) {
+    if (entry.page.dirty) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+void BlockCache::invalidate_file(FileId file) {
+  auto it = pages_.lower_bound({file, 0});
+  while (it != pages_.end() && it->first.first == file) {
+    lru_.erase(it->second.lru_it);
+    it = pages_.erase(it);
+  }
+}
+
+void BlockCache::invalidate_all() {
+  pages_.clear();
+  lru_.clear();
+}
+
+std::size_t BlockCache::dirty_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : pages_) {
+    if (entry.page.dirty) ++n;
+  }
+  return n;
+}
+
+std::size_t BlockCache::file_page_count(FileId file) const {
+  std::size_t n = 0;
+  for (auto it = pages_.lower_bound({file, 0}); it != pages_.end() && it->first.first == file;
+       ++it) {
+    ++n;
+  }
+  return n;
+}
+
+std::vector<FileId> BlockCache::cached_files() const {
+  std::vector<FileId> out;
+  for (const auto& [key, entry] : pages_) {
+    if (out.empty() || out.back() != key.first) {
+      out.push_back(key.first);
+    }
+  }
+  return out;
+}
+
+std::optional<BlockCache::Key> BlockCache::evict_clean_lru() {
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = pages_.find(*rit);
+    STANK_ASSERT(it != pages_.end());
+    if (!it->second.page.dirty) {
+      const Key key = *rit;
+      lru_.erase(it->second.lru_it);
+      pages_.erase(it);
+      ++evictions_;
+      return key;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockCache::Key> BlockCache::oldest_dirty() const {
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = pages_.find(*rit);
+    if (it != pages_.end() && it->second.page.dirty) {
+      return *rit;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace stank::client

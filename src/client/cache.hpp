@@ -1,0 +1,93 @@
+// Client-side write-back block cache.
+//
+// Pages are keyed by (file, file-block index). Dirty pages stay in the cache
+// until an explicit flush — a demand, an fsync, or lease phase 4 — which is
+// precisely the behaviour that makes "fence and steal" unsafe (section 2.1):
+// fencing strands these dirty pages.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/strong_id.hpp"
+
+namespace stank::client {
+
+class BlockCache {
+ public:
+  // capacity_pages = 0 means unbounded.
+  explicit BlockCache(std::uint32_t block_size, std::size_t capacity_pages = 0);
+
+  struct Page {
+    Bytes data;
+    bool dirty{false};
+  };
+  using Key = std::pair<FileId, std::uint64_t>;
+
+  [[nodiscard]] std::uint32_t block_size() const { return block_size_; }
+
+  // Returns the cached page or nullptr. Counts a hit/miss.
+  [[nodiscard]] Page* find(FileId file, std::uint64_t fb);
+  // Lookup without touching hit/miss statistics.
+  [[nodiscard]] const Page* peek(FileId file, std::uint64_t fb) const;
+
+  // Inserts or replaces a page (data must be exactly one block).
+  Page& put(FileId file, std::uint64_t fb, Bytes data, bool dirty);
+
+  // Marks an existing page dirty.
+  void mark_dirty(FileId file, std::uint64_t fb);
+  // Marks a page clean (it reached the disk).
+  void mark_clean(FileId file, std::uint64_t fb);
+
+  [[nodiscard]] std::vector<std::uint64_t> dirty_blocks(FileId file) const;
+  [[nodiscard]] std::vector<Key> all_dirty() const;
+
+  // Drops every page of a file (dirty pages are LOST — callers must have
+  // flushed first unless loss is the point, e.g. post-expiry invalidation).
+  void invalidate_file(FileId file);
+  void invalidate_all();
+
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+  [[nodiscard]] std::size_t dirty_count() const;
+  [[nodiscard]] std::size_t file_page_count(FileId file) const;
+  // Distinct files with at least one cached page.
+  [[nodiscard]] std::vector<FileId> cached_files() const;
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+  // --- Capacity management (LRU) ------------------------------------------
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t pages) { capacity_ = pages; }
+  [[nodiscard]] bool over_capacity() const {
+    return capacity_ != 0 && pages_.size() > capacity_;
+  }
+  // Evicts the least-recently-used CLEAN page; returns its key, or nullopt
+  // when every cached page is dirty (the caller must flush first — dropping
+  // dirty data silently would be a lost update).
+  std::optional<Key> evict_clean_lru();
+  // Least-recently-used dirty page, if any (flush-then-evict candidate).
+  [[nodiscard]] std::optional<Key> oldest_dirty() const;
+
+ private:
+  struct Entry {
+    Page page;
+    std::list<Key>::iterator lru_it;
+  };
+  void touch(const std::map<Key, Entry>::iterator& it);
+
+  std::uint32_t block_size_;
+  std::size_t capacity_;
+  std::map<Key, Entry> pages_;
+  std::list<Key> lru_;  // front = most recently used
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+  std::uint64_t evictions_{0};
+};
+
+}  // namespace stank::client

@@ -1,0 +1,1407 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "protocol/layout.hpp"
+
+namespace stank::client {
+
+using protocol::LockMode;
+
+namespace {
+
+bool mode_leq(LockMode a, LockMode b) {
+  return static_cast<int>(a) <= static_cast<int>(b);
+}
+
+LockMode mode_max(LockMode a, LockMode b) { return mode_leq(a, b) ? b : a; }
+
+// Fan-in helper for multi-block operations.
+struct FanIn {
+  std::size_t expected{0};
+  std::size_t seen{0};
+  Status status{Status::ok()};
+  std::function<void(Status)> done;
+
+  void complete(Status s) {
+    if (!s.is_ok() && status.is_ok()) {
+      status = s;
+    }
+    if (++seen == expected && done) {
+      done(status);
+    }
+  }
+};
+
+}  // namespace
+
+Client::Client(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& san,
+               sim::LocalClock local_clock, ClientConfig cfg, sim::TraceLog* trace)
+    : engine_(&engine),
+      san_(&san),
+      cfg_(std::move(cfg)),
+      clock_(engine, local_clock),
+      trace_(trace),
+      transport_(net, clock_, cfg_.id, cfg_.server, counters_, cfg_.transport),
+      cache_(cfg_.block_size, cfg_.cache_capacity_pages) {
+  cfg_.lease.validate();
+  wire_transport();
+  build_lease_machinery();
+}
+
+Client::~Client() {
+  if (register_timer_ != 0) {
+    clock_.cancel(register_timer_);
+  }
+}
+
+void Client::wire_transport() {
+  transport_.on_ack = [this](sim::LocalTime first_send) {
+    if (agent_) {
+      agent_->renew(first_send);
+    }
+  };
+  transport_.on_nack = [this]() {
+    this->trace("lease", "NACK received");
+    if (agent_) {
+      // Section 3.3: the client knows it missed a message; phase 3 directly.
+      agent_->on_nack();
+    } else {
+      // Heartbeat / per-object strategies have no phased ride-down: the
+      // session is gone, recover now.
+      handle_lease_expired();
+    }
+  };
+  transport_.on_stale_session = [this]() { handle_stale_session(); };
+  transport_.on_server_msg = [this](const protocol::ServerBody& body) { handle_server_msg(body); };
+  transport_.accept_server_msg = [this](std::uint32_t epoch) {
+    if (crashed_ || !registered_) return false;
+    if (epoch != transport_.epoch()) return false;
+    if (agent_ && !agent_->lease_valid()) return false;
+    return true;
+  };
+}
+
+void Client::build_lease_machinery() {
+  switch (cfg_.strategy) {
+    case core::LeaseStrategy::kStorageTank: {
+      core::ClientLeaseAgent::Hooks hooks;
+      hooks.send_keepalive = [this]() {
+        // The NULL message: no file-system or lock content, exists to be
+        // ACKed (which renews via transport_.on_ack).
+        transport_.send_request(protocol::KeepAliveReq{}, [](const protocol::ReplyEvent&) {},
+                                /*lease_only=*/true);
+      };
+      hooks.quiesce = [this]() {
+        accepting_ = false;
+        this->trace("lease", "phase 3: quiesced");
+      };
+      hooks.flush = [this]() {
+        this->trace("lease", "phase 4: flushing dirty data");
+        flush_all([](Status) {});
+      };
+      hooks.expired = [this]() {
+        this->trace("lease", "lease expired");
+        handle_lease_expired();
+      };
+      hooks.phase_changed = [this](core::LeasePhase from, core::LeasePhase to) {
+        if (on_phase_change) on_phase_change(from, to);
+      };
+      agent_ = std::make_unique<core::ClientLeaseAgent>(clock_, cfg_.lease, std::move(hooks));
+      break;
+    }
+    case core::LeaseStrategy::kVLeases: {
+      baselines::VLeaseClientScheduler::Hooks hooks;
+      hooks.send_renew = [this](FileId file) {
+        transport_.send_request(
+            protocol::RenewObjReq{file},
+            [this, file](const protocol::ReplyEvent& ev) {
+              if (ev.outcome == protocol::ReplyOutcome::kAck && v_sched_) {
+                v_sched_->renewed(file, ev.first_send);
+              }
+            },
+            /*lease_only=*/true);
+      };
+      hooks.object_expired = [this](FileId file) {
+        // This object's lease lapsed: its lock and cached pages are invalid.
+        cache_.invalidate_file(file);
+        auto it = files_.find(file);
+        if (it != files_.end()) {
+          it->second.mode = LockMode::kNone;
+          it->second.pending_mode = LockMode::kNone;
+        }
+        fail_lock_waits(file, ErrorCode::kLeaseExpired);
+      };
+      v_sched_ = std::make_unique<baselines::VLeaseClientScheduler>(clock_, cfg_.lease.tau,
+                                                                    cfg_.v_renew_frac,
+                                                                    std::move(hooks));
+      break;
+    }
+    case core::LeaseStrategy::kFrangipani: {
+      baselines::HeartbeatClientScheduler::Hooks hooks;
+      hooks.send_heartbeat = [this]() {
+        transport_.send_request(
+            protocol::KeepAliveReq{},
+            [this](const protocol::ReplyEvent& ev) {
+              if (ev.outcome == protocol::ReplyOutcome::kAck && hb_sched_) {
+                hb_sched_->on_ack(ev.first_send);
+              }
+            },
+            /*lease_only=*/true);
+      };
+      hooks.expired = [this]() {
+        this->trace("lease", "heartbeat lease expired");
+        handle_lease_expired();
+      };
+      hb_sched_ = std::make_unique<baselines::HeartbeatClientScheduler>(
+          clock_, cfg_.lease.tau, cfg_.hb_beat_frac, std::move(hooks));
+      break;
+    }
+  }
+}
+
+void Client::start() {
+  STANK_ASSERT(!started_);
+  started_ = true;
+  transport_.start();
+  register_with_server();
+  if (cfg_.writeback_interval.ns > 0) {
+    writeback_timer_ = clock_.schedule_after(cfg_.writeback_interval,
+                                             [this]() { writeback_tick(); });
+  }
+}
+
+void Client::writeback_tick() {
+  writeback_timer_ = 0;
+  if (crashed_) return;
+  if (registered_ && accepting_ && cache_.dirty_count() > 0) {
+    flush_all([](Status) {});
+  }
+  writeback_timer_ =
+      clock_.schedule_after(cfg_.writeback_interval, [this]() { writeback_tick(); });
+}
+
+void Client::enforce_cache_limit() {
+  while (cache_.over_capacity()) {
+    if (cache_.evict_clean_lru().has_value()) {
+      continue;
+    }
+    // Every page is dirty: flush the least-recently-used dirty page's file,
+    // then try again — dropping dirty data would be a silent lost update.
+    auto od = cache_.oldest_dirty();
+    if (!od) break;
+    flush_file(od->first, [this](Status st) {
+      if (st.is_ok()) enforce_cache_limit();
+    });
+    break;
+  }
+}
+
+void Client::crash() {
+  if (crashed_) return;
+  this->trace("node", "crash");
+  crashed_ = true;
+  ++gen_;
+  transport_.stop();
+  if (agent_) agent_->deactivate();
+  if (hb_sched_) hb_sched_->stop();
+  if (v_sched_) v_sched_->clear();
+  if (register_timer_ != 0) {
+    clock_.cancel(register_timer_);
+    register_timer_ = 0;
+  }
+  if (writeback_timer_ != 0) {
+    clock_.cancel(writeback_timer_);
+    writeback_timer_ = 0;
+  }
+  register_inflight_ = false;
+  registered_ = false;
+  accepting_ = false;
+  // Volatile state is gone. Callbacks of in-flight operations are dropped —
+  // a crashed machine answers nobody.
+  cache_.invalidate_all();
+  files_.clear();
+  fds_.clear();
+  lock_waits_.clear();
+}
+
+void Client::restart() {
+  STANK_ASSERT_MSG(crashed_, "restart() is only valid after crash()");
+  this->trace("node", "restart");
+  crashed_ = false;
+  transport_.set_epoch(0);
+  transport_.start();
+  register_with_server();
+  if (cfg_.writeback_interval.ns > 0 && writeback_timer_ == 0) {
+    writeback_timer_ = clock_.schedule_after(cfg_.writeback_interval,
+                                             [this]() { writeback_tick(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registration & lease lifecycle
+
+void Client::register_with_server() {
+  if (crashed_ || registered_ || register_inflight_) return;
+  register_inflight_ = true;
+  transport_.send_request(protocol::RegisterReq{}, [this](const protocol::ReplyEvent& ev) {
+    register_inflight_ = false;
+    if (ev.outcome == protocol::ReplyOutcome::kAck) {
+      if (const auto* rep = std::get_if<protocol::RegisterReply>(&ev.body)) {
+        transport_.set_epoch(rep->epoch);
+        const bool server_restarted =
+            server_incarnation_ != 0 && rep->incarnation != server_incarnation_;
+        // If we still hold locks and a live lease across a server restart,
+        // this is the reassertion path (section 6) — state is preserved.
+        const bool can_reassert =
+            server_restarted && (agent_ == nullptr || agent_->lease_valid());
+        server_incarnation_ = rep->incarnation;
+        registered_ = true;
+        accepting_ = true;
+        if (agent_) {
+          if (agent_->lease_valid()) {
+            agent_->renew(ev.first_send);
+          } else {
+            agent_->restart(ev.first_send);
+          }
+        }
+        if (hb_sched_) {
+          if (hb_sched_->running()) hb_sched_->stop();
+          hb_sched_->start();
+        }
+        this->trace("session", "registered epoch " + std::to_string(rep->epoch) +
+                                   " incarnation " + std::to_string(rep->incarnation));
+        if (can_reassert) {
+          reassert_locks();
+        } else if (server_restarted) {
+          // Too late to reassert safely: drop everything. The new
+          // incarnation also numbers generations from scratch.
+          invalidate_everything();
+          reset_lock_generations();
+        }
+        if (on_registered) on_registered();
+        return;
+      }
+    }
+    schedule_register_retry();
+  });
+}
+
+void Client::schedule_register_retry() {
+  if (crashed_ || registered_ || !cfg_.auto_reregister || register_timer_ != 0) return;
+  register_timer_ = clock_.schedule_after(cfg_.reregister_retry, [this]() {
+    register_timer_ = 0;
+    register_with_server();
+  });
+}
+
+void Client::handle_stale_session() {
+  if (crashed_ || !registered_) {
+    return;  // a registration is already on its way
+  }
+  this->trace("session", "server restarted: re-registering to reassert locks");
+  registered_ = false;
+  // Keep the cache, the lock table and the lease: the failure is at the
+  // SERVER; our contract (and dirty data) remain valid while the lease
+  // lives. Outstanding requests will fail; the workload retries.
+  transport_.abandon_pending();
+  register_with_server();
+  schedule_register_retry();
+}
+
+void Client::reassert_locks() {
+  // The new incarnation numbers lock generations from scratch — for EVERY
+  // file, not only the ones we reassert, or a stale pre-crash generation
+  // would make us discard the new incarnation's grants and demands.
+  for (auto& [file, fs] : files_) {
+    fs.lock_gen = 0;
+    fs.pending_mode = LockMode::kNone;
+    fs.revoking = false;
+    fs.revoke_target = LockMode::kNone;
+    fs.deferred_demand.reset();
+  }
+  for (auto& [file, fs] : files_) {
+    if (fs.mode == LockMode::kNone) continue;
+    const LockMode mode = fs.mode;
+    transport_.send_request(
+        protocol::ReassertLockReq{file, mode},
+        [this, file_id = file](const protocol::ReplyEvent& ev) {
+          auto fit = files_.find(file_id);
+          if (fit == files_.end()) return;
+          if (ev.outcome == protocol::ReplyOutcome::kAck) {
+            if (const auto* rep = std::get_if<protocol::LockReply>(&ev.body)) {
+              if (rep->granted) {
+                fit->second.lock_gen = rep->gen;
+                this->trace("lock", "reasserted " + std::to_string(file_id.value()));
+                return;
+              }
+            }
+          }
+          // Reassertion refused or lost: the lock (and cache) for this file
+          // are gone. Dirty pages here are unprotected — drop them; the
+          // checker charges this to the server-crash scenario, exactly the
+          // data-loss window reassertion is meant to close.
+          this->trace("lock", "reassert FAILED for " + std::to_string(file_id.value()));
+          cache_.invalidate_file(file_id);
+          fit->second.mode = LockMode::kNone;
+        });
+  }
+}
+
+void Client::handle_lease_expired() {
+  if (!registered_ && !accepting_) {
+    return;  // already torn down
+  }
+  registered_ = false;
+  accepting_ = false;
+  transport_.abandon_pending();
+  fail_all_lock_waits(ErrorCode::kLeaseExpired);
+  invalidate_everything();
+  if (hb_sched_ && hb_sched_->running()) hb_sched_->stop();
+  if (v_sched_) v_sched_->clear();
+  if (on_lease_expired) on_lease_expired();
+  if (cfg_.auto_reregister) {
+    register_with_server();
+    schedule_register_retry();
+  }
+}
+
+void Client::invalidate_everything() {
+  cache_.invalidate_all();
+  for (auto& [file, fs] : files_) {
+    fs.mode = LockMode::kNone;
+    fs.pending_mode = LockMode::kNone;
+    fs.revoking = false;
+    fs.revoke_target = LockMode::kNone;
+    fs.deferred_demand.reset();
+    fs.attr_known = false;
+  }
+}
+
+void Client::reset_lock_generations() {
+  for (auto& [file, fs] : files_) {
+    fs.lock_gen = 0;
+  }
+}
+
+core::LeasePhase Client::lease_phase() const {
+  return agent_ ? agent_->phase() : core::LeasePhase::kNoLease;
+}
+
+// ---------------------------------------------------------------------------
+// Gating & lookup
+
+bool Client::gate(ErrorCode& why) const {
+  if (crashed_) {
+    why = ErrorCode::kShutdown;
+    return false;
+  }
+  if (!registered_) {
+    why = ErrorCode::kLeaseExpired;
+    return false;
+  }
+  if (!accepting_) {
+    why = ErrorCode::kQuiesced;
+    return false;
+  }
+  // Frangipani-style lease: validity is checked on every operation (a
+  // heartbeat-tick-only check would serve stale cache in the gap between
+  // true expiry and the next tick).
+  if (hb_sched_ && !hb_sched_->lease_valid(clock_.now())) {
+    why = ErrorCode::kLeaseExpired;
+    return false;
+  }
+  return true;
+}
+
+Client::FileState* Client::state_of(Fd fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return nullptr;
+  auto fit = files_.find(it->second);
+  return fit == files_.end() ? nullptr : &fit->second;
+}
+
+Client::FileState& Client::state_for(FileId file) {
+  auto [it, inserted] = files_.try_emplace(file);
+  if (inserted) {
+    it->second.file = file;
+  }
+  return it->second;
+}
+
+protocol::LockMode Client::lock_mode(Fd fd) const {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return LockMode::kNone;
+  auto fit = files_.find(it->second);
+  return fit == files_.end() ? LockMode::kNone : fit->second.mode;
+}
+
+// ---------------------------------------------------------------------------
+// Public file API
+
+void Client::open(const std::string& path, bool create, std::function<void(Result<Fd>)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  transport_.send_request(
+      protocol::OpenReq{path, create}, [this, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                         : ErrorCode::kTimeout);
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(err->code);
+          return;
+        }
+        const auto* rep = std::get_if<protocol::OpenReply>(&ev.body);
+        if (rep == nullptr) {
+          cb(ErrorCode::kInvalidArgument);
+          return;
+        }
+        FileState& fs = state_for(rep->file);
+        fs.attr = rep->attr;
+        fs.extents = rep->extents;
+        fs.attr_known = true;
+        fs.last_validate = clock_.now();
+        ++fs.open_count;
+        const Fd fd = next_fd_++;
+        fds_.emplace(fd, rep->file);
+        ++ops_completed_;
+        cb(fd);
+      });
+}
+
+void Client::close(Fd fd, std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  const FileId file = fs->file;
+  if (fs->open_count > 0) {
+    --fs->open_count;
+  }
+  fds_.erase(fd);
+  // Cached data and locks are deliberately RETAINED across close — that is
+  // the whole point of lease-protected caching.
+  transport_.send_request(protocol::CloseReq{file},
+                          [this, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+                            ++ops_completed_;
+                            cb(ev.outcome == protocol::ReplyOutcome::kAck
+                                   ? Status::ok()
+                                   : Status{ErrorCode::kTimeout});
+                          });
+}
+
+void Client::getattr(Fd fd, std::function<void(Result<protocol::FileAttr>)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  const FileId file = fs->file;
+  transport_.send_request(
+      protocol::GetAttrReq{file},
+      [this, file, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                         : ErrorCode::kTimeout);
+          return;
+        }
+        if (const auto* rep = std::get_if<protocol::AttrReply>(&ev.body)) {
+          FileState& fs2 = state_for(file);
+          fs2.attr = rep->attr;
+          fs2.extents = rep->extents;
+          fs2.attr_known = true;
+          fs2.last_validate = clock_.now();
+          ++ops_completed_;
+          cb(rep->attr);
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(err->code);
+          return;
+        }
+        cb(ErrorCode::kInvalidArgument);
+      });
+}
+
+void Client::read(Fd fd, std::uint64_t offset, std::uint32_t len,
+                  std::function<void(Result<Bytes>)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  const FileId file = fs->file;
+
+  if (cfg_.coherence == CoherenceMode::kNfsPoll) {
+    maybe_revalidate(*fs, [this, file, offset, len, cb = std::move(cb)](Status st) {
+      if (!st.is_ok()) {
+        cb(st.error());
+        return;
+      }
+      FileState& fs2 = state_for(file);
+      if (cfg_.data_path == DataPath::kServerShipped) {
+        read_shipped(fs2, offset, len, std::move(cb));
+      } else {
+        read_direct(fs2, offset, len, std::move(cb));
+      }
+    });
+    return;
+  }
+
+  ensure_lock(file, LockMode::kShared, [this, file, offset, len, cb = std::move(cb)](Status st) {
+    if (!st.is_ok()) {
+      cb(st.error());
+      return;
+    }
+    FileState& fs2 = state_for(file);
+    if (cfg_.data_path == DataPath::kServerShipped) {
+      read_shipped(fs2, offset, len, std::move(cb));
+    } else {
+      read_direct(fs2, offset, len, std::move(cb));
+    }
+  });
+}
+
+void Client::write(Fd fd, std::uint64_t offset, Bytes data, std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  const FileId file = fs->file;
+
+  if (cfg_.coherence == CoherenceMode::kNfsPoll ||
+      cfg_.data_path == DataPath::kServerShipped) {
+    // Traditional/NFS path: ship the write; the server grows the file.
+    write_shipped(*fs, offset, std::move(data), std::move(cb));
+    return;
+  }
+
+  ensure_lock(file, LockMode::kExclusive,
+              [this, file, offset, data = std::move(data), cb = std::move(cb)](Status st) mutable {
+                if (!st.is_ok()) {
+                  cb(st);
+                  return;
+                }
+                FileState& fs2 = state_for(file);
+                const std::uint64_t end = offset + data.size();
+                ensure_size(fs2, end,
+                            [this, file, offset, data = std::move(data),
+                             cb = std::move(cb)](Status st2) mutable {
+                              if (!st2.is_ok()) {
+                                cb(st2);
+                                return;
+                              }
+                              write_direct(state_for(file), offset, std::move(data),
+                                           std::move(cb));
+                            });
+              });
+}
+
+void Client::lock(Fd fd, protocol::LockMode mode, std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  ensure_lock(fs->file, mode, std::move(cb));
+}
+
+void Client::release(Fd fd, protocol::LockMode downgrade_to, std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  const FileId file = fs->file;
+  if (fs->revoking) {
+    cb(ErrorCode::kLockConflict);  // a server demand is already downgrading us
+    return;
+  }
+  if (mode_leq(fs->mode, downgrade_to)) {
+    cb(Status::ok());
+    return;
+  }
+
+  auto shared_cb = std::make_shared<std::function<void(Status)>>(std::move(cb));
+  auto send_unlock = [this, file, downgrade_to, shared_cb]() {
+    auto fit = files_.find(file);
+    if (fit == files_.end()) {
+      (*shared_cb)(Status{ErrorCode::kShutdown});
+      return;
+    }
+    FileState& fs2 = fit->second;
+    fs2.mode = downgrade_to;
+    if (downgrade_to == LockMode::kNone) {
+      cache_.invalidate_file(file);
+      if (v_sched_) v_sched_->object_released(file);
+    }
+    transport_.send_request(protocol::UnlockReq{file, downgrade_to, fs2.lock_gen},
+                            [shared_cb](const protocol::ReplyEvent& ev) {
+                              (*shared_cb)(ev.outcome == protocol::ReplyOutcome::kAck
+                                               ? Status::ok()
+                                               : Status{ErrorCode::kTimeout});
+                            });
+  };
+
+  if (fs->mode == LockMode::kExclusive) {
+    flush_file(file, [shared_cb, send_unlock = std::move(send_unlock)](Status st) {
+      if (!st.is_ok()) {
+        // Keep the lock — dirty data must not be orphaned — but tell the
+        // caller the release did not happen.
+        (*shared_cb)(st);
+        return;
+      }
+      send_unlock();
+    });
+    return;
+  }
+  send_unlock();
+}
+
+void Client::sync_all(std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    cb(why);
+    return;
+  }
+  flush_all(std::move(cb));
+}
+
+void Client::fsync(Fd fd, std::function<void(Status)> cb) {
+  ErrorCode why;
+  if (!gate(why)) {
+    ++ops_rejected_;
+    cb(why);
+    return;
+  }
+  FileState* fs = state_of(fd);
+  if (fs == nullptr) {
+    cb(ErrorCode::kBadHandle);
+    return;
+  }
+  flush_file(fs->file, std::move(cb));
+}
+
+// ---------------------------------------------------------------------------
+// Locking
+
+void Client::ensure_lock(FileId file, LockMode mode, std::function<void(Status)> cb) {
+  FileState& fs = state_for(file);
+  // Per-object (V-lease) strategy: the lock is only usable while its lease
+  // lives. Checked on EVERY operation, not only at scheduler ticks, so an
+  // expired object can never serve stale cache in the detection gap.
+  if (v_sched_ && fs.mode != LockMode::kNone &&
+      !v_sched_->object_valid(file, clock_.now())) {
+    cache_.invalidate_file(file);
+    fs.mode = LockMode::kNone;
+  }
+  // An exclusive request must not overtake an in-progress revocation: a page
+  // dirtied between the revocation flush and the downgrade would survive
+  // under an insufficient lock.
+  const bool blocked_by_revoke = fs.revoking && mode == LockMode::kExclusive;
+  if (mode_leq(mode, fs.mode) && !blocked_by_revoke) {
+    cb(Status::ok());
+    return;
+  }
+  lock_waits_[file].push_back(LockWait{mode, std::move(cb)});
+  pump_lock_requests(file);
+}
+
+void Client::pump_lock_requests(FileId file) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return;
+  FileState& fs = fit->second;
+  if (fs.revoking) return;  // re-pumped when the demand completes
+
+  auto wit = lock_waits_.find(file);
+  if (wit == lock_waits_.end() || wit->second.empty()) return;
+  LockMode want = LockMode::kNone;
+  for (const auto& w : wit->second) {
+    want = mode_max(want, w.mode);
+  }
+  if (mode_leq(want, fs.mode)) {
+    lock_state_changed(file);
+    return;
+  }
+  if (mode_leq(want, fs.pending_mode)) {
+    return;  // a sufficient request is already in flight
+  }
+  fs.pending_mode = want;
+  transport_.send_request(
+      protocol::LockReq{file, want}, [this, file](const protocol::ReplyEvent& ev) {
+        auto fit2 = files_.find(file);
+        if (fit2 == files_.end()) {
+          return;  // state discarded (crash) while in flight
+        }
+        FileState& fs2 = fit2->second;
+        if (ev.outcome == protocol::ReplyOutcome::kAck) {
+          if (const auto* rep = std::get_if<protocol::LockReply>(&ev.body)) {
+            if (rep->granted) {
+              fs2.pending_mode = LockMode::kNone;
+              apply_grant(file, rep->mode, rep->gen);
+            }
+            // Queued: pending_mode stays set; a LockGrant will arrive.
+            return;
+          }
+          if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+            fs2.pending_mode = LockMode::kNone;
+            if (err->code == ErrorCode::kRetryLater || err->code == ErrorCode::kStaleSession) {
+              // Post-restart grace period (or session refresh in flight):
+              // keep the waiters and retry shortly.
+              clock_.schedule_after(sim::local_millis(300),
+                                    [this, file]() { pump_lock_requests(file); });
+              return;
+            }
+            fail_lock_waits(file, err->code);
+            return;
+          }
+          fs2.pending_mode = LockMode::kNone;
+          fail_lock_waits(file, ErrorCode::kInvalidArgument);
+          return;
+        }
+        fs2.pending_mode = LockMode::kNone;
+        fail_lock_waits(file, ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                                          : ErrorCode::kTimeout);
+      });
+}
+
+void Client::apply_grant(FileId file, LockMode mode, std::uint32_t gen) {
+  FileState& fs = state_for(file);
+  if (gen <= fs.lock_gen) {
+    return;  // stale or duplicate grant
+  }
+  fs.lock_gen = gen;
+  fs.mode = mode;
+  if (mode_leq(fs.pending_mode, mode)) {
+    fs.pending_mode = LockMode::kNone;
+  }
+  if (v_sched_) v_sched_->object_acquired(file);
+  lock_state_changed(file);
+
+  // A demand that arrived ahead of this grant can be processed now.
+  if (fs.deferred_demand) {
+    if (fs.deferred_demand->gen < fs.lock_gen) {
+      fs.deferred_demand.reset();
+    } else if (fs.deferred_demand->gen == fs.lock_gen) {
+      const protocol::LockDemand d = *fs.deferred_demand;
+      fs.deferred_demand.reset();
+      handle_demand(d);
+    }
+  }
+  pump_lock_requests(file);
+}
+
+void Client::lock_state_changed(FileId file) {
+  auto wit = lock_waits_.find(file);
+  if (wit == lock_waits_.end()) return;
+  FileState& fs = state_for(file);
+  std::vector<LockWait> ready;
+  auto& waits = wit->second;
+  for (auto it = waits.begin(); it != waits.end();) {
+    if (mode_leq(it->mode, fs.mode)) {
+      ready.push_back(std::move(*it));
+      it = waits.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (waits.empty()) {
+    lock_waits_.erase(wit);
+  }
+  for (auto& w : ready) {
+    w.cb(Status::ok());
+  }
+}
+
+void Client::fail_lock_waits(FileId file, ErrorCode code) {
+  auto wit = lock_waits_.find(file);
+  if (wit == lock_waits_.end()) return;
+  std::vector<LockWait> failed = std::move(wit->second);
+  lock_waits_.erase(wit);
+  for (auto& w : failed) {
+    w.cb(Status{code});
+  }
+}
+
+void Client::fail_all_lock_waits(ErrorCode code) {
+  auto all = std::move(lock_waits_);
+  lock_waits_.clear();
+  for (auto& [file, waits] : all) {
+    for (auto& w : waits) {
+      w.cb(Status{code});
+    }
+  }
+}
+
+void Client::handle_server_msg(const protocol::ServerBody& body) {
+  std::visit(
+      [&](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, protocol::LockDemand>) {
+          handle_demand(msg);
+        } else if constexpr (std::is_same_v<T, protocol::LockGrant>) {
+          this->trace("lock", "granted (queued) " + std::to_string(msg.file.value()) + " g" +
+                                  std::to_string(msg.gen));
+          apply_grant(msg.file, msg.mode, msg.gen);
+        }
+      },
+      body);
+}
+
+void Client::handle_demand(const protocol::LockDemand& d) {
+  FileState& fs = state_for(d.file);
+  {
+    std::ostringstream os;
+    os << "demand " << d.file << " max=" << protocol::to_string(d.max_mode) << " g" << d.gen
+       << " held=" << protocol::to_string(fs.mode) << " g" << fs.lock_gen;
+    this->trace("lock", os.str());
+  }
+  if (d.gen < fs.lock_gen) {
+    return;  // demand against a superseded incarnation: a newer grant exists
+  }
+  if (d.gen > fs.lock_gen) {
+    // The grant establishing this incarnation has not reached us yet
+    // (datagram reordering): defer until it does.
+    if (!fs.deferred_demand || fs.deferred_demand->gen < d.gen) {
+      fs.deferred_demand = d;
+    }
+    return;
+  }
+
+  if (fs.revoking) {
+    // A deeper demand for the same incarnation: fold into the active one.
+    if (mode_leq(d.max_mode, fs.revoke_target)) {
+      fs.revoke_target = d.max_mode;
+    }
+    return;
+  }
+  if (mode_leq(fs.mode, d.max_mode)) {
+    // Already compliant (duplicate demand): confirm.
+    transport_.send_request(protocol::DemandDoneReq{d.file, fs.mode, d.gen},
+                            [](const protocol::ReplyEvent&) {});
+    return;
+  }
+
+  fs.revoking = true;
+  fs.revoke_target = d.max_mode;
+  process_demand(d.file);
+}
+
+void Client::process_demand(FileId file) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return;
+  FileState& fs = fit->second;
+  if (!fs.revoking) return;  // resolved meanwhile (e.g. lease expiry)
+
+  if (fs.writes_in_flight > 0) {
+    // Let in-flight cache mutations land before the revocation flush.
+    clock_.schedule_after(sim::local_millis(1), [this, file]() { process_demand(file); });
+    return;
+  }
+
+  if (fs.mode == LockMode::kExclusive && !cache_.dirty_blocks(file).empty()) {
+    // Dirty data protected by this lock must reach the disk before the lock
+    // is ceded (the consistency guarantee fencing alone cannot provide).
+    flush_file(file, [this, file](Status st) {
+      auto fit2 = files_.find(file);
+      if (fit2 == files_.end() || !fit2->second.revoking) return;
+      if (st.is_ok()) {
+        finish_demand(file);
+      } else {
+        // Cannot flush (SAN fault / fenced). Keep the lock and retry; the
+        // server's demand timeout will engage the lease protocol if this
+        // never succeeds.
+        this->trace("lock", "demand flush failed: " + std::string(to_string(st.error())));
+        clock_.schedule_after(sim::local_millis(500),
+                              [this, file]() { process_demand(file); });
+      }
+    });
+    return;
+  }
+  finish_demand(file);
+}
+
+void Client::finish_demand(FileId file) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return;
+  FileState& fs = fit->second;
+  if (!fs.revoking) return;
+  const LockMode target = fs.revoke_target;
+  const std::uint32_t gen = fs.lock_gen;
+  if (!mode_leq(fs.mode, target)) {
+    fs.mode = target;
+    if (target == LockMode::kNone) {
+      // Relinquishing entirely: the cache contents are no longer protected.
+      cache_.invalidate_file(file);
+      if (v_sched_) v_sched_->object_released(file);
+    }
+  }
+  fs.revoking = false;
+  transport_.send_request(protocol::DemandDoneReq{file, fs.mode, gen},
+                          [](const protocol::ReplyEvent&) {});
+  pump_lock_requests(file);
+}
+
+// ---------------------------------------------------------------------------
+// Size management
+
+void Client::ensure_size(FileState& fs, std::uint64_t min_size, std::function<void(Status)> cb) {
+  if (fs.attr_known && fs.attr.size >= min_size) {
+    cb(Status::ok());
+    return;
+  }
+  const FileId file = fs.file;
+  transport_.send_request(
+      protocol::SetSizeReq{file, min_size, /*truncate=*/false},
+      [this, file, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(Status{ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                                : ErrorCode::kTimeout});
+          return;
+        }
+        if (const auto* rep = std::get_if<protocol::AttrReply>(&ev.body)) {
+          FileState& fs2 = state_for(file);
+          fs2.attr = rep->attr;
+          fs2.extents = rep->extents;
+          fs2.attr_known = true;
+          cb(Status::ok());
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(Status{err->code});
+          return;
+        }
+        cb(Status{ErrorCode::kInvalidArgument});
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Direct SAN data path
+
+void Client::fetch_block(FileState& fs, std::uint64_t fb, std::function<void(Result<Bytes>)> cb) {
+  DiskId disk;
+  storage::BlockAddr addr;
+  if (!protocol::locate_block(fs.extents, fb, disk, addr)) {
+    cb(ErrorCode::kIoError);
+    return;
+  }
+  storage::IoRequest io;
+  io.initiator = cfg_.id;
+  io.disk = disk;
+  io.op = storage::IoOp::kRead;
+  io.addr = addr;
+  io.count = 1;
+  io.io_key = transport_.epoch();
+  const std::uint32_t gen = gen_;
+  san_->submit(std::move(io), [this, gen, cb = std::move(cb)](storage::IoResult res) {
+    if (gen != gen_) return;  // completion from a previous incarnation
+    if (!res.status.is_ok()) {
+      cb(res.status.error());
+      return;
+    }
+    cb(std::move(res.data));
+  });
+}
+
+void Client::read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
+                         std::function<void(Result<Bytes>)> cb) {
+  const std::uint64_t size = fs.attr.size;
+  const std::uint64_t end = std::min<std::uint64_t>(size, offset + len);
+  if (end <= offset) {
+    ++ops_completed_;
+    cb(Bytes{});
+    return;
+  }
+  const std::uint64_t n = end - offset;
+  bool ok = false;
+  auto slices = protocol::slice_range(fs.extents, cfg_.block_size, offset, n, ok);
+  if (!ok) {
+    cb(ErrorCode::kIoError);
+    return;
+  }
+
+  const FileId file = fs.file;
+  auto buf = std::make_shared<Bytes>(n, 0);
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = slices.size();
+  fan->done = [this, buf, cb = std::move(cb)](Status st) {
+    if (!st.is_ok()) {
+      cb(st.error());
+      return;
+    }
+    ++ops_completed_;
+    enforce_cache_limit();
+    cb(std::move(*buf));
+  };
+
+  // Pages fetched from disk may only enter the cache if the lock that
+  // protected the fetch is STILL held, same incarnation — otherwise a fetch
+  // completing after a demand invalidated this file would pollute the cache
+  // with an unprotected (and soon stale) page.
+  const std::uint32_t fetch_gen = fs.lock_gen;
+  for (const auto& s : slices) {
+    if (BlockCache::Page* page = cache_.find(file, s.file_block)) {
+      std::copy_n(page->data.begin() + s.offset_in_block, s.len,
+                  buf->begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
+      fan->complete(Status::ok());
+      continue;
+    }
+    fetch_block(fs, s.file_block, [this, file, s, buf, fan, fetch_gen](Result<Bytes> res) {
+      if (!res.ok()) {
+        fan->complete(Status{res.error()});
+        return;
+      }
+      std::copy_n(res.value().begin() + s.offset_in_block, s.len,
+                  buf->begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
+      auto fit2 = files_.find(file);
+      const bool lock_intact = fit2 != files_.end() && fit2->second.lock_gen == fetch_gen &&
+                               fit2->second.mode != LockMode::kNone;
+      const bool cacheable =
+          cfg_.coherence == CoherenceMode::kNfsPoll ? true : lock_intact;
+      // Also never clobber a page that appeared (dirty) while we fetched.
+      if (cacheable && cache_.peek(file, s.file_block) == nullptr) {
+        cache_.put(file, s.file_block, std::move(res).value(), /*dirty=*/false);
+      }
+      fan->complete(Status::ok());
+    });
+  }
+}
+
+void Client::write_direct(FileState& fs, std::uint64_t offset, Bytes data,
+                          std::function<void(Status)> cb) {
+  bool ok = false;
+  auto slices = protocol::slice_range(fs.extents, cfg_.block_size, offset, data.size(), ok);
+  if (!ok) {
+    cb(Status{ErrorCode::kIoError});
+    return;
+  }
+
+  const FileId file = fs.file;
+  auto shared_data = std::make_shared<Bytes>(std::move(data));
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = slices.size();
+  fan->done = [this, cb = std::move(cb)](Status st) {
+    if (st.is_ok()) ++ops_completed_;
+    enforce_cache_limit();
+    cb(st);
+  };
+
+  for (const auto& s : slices) {
+    if (s.len == cfg_.block_size) {
+      Bytes block(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset),
+                  shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset + s.len));
+      cache_.put(file, s.file_block, std::move(block), /*dirty=*/true);
+      fan->complete(Status::ok());
+      continue;
+    }
+    if (BlockCache::Page* page = cache_.find(file, s.file_block)) {
+      std::copy_n(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
+                  page->data.begin() + s.offset_in_block);
+      page->dirty = true;
+      fan->complete(Status::ok());
+      continue;
+    }
+    // Partial write of an uncached block: read-modify-write. Counted as an
+    // in-flight write so a concurrent lock demand waits for it.
+    ++fs.writes_in_flight;
+    fetch_block(fs, s.file_block, [this, file, s, shared_data, fan](Result<Bytes> res) {
+      auto fit2 = files_.find(file);
+      if (fit2 != files_.end() && fit2->second.writes_in_flight > 0) {
+        --fit2->second.writes_in_flight;
+      }
+      if (!res.ok()) {
+        fan->complete(Status{res.error()});
+        return;
+      }
+      Bytes block = std::move(res).value();
+      std::copy_n(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
+                  block.begin() + s.offset_in_block);
+      cache_.put(file, s.file_block, std::move(block), /*dirty=*/true);
+      fan->complete(Status::ok());
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server-shipped data path (traditional / NFS baselines)
+
+void Client::read_shipped(FileState& fs, std::uint64_t offset, std::uint32_t len,
+                          std::function<void(Result<Bytes>)> cb) {
+  const FileId file = fs.file;
+
+  // Serve entirely from cache when possible (NFS semantics: the cache is
+  // trusted while the attributes are fresh — possibly stale data).
+  const std::uint64_t end = std::min<std::uint64_t>(fs.attr.size, offset + len);
+  if (end > offset) {
+    const std::uint64_t n = end - offset;
+    const std::uint32_t bs = cfg_.block_size;
+    bool all_cached = true;
+    for (std::uint64_t fb = offset / bs; fb <= (end - 1) / bs; ++fb) {
+      if (cache_.peek(file, fb) == nullptr) {
+        all_cached = false;
+        break;
+      }
+    }
+    if (all_cached) {
+      Bytes out(n, 0);
+      for (std::uint64_t pos = offset; pos < end;) {
+        const std::uint64_t fb = pos / bs;
+        const std::uint32_t in_block = static_cast<std::uint32_t>(pos % bs);
+        const std::uint32_t take =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(bs - in_block, end - pos));
+        const BlockCache::Page* page = cache_.find(file, fb);
+        std::copy_n(page->data.begin() + in_block, take,
+                    out.begin() + static_cast<std::ptrdiff_t>(pos - offset));
+        pos += take;
+      }
+      ++ops_completed_;
+      cb(std::move(out));
+      return;
+    }
+  }
+
+  transport_.send_request(
+      protocol::ReadDataReq{file, offset, len},
+      [this, file, offset, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                         : ErrorCode::kTimeout);
+          return;
+        }
+        if (const auto* rep = std::get_if<protocol::DataReply>(&ev.body)) {
+          FileState& fs2 = state_for(file);
+          // The server clamped by its own size; what came back proves the
+          // file extends at least this far.
+          fs2.attr.size = std::max<std::uint64_t>(fs2.attr.size, offset + rep->data.size());
+          // Cache fully covered blocks for future hits (NFS-style caching).
+          const std::uint32_t bs = cfg_.block_size;
+          if (offset % bs == 0) {
+            for (std::uint64_t off = 0; off + bs <= rep->data.size(); off += bs) {
+              Bytes block(rep->data.begin() + static_cast<std::ptrdiff_t>(off),
+                          rep->data.begin() + static_cast<std::ptrdiff_t>(off + bs));
+              cache_.put(file, (offset + off) / bs, std::move(block), /*dirty=*/false);
+            }
+          }
+          ++ops_completed_;
+          cb(rep->data);
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(err->code);
+          return;
+        }
+        cb(ErrorCode::kInvalidArgument);
+      });
+}
+
+void Client::write_shipped(FileState& fs, std::uint64_t offset, Bytes data,
+                           std::function<void(Status)> cb) {
+  const FileId file = fs.file;
+  const std::uint64_t end = offset + data.size();
+  // Write-through: the cached copies of the touched blocks are stale now;
+  // drop them rather than patching partially covered pages.
+  const std::uint32_t bs = cfg_.block_size;
+  for (std::uint64_t fb = offset / bs; fb <= (end > 0 ? (end - 1) / bs : 0); ++fb) {
+    cache_.invalidate_file(file);  // coarse but simple: whole-file drop
+    break;
+  }
+  transport_.send_request(
+      protocol::WriteDataReq{file, offset, std::move(data)},
+      [this, file, end, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(Status{ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                                : ErrorCode::kTimeout});
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(Status{err->code});
+          return;
+        }
+        FileState& fs2 = state_for(file);
+        fs2.attr.size = std::max(fs2.attr.size, end);
+        ++ops_completed_;
+        cb(Status::ok());
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Flushing
+
+void Client::flush_file(FileId file, std::function<void(Status)> cb) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
+    cb(Status::ok());
+    return;
+  }
+  FileState& fs = fit->second;
+  auto dirty = cache_.dirty_blocks(file);
+  if (dirty.empty()) {
+    cb(Status::ok());
+    return;
+  }
+
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = dirty.size();
+  fan->done = [cb = std::move(cb)](Status st) { cb(st); };
+
+  for (std::uint64_t fb : dirty) {
+    const BlockCache::Page* page = cache_.peek(file, fb);
+    STANK_ASSERT(page != nullptr);
+    write_block_through(fs, fb, page->data, [fan](Status st) { fan->complete(st); });
+  }
+}
+
+void Client::write_block_through(FileState& fs, std::uint64_t fb, const Bytes& data,
+                                 std::function<void(Status)> cb) {
+  DiskId disk;
+  storage::BlockAddr addr;
+  if (!protocol::locate_block(fs.extents, fb, disk, addr)) {
+    cb(Status{ErrorCode::kIoError});
+    return;
+  }
+  storage::IoRequest io;
+  io.initiator = cfg_.id;
+  io.disk = disk;
+  io.op = storage::IoOp::kWrite;
+  io.addr = addr;
+  io.count = 1;
+  io.io_key = transport_.epoch();
+  io.data = data;  // snapshot of the page at flush time
+
+  const FileId file = fs.file;
+  const std::uint32_t gen = gen_;
+  auto snapshot = std::make_shared<Bytes>(data);
+  san_->submit(std::move(io),
+               [this, gen, file, fb, snapshot, cb = std::move(cb)](storage::IoResult res) {
+                 if (gen != gen_) return;
+                 if (res.status.is_ok()) {
+                   // Only mark clean if the page still holds exactly what we
+                   // wrote; a concurrent process write must stay dirty.
+                   const BlockCache::Page* page = cache_.peek(file, fb);
+                   if (page != nullptr && page->data == *snapshot) {
+                     cache_.mark_clean(file, fb);
+                   }
+                 }
+                 cb(res.status);
+               });
+}
+
+void Client::flush_all(std::function<void(Status)> cb) {
+  auto dirty = cache_.all_dirty();
+  if (dirty.empty()) {
+    cb(Status::ok());
+    return;
+  }
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = dirty.size();
+  fan->done = [cb = std::move(cb)](Status st) { cb(st); };
+  for (const auto& [file, fb] : dirty) {
+    auto fit = files_.find(file);
+    if (fit == files_.end()) {
+      fan->complete(Status{ErrorCode::kIoError});
+      continue;
+    }
+    const BlockCache::Page* page = cache_.peek(file, fb);
+    if (page == nullptr || !page->dirty) {
+      fan->complete(Status::ok());
+      continue;
+    }
+    write_block_through(fit->second, fb, page->data, [fan](Status st) { fan->complete(st); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NFS attribute polling
+
+void Client::maybe_revalidate(FileState& fs, std::function<void(Status)> cb) {
+  const sim::LocalTime now = clock_.now();
+  if (fs.attr_known && now - fs.last_validate <= cfg_.attr_timeout) {
+    cb(Status::ok());
+    return;
+  }
+  const FileId file = fs.file;
+  const std::uint64_t old_mtime = fs.attr.mtime_ns;
+  transport_.send_request(
+      protocol::GetAttrReq{file},
+      [this, file, old_mtime, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+        if (ev.outcome != protocol::ReplyOutcome::kAck) {
+          cb(Status{ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                                : ErrorCode::kTimeout});
+          return;
+        }
+        if (const auto* rep = std::get_if<protocol::AttrReply>(&ev.body)) {
+          FileState& fs2 = state_for(file);
+          if (fs2.attr_known && rep->attr.mtime_ns != old_mtime) {
+            // File changed on the server: NFS semantics discard the cache.
+            cache_.invalidate_file(file);
+          }
+          fs2.attr = rep->attr;
+          fs2.extents = rep->extents;
+          fs2.attr_known = true;
+          fs2.last_validate = clock_.now();
+          cb(Status::ok());
+          return;
+        }
+        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          cb(Status{err->code});
+          return;
+        }
+        cb(Status{ErrorCode::kInvalidArgument});
+      });
+}
+
+void Client::trace(const char* category, const std::string& detail) {
+  if (trace_ != nullptr) {
+    trace_->record(engine_->now(), cfg_.id, category, detail);
+  }
+}
+
+}  // namespace stank::client

@@ -1,0 +1,269 @@
+// The Storage Tank file-system client.
+//
+// Serves a local process's open/read/write/fsync/close calls by combining:
+//   * metadata and locks from the server over the control network,
+//   * direct block I/O to shared SAN disks for file data,
+//   * a write-back BlockCache protected by data locks,
+//   * the four-phase ClientLeaseAgent (the paper's core protocol).
+//
+// The same class also hosts the comparison configurations the experiment
+// tables need:
+//   * LeaseStrategy::kVLeases / kFrangipani — per-object renewals or
+//     heartbeats instead of opportunistic single-lease renewal,
+//   * CoherenceMode::kNfsPoll — attribute polling, no locks (NFS-style),
+//   * DataPath::kServerShipped — function-ship all data through the server
+//     (the traditional client/server file system of table T5).
+//
+// All public calls are asynchronous: the simulation is event-driven, so a
+// call schedules work and the callback fires when it completes. Callbacks
+// always fire exactly once.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/heartbeat.hpp"
+#include "baselines/v_lease.hpp"
+#include "client/cache.hpp"
+#include "core/client_lease_agent.hpp"
+#include "metrics/counters.hpp"
+#include "net/control_net.hpp"
+#include "protocol/client_transport.hpp"
+#include "sim/trace.hpp"
+#include "storage/san.hpp"
+
+namespace stank::client {
+
+enum class CoherenceMode : std::uint8_t {
+  kLocks,    // data locks + callbacks: sequential consistency
+  kNfsPoll,  // NFS-style attribute polling: weak consistency by design
+};
+
+enum class DataPath : std::uint8_t {
+  kDirectSan,      // Storage Tank: clients perform I/O to shared disks
+  kServerShipped,  // traditional: all data moves through the server
+};
+
+struct ClientConfig {
+  NodeId id{100};
+  NodeId server{1};
+  core::LeaseConfig lease;
+  core::LeaseStrategy strategy{core::LeaseStrategy::kStorageTank};
+  CoherenceMode coherence{CoherenceMode::kLocks};
+  DataPath data_path{DataPath::kDirectSan};
+  protocol::TransportConfig transport;
+  std::uint32_t block_size{4096};
+  // NFS mode: how long cached attributes are trusted before re-polling.
+  sim::LocalDuration attr_timeout{sim::local_seconds(3)};
+  // How often a deregistered client retries RegisterReq.
+  sim::LocalDuration reregister_retry{sim::local_millis(700)};
+  bool auto_reregister{true};
+  // V-lease renewal point as a fraction of tau; Frangipani heartbeat period
+  // as a fraction of tau.
+  double v_renew_frac{0.5};
+  double hb_beat_frac{0.34};
+  // Page-cache capacity (0 = unbounded). When full, clean pages are evicted
+  // LRU-first; if everything is dirty, the oldest dirty file is flushed to
+  // make clean pages available.
+  std::size_t cache_capacity_pages{0};
+  // Background write-back period (0 = off): dirty pages are flushed
+  // periodically instead of only at demand/fsync/lease-phase-4 time.
+  sim::LocalDuration writeback_interval{sim::LocalDuration{0}};
+};
+
+using Fd = std::uint32_t;
+
+class Client {
+ public:
+  Client(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& san,
+         sim::LocalClock local_clock, ClientConfig cfg, sim::TraceLog* trace = nullptr);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Attaches to the network and (by default) registers with the server.
+  void start();
+  // Fail-stop crash: detach, drop all volatile state, fire no callbacks.
+  void crash();
+  // Reboot after crash(): fresh cache, re-register.
+  void restart();
+
+  // --- Local-process file API --------------------------------------------
+  void open(const std::string& path, bool create, std::function<void(Result<Fd>)> cb);
+  void read(Fd fd, std::uint64_t offset, std::uint32_t len,
+            std::function<void(Result<Bytes>)> cb);
+  void write(Fd fd, std::uint64_t offset, Bytes data, std::function<void(Status)> cb);
+  void fsync(Fd fd, std::function<void(Status)> cb);
+  void close(Fd fd, std::function<void(Status)> cb);
+  void getattr(Fd fd, std::function<void(Result<protocol::FileAttr>)> cb);
+
+  // Explicit data-lock control. lock() acquires at least `mode`; release()
+  // downgrades (flushing dirty data first when ceding an exclusive lock).
+  // Ordinary reads/writes acquire locks implicitly; these exist for
+  // workloads that need to serialize around the lock boundary.
+  void lock(Fd fd, protocol::LockMode mode, std::function<void(Status)> cb);
+  void release(Fd fd, protocol::LockMode downgrade_to, std::function<void(Status)> cb);
+  // Flushes every dirty page (all files) to the SAN.
+  void sync_all(std::function<void(Status)> cb);
+
+  // --- Introspection ------------------------------------------------------
+  [[nodiscard]] NodeId id() const { return cfg_.id; }
+  [[nodiscard]] bool registered() const { return registered_; }
+  [[nodiscard]] bool accepting() const { return accepting_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] core::LeasePhase lease_phase() const;
+  [[nodiscard]] metrics::Counters& counters() { return counters_; }
+  [[nodiscard]] const metrics::Counters& counters() const { return counters_; }
+  [[nodiscard]] BlockCache& cache() { return cache_; }
+  [[nodiscard]] const BlockCache& cache() const { return cache_; }
+  [[nodiscard]] const core::ClientLeaseAgent* lease_agent() const { return agent_.get(); }
+  [[nodiscard]] protocol::LockMode lock_mode(Fd fd) const;
+  [[nodiscard]] const ClientConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t ops_completed() const { return ops_completed_; }
+  [[nodiscard]] std::uint64_t ops_rejected() const { return ops_rejected_; }
+  [[nodiscard]] std::uint32_t server_incarnation() const { return server_incarnation_; }
+
+  // Observers for benches/tests.
+  std::function<void(core::LeasePhase, core::LeasePhase)> on_phase_change;
+  std::function<void()> on_registered;
+  std::function<void()> on_lease_expired;
+
+ private:
+  struct FileState {
+    FileId file;
+    protocol::FileAttr attr;
+    std::vector<protocol::Extent> extents;
+    protocol::LockMode mode{protocol::LockMode::kNone};
+    // Generation of the grant `mode` came from (see protocol/messages.hpp).
+    std::uint32_t lock_gen{0};
+    // Strongest mode requested from the server and not yet resolved.
+    protocol::LockMode pending_mode{protocol::LockMode::kNone};
+    // A lock demand is being processed (flush in progress): new exclusive
+    // acquisitions are deferred until it completes so no page can become
+    // dirty between the revocation flush and the downgrade.
+    bool revoking{false};
+    // Strongest mode the active demand allows us to retain.
+    protocol::LockMode revoke_target{protocol::LockMode::kNone};
+    // Demand received for a generation we have not seen granted yet
+    // (reordered delivery): processed once the grant arrives.
+    std::optional<protocol::LockDemand> deferred_demand;
+    // Asynchronous cache mutations in flight (read-modify-write fills);
+    // demand processing waits for zero before flushing.
+    std::uint32_t writes_in_flight{0};
+    std::uint32_t open_count{0};
+    sim::LocalTime last_validate{};  // NFS mode
+    bool attr_known{false};
+  };
+  struct LockWait {
+    protocol::LockMode mode;
+    std::function<void(Status)> cb;
+  };
+
+  // Setup & lifecycle.
+  void wire_transport();
+  void build_lease_machinery();
+  void register_with_server();
+  void schedule_register_retry();
+  void handle_lease_expired();
+  void invalidate_everything();
+  // The server restarted (new incarnation): re-register while the lease is
+  // still valid, then reassert every held lock so the cache survives
+  // (paper section 6).
+  void handle_stale_session();
+  void reassert_locks();
+  void reset_lock_generations();
+
+  // Request plumbing.
+  [[nodiscard]] bool gate(ErrorCode& why) const;
+  FileState* state_of(Fd fd);
+  FileState& state_for(FileId file);
+
+  // Locking.
+  void ensure_lock(FileId file, protocol::LockMode mode, std::function<void(Status)> cb);
+  // Sends a LockReq for the strongest still-unsatisfied wait, unless one is
+  // already pending or a revocation is in progress.
+  void pump_lock_requests(FileId file);
+  // Applies a grant (from a LockReply or a LockGrant) if its generation is
+  // newer than what we hold.
+  void apply_grant(FileId file, protocol::LockMode mode, std::uint32_t gen);
+  void lock_state_changed(FileId file);
+  void fail_lock_waits(FileId file, ErrorCode code);
+  void fail_all_lock_waits(ErrorCode code);
+  void handle_server_msg(const protocol::ServerBody& body);
+  void handle_demand(const protocol::LockDemand& d);
+  void process_demand(FileId file);  // runs the active demand when quiescent
+  void finish_demand(FileId file);
+
+  // Data path.
+  void ensure_size(FileState& fs, std::uint64_t min_size, std::function<void(Status)> cb);
+  void read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
+                   std::function<void(Result<Bytes>)> cb);
+  void write_direct(FileState& fs, std::uint64_t offset, Bytes data,
+                    std::function<void(Status)> cb);
+  void read_shipped(FileState& fs, std::uint64_t offset, std::uint32_t len,
+                    std::function<void(Result<Bytes>)> cb);
+  void write_shipped(FileState& fs, std::uint64_t offset, Bytes data,
+                     std::function<void(Status)> cb);
+  void fetch_block(FileState& fs, std::uint64_t fb,
+                   std::function<void(Result<Bytes>)> cb);
+  void write_block_through(FileState& fs, std::uint64_t fb, const Bytes& data,
+                           std::function<void(Status)> cb);
+
+  // Flushing.
+  void flush_file(FileId file, std::function<void(Status)> cb);
+  void flush_all(std::function<void(Status)> cb);
+  // Evicts down to the configured capacity (clean LRU pages first; flushes
+  // the oldest dirty file when nothing clean remains).
+  void enforce_cache_limit();
+  void writeback_tick();
+
+  // NFS attribute revalidation.
+  void maybe_revalidate(FileState& fs, std::function<void(Status)> cb);
+
+  void trace(const char* category, const std::string& detail);
+
+  sim::Engine* engine_;
+  storage::SanFabric* san_;
+  ClientConfig cfg_;
+  sim::NodeClock clock_;
+  sim::TraceLog* trace_;
+
+  metrics::Counters counters_;
+  protocol::ClientTransport transport_;
+  BlockCache cache_;
+
+  // Lease machinery (one of these by strategy; ST uses agent_).
+  std::unique_ptr<core::ClientLeaseAgent> agent_;
+  std::unique_ptr<baselines::VLeaseClientScheduler> v_sched_;
+  std::unique_ptr<baselines::HeartbeatClientScheduler> hb_sched_;
+
+  sim::TimerId writeback_timer_{0};
+  bool started_{false};
+  bool crashed_{false};
+  bool registered_{false};
+  bool accepting_{false};
+  bool register_inflight_{false};
+  sim::TimerId register_timer_{0};
+  // Last server incarnation seen in a RegisterReply (0 = never registered).
+  std::uint32_t server_incarnation_{0};
+
+  Fd next_fd_{1};
+  std::unordered_map<Fd, FileId> fds_;
+  std::map<FileId, FileState> files_;
+  std::map<FileId, std::vector<LockWait>> lock_waits_;
+
+  std::uint64_t ops_completed_{0};
+  std::uint64_t ops_rejected_{0};
+  // Incarnation counter: bumped on crash so SAN completions from a previous
+  // life are discarded instead of mutating the rebooted client.
+  std::uint32_t gen_{0};
+};
+
+}  // namespace stank::client

@@ -1,0 +1,37 @@
+// Fatal assertion macros used throughout stank.
+//
+// STANK_ASSERT fires in all build types: the simulator's value is that it
+// *detects* protocol violations, so internal invariants must never be
+// compiled out.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stank::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "stank: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace stank::detail
+
+#define STANK_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::stank::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+    }                                                                       \
+  } while (0)
+
+#define STANK_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]] {                                             \
+      ::stank::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                                       \
+  } while (0)
+
+#define STANK_UNREACHABLE(msg) \
+  ::stank::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

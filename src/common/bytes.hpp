@@ -1,0 +1,97 @@
+// Little-endian byte buffer writer/reader used by the wire codec.
+//
+// All control-network messages and disk blocks round-trip through real byte
+// buffers; the reader is bounds-checked and reports truncation rather than
+// crashing, since a datagram network may hand us garbage.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stank {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Appends fixed-width little-endian integers and length-prefixed strings.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  // Appends into a caller-owned buffer instead of the internal one.
+  explicit ByteWriter(Bytes& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return *out_; }
+  [[nodiscard]] Bytes take() { return std::move(*out_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes owned_;
+  Bytes* out_{&owned_};
+};
+
+// Bounds-checked reader; any read past the end latches a truncation flag and
+// returns zeroes so decoders can finish and then test ok() once.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(get_le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  std::uint64_t u64() { return get_le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get_le(8)); }
+  double f64() {
+    std::uint64_t bits = get_le(8);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str();
+  Bytes raw();
+
+  [[nodiscard]] bool ok() const { return !truncated_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size() && !truncated_; }
+
+ private:
+  std::uint64_t get_le(std::size_t width);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool truncated_{false};
+};
+
+}  // namespace stank

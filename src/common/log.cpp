@@ -1,0 +1,17 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace stank::log_detail {
+
+LogLevel& global_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void emit(LogLevel level, const std::string& msg) {
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %s\n", kNames[static_cast<int>(level)], msg.c_str());
+}
+
+}  // namespace stank::log_detail

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic; logging is for humans chasing a failing
+// scenario, so it goes to stderr and defaults to warnings-only. Benches and
+// tests can silence or raise it per-process.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace stank {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_detail {
+LogLevel& global_level();
+void emit(LogLevel level, const std::string& msg);
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) { log_detail::global_level() = level; }
+[[nodiscard]] inline LogLevel log_level() { return log_detail::global_level(); }
+
+}  // namespace stank
+
+#define STANK_LOG(level, expr)                                       \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::stank::log_detail::global_level())) {     \
+      std::ostringstream stank_log_os_;                              \
+      stank_log_os_ << expr; /* NOLINT */                            \
+      ::stank::log_detail::emit(level, stank_log_os_.str());         \
+    }                                                                \
+  } while (0)
+
+#define STANK_TRACE(expr) STANK_LOG(::stank::LogLevel::kTrace, expr)
+#define STANK_DEBUG(expr) STANK_LOG(::stank::LogLevel::kDebug, expr)
+#define STANK_INFO(expr) STANK_LOG(::stank::LogLevel::kInfo, expr)
+#define STANK_WARN(expr) STANK_LOG(::stank::LogLevel::kWarn, expr)
+#define STANK_ERROR(expr) STANK_LOG(::stank::LogLevel::kError, expr)

@@ -1,0 +1,71 @@
+// Strongly-typed integral identifiers.
+//
+// The simulator routes requests between clients, servers and disks by id;
+// using distinct types for each keeps a FileId from ever being passed where
+// a NodeId is expected. Ids are hashable and totally ordered so they can key
+// standard containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace stank {
+
+// A transparent wrapper around an integer, parameterized by a tag type so
+// that different id kinds do not convert into one another.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+struct NodeTag {
+  static constexpr const char* prefix() { return "n"; }
+};
+struct FileTag {
+  static constexpr const char* prefix() { return "f"; }
+};
+struct DiskTag {
+  static constexpr const char* prefix() { return "d"; }
+};
+struct MsgTag {
+  static constexpr const char* prefix() { return "m"; }
+};
+
+// Identifies any endpoint on the control network (client or server).
+using NodeId = StrongId<NodeTag>;
+// Identifies a file managed by a server.
+using FileId = StrongId<FileTag>;
+// Identifies a disk on the SAN.
+using DiskId = StrongId<DiskTag>;
+// Per-sender monotonically increasing message id (at-most-once dedup key).
+using MsgId = StrongId<MsgTag, std::uint64_t>;
+
+}  // namespace stank
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<stank::StrongId<Tag, Rep>> {
+  size_t operator()(stank::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace stank {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::title(std::string t) {
+  title_ = std::move(t);
+  return *this;
+}
+
+Table& Table::row() {
+  STANK_ASSERT_MSG(rows_.empty() || rows_.back().size() == headers_.size(),
+                   "previous row not fully populated");
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string v) {
+  STANK_ASSERT_MSG(!rows_.empty() && rows_.back().size() < headers_.size(),
+                   "cell() without row() or row overfull");
+  rows_.back().push_back(std::move(v));
+  return *this;
+}
+
+Table& Table::cell(const char* v) { return cell(std::string(v)); }
+
+Table& Table::cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return cell(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << ' ' << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  os.flush();
+}
+
+}  // namespace stank

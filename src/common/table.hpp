@@ -1,0 +1,44 @@
+// ASCII table printer used by the benchmark harnesses to emit the rows each
+// paper table/figure reports.
+#pragma once
+
+#include <ostream>
+#include <type_traits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stank {
+
+// Collects rows of string cells and prints them with aligned columns, a
+// header rule, and an optional title. Numeric convenience overloads format
+// with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& title(std::string t);
+
+  // Starts a new row. Subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string v);
+  Table& cell(const char* v);
+  Table& cell(double v, int precision = 3);
+  // Any integral type.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Table& cell(T v) {
+    return cell(std::to_string(v));
+  }
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stank

@@ -1,0 +1,177 @@
+#include "core/client_lease_agent.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::core {
+
+ClientLeaseAgent::ClientLeaseAgent(sim::NodeClock& clock, LeaseConfig cfg, Hooks hooks)
+    : clock_(&clock), cfg_(cfg), hooks_(std::move(hooks)) {
+  cfg_.validate();
+}
+
+ClientLeaseAgent::~ClientLeaseAgent() { cancel_timers(); }
+
+sim::LocalTime ClientLeaseAgent::boundary(double frac) const {
+  return lease_start_ + cfg_.tau * frac;
+}
+
+void ClientLeaseAgent::cancel_timers() {
+  if (boundary_timer_ != 0) {
+    clock_->cancel(boundary_timer_);
+    boundary_timer_ = 0;
+  }
+  if (keepalive_timer_ != 0) {
+    clock_->cancel(keepalive_timer_);
+    keepalive_timer_ = 0;
+  }
+}
+
+void ClientLeaseAgent::restart(sim::LocalTime t_c1) {
+  nack_latched_ = false;
+  lease_start_ = t_c1;
+  // Enter the phase the new lease is actually in (the ACK may arrive well
+  // after the request was sent) and arm the next boundary.
+  cancel_timers();
+  phase_ = LeasePhase::kNoLease;
+  arm_boundary_timer();
+}
+
+void ClientLeaseAgent::renew(sim::LocalTime t_c1) {
+  if (phase_ != LeasePhase::kActive && phase_ != LeasePhase::kRenewal) {
+    // Suspect/flushing/expired: the lease is being ridden down; a stray ACK
+    // (e.g. a cached server reply) must not resurrect it. NoLease: the
+    // owning client calls restart() explicitly on registration.
+    return;
+  }
+  if (nack_latched_) {
+    return;
+  }
+  if (t_c1 <= lease_start_) {
+    return;  // would not extend the current lease
+  }
+  lease_start_ = t_c1;
+  ++renewals_;
+  cancel_timers();
+  arm_boundary_timer();
+}
+
+void ClientLeaseAgent::on_nack() {
+  ++nacks_seen_;
+  if (phase_ == LeasePhase::kNoLease || phase_ == LeasePhase::kExpired) {
+    return;
+  }
+  nack_latched_ = true;
+  if (static_cast<int>(phase_) < static_cast<int>(LeasePhase::kSuspect)) {
+    // "The client ... knows its cache to be invalid and enters phase 3 of
+    // the lease interval directly."
+    cancel_timers();
+    arm_boundary_timer();
+  }
+}
+
+void ClientLeaseAgent::deactivate() {
+  cancel_timers();
+  const LeasePhase old = phase_;
+  phase_ = LeasePhase::kNoLease;
+  if (hooks_.phase_changed && old != phase_) {
+    hooks_.phase_changed(old, phase_);
+  }
+}
+
+void ClientLeaseAgent::arm_boundary_timer() {
+  const sim::LocalTime now = clock_->now();
+
+  LeasePhase target;
+  sim::LocalTime next;
+  if (now < boundary(cfg_.phase2_frac)) {
+    target = LeasePhase::kActive;
+    next = boundary(cfg_.phase2_frac);
+  } else if (now < boundary(cfg_.phase3_frac)) {
+    target = LeasePhase::kRenewal;
+    next = boundary(cfg_.phase3_frac);
+  } else if (now < boundary(cfg_.phase4_frac)) {
+    target = LeasePhase::kSuspect;
+    next = boundary(cfg_.phase4_frac);
+  } else if (now < lease_expiry()) {
+    target = LeasePhase::kFlush;
+    next = lease_expiry();
+  } else {
+    target = LeasePhase::kExpired;
+    next = now;  // unused
+  }
+
+  // A latched NACK pins the client at phase 3 or beyond.
+  if (nack_latched_ && static_cast<int>(target) < static_cast<int>(LeasePhase::kSuspect)) {
+    target = LeasePhase::kSuspect;
+    next = boundary(cfg_.phase4_frac);
+    if (next <= now) {
+      next = now + sim::LocalDuration{1};
+    }
+  }
+
+  enter(target);
+  if (target == LeasePhase::kExpired) {
+    return;
+  }
+
+  sim::LocalDuration delay = next - now;
+  if (delay.ns < 1) {
+    delay = sim::LocalDuration{1};
+  }
+  boundary_timer_ = clock_->schedule_after(delay, [this]() {
+    boundary_timer_ = 0;
+    arm_boundary_timer();
+  });
+}
+
+void ClientLeaseAgent::enter(LeasePhase p) {
+  if (p == phase_) {
+    return;
+  }
+  const LeasePhase old = phase_;
+  phase_ = p;
+  if (hooks_.phase_changed) {
+    hooks_.phase_changed(old, p);
+  }
+
+  // Keep-alives run only inside phase 2.
+  if (keepalive_timer_ != 0) {
+    clock_->cancel(keepalive_timer_);
+    keepalive_timer_ = 0;
+  }
+
+  switch (p) {
+    case LeasePhase::kActive:
+    case LeasePhase::kNoLease:
+      break;
+    case LeasePhase::kRenewal:
+      keepalive_tick();
+      break;
+    case LeasePhase::kSuspect:
+      if (hooks_.quiesce) hooks_.quiesce();
+      break;
+    case LeasePhase::kFlush:
+      if (hooks_.flush) hooks_.flush();
+      break;
+    case LeasePhase::kExpired:
+      ++expiries_;
+      if (hooks_.expired) hooks_.expired();
+      break;
+  }
+}
+
+void ClientLeaseAgent::keepalive_tick() {
+  if (phase_ != LeasePhase::kRenewal) {
+    return;
+  }
+  ++keepalives_sent_;
+  if (hooks_.send_keepalive) {
+    hooks_.send_keepalive();
+  }
+  keepalive_timer_ = clock_->schedule_after(cfg_.keepalive_retry, [this]() {
+    keepalive_timer_ = 0;
+    keepalive_tick();
+  });
+}
+
+}  // namespace stank::core

@@ -1,0 +1,132 @@
+// The client side of the Storage Tank lease protocol: the four-phase lease
+// interval of Figure 4.
+//
+//   phase 1  lease valid        — serve FS requests; any ACK renews
+//   phase 2  renewal period     — still serving; actively send keep-alives
+//   phase 3  lease suspect      — quiesce: no new FS requests
+//   phase 4  expected failure   — flush all dirty data to the SAN
+//   expiry                      — cache invalid, locks ceded; must re-register
+//
+// A NACK from the server (section 3.3) means the client missed a message:
+// it skips straight to phase 3, stops trying to renew, and rides the
+// remaining phases into recovery.
+//
+// All times are measured on the client's own clock; the agent never sees
+// global simulation time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/lease_config.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::core {
+
+enum class LeasePhase : std::uint8_t {
+  kNoLease = 0,  // never registered, or post-expiry awaiting re-register
+  kActive = 1,   // phase 1
+  kRenewal = 2,  // phase 2
+  kSuspect = 3,  // phase 3
+  kFlush = 4,    // phase 4
+  kExpired = 5,  // lease over; recovery (re-register) pending
+};
+
+[[nodiscard]] constexpr const char* to_string(LeasePhase p) {
+  switch (p) {
+    case LeasePhase::kNoLease: return "no-lease";
+    case LeasePhase::kActive: return "active";
+    case LeasePhase::kRenewal: return "renewal";
+    case LeasePhase::kSuspect: return "suspect";
+    case LeasePhase::kFlush: return "flush";
+    case LeasePhase::kExpired: return "expired";
+  }
+  return "?";
+}
+
+class ClientLeaseAgent {
+ public:
+  struct Hooks {
+    // Phase 2: send one keep-alive NULL message (repeated every
+    // keepalive_retry until the phase ends or an ACK arrives).
+    std::function<void()> send_keepalive;
+    // Phase 3 entered: stop admitting new FS requests; drain in-flight ones.
+    std::function<void()> quiesce;
+    // Phase 4 entered: write all dirty cache contents to shared storage.
+    std::function<void()> flush;
+    // Lease expired: invalidate the cache, cede all locks, begin recovery.
+    std::function<void()> expired;
+    // Optional observer for traces/metrics.
+    std::function<void(LeasePhase from, LeasePhase to)> phase_changed;
+  };
+
+  ClientLeaseAgent(sim::NodeClock& clock, LeaseConfig cfg, Hooks hooks);
+  ~ClientLeaseAgent();
+
+  ClientLeaseAgent(const ClientLeaseAgent&) = delete;
+  ClientLeaseAgent& operator=(const ClientLeaseAgent&) = delete;
+
+  // Opportunistic renewal (section 3.1): an ACK arrived for a request whose
+  // first transmission left at t_c1 (client clock). The new lease covers
+  // [t_c1, t_c1 + tau) — measured from the SEND, not the ACK receipt.
+  // Ignored while suspect/flushing/expired: a client that knows it missed a
+  // message "forgoes sending messages to acquire a lease".
+  void renew(sim::LocalTime t_c1);
+
+  // The server NACKed one of our requests: jump directly to phase 3.
+  void on_nack();
+
+  // Recovery finished (re-registered under a fresh epoch, first lease comes
+  // from the RegisterReq's ACK at t_c1).
+  void restart(sim::LocalTime t_c1);
+
+  // Voluntary teardown (clean shutdown / crash simulation).
+  void deactivate();
+
+  [[nodiscard]] LeasePhase phase() const { return phase_; }
+  // FS requests are admitted only in phases 1 and 2.
+  [[nodiscard]] bool fs_ops_allowed() const {
+    return phase_ == LeasePhase::kActive || phase_ == LeasePhase::kRenewal;
+  }
+  [[nodiscard]] bool lease_valid() const {
+    return phase_ == LeasePhase::kActive || phase_ == LeasePhase::kRenewal ||
+           phase_ == LeasePhase::kSuspect || phase_ == LeasePhase::kFlush;
+  }
+
+  [[nodiscard]] sim::LocalTime lease_start() const { return lease_start_; }
+  [[nodiscard]] sim::LocalTime lease_expiry() const { return lease_start_ + cfg_.tau; }
+
+  // Counters for T1/F4.
+  [[nodiscard]] std::uint64_t renewals() const { return renewals_; }
+  [[nodiscard]] std::uint64_t keepalives_sent() const { return keepalives_sent_; }
+  [[nodiscard]] std::uint64_t expiries() const { return expiries_; }
+  [[nodiscard]] std::uint64_t nacks_seen() const { return nacks_seen_; }
+
+  [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
+
+ private:
+  void enter(LeasePhase p);
+  void arm_boundary_timer();
+  void cancel_timers();
+  void keepalive_tick();
+  // Local time at which the current lease crosses into the given fraction.
+  [[nodiscard]] sim::LocalTime boundary(double frac) const;
+
+  sim::NodeClock* clock_;
+  LeaseConfig cfg_;
+  Hooks hooks_;
+
+  LeasePhase phase_{LeasePhase::kNoLease};
+  sim::LocalTime lease_start_{};
+  sim::TimerId boundary_timer_{0};
+  sim::TimerId keepalive_timer_{0};
+  // Set by on_nack(): renewal is disabled until restart().
+  bool nack_latched_{false};
+
+  std::uint64_t renewals_{0};
+  std::uint64_t keepalives_sent_{0};
+  std::uint64_t expiries_{0};
+  std::uint64_t nacks_seen_{0};
+};
+
+}  // namespace stank::core

@@ -1,0 +1,46 @@
+// The arithmetic behind Theorem 3.1.
+//
+// Client lease: obtained at first-transmission time t_C1 (client clock),
+// valid over [t_C1, t_C1 + tau_c). Server timer: started at some t >= t_S2
+// (server clock), fires after tau_s * (1 + eps). Rate synchronization gives
+// tau_c < tau_s * (1 + eps) in any common frame, and the message ordering
+// gives t_C1 <= t_S2, so the steal strictly follows the client expiry.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace stank::core {
+
+// The interval the server must wait, on its own clock, before stealing locks
+// from an unresponsive client: tau(1 + eps).
+[[nodiscard]] inline sim::LocalDuration server_wait(sim::LocalDuration tau, double eps) {
+  return tau * (1.0 + eps);
+}
+
+// Client lease expiry on the client's clock.
+[[nodiscard]] inline sim::LocalTime client_expiry(sim::LocalTime t_c1, sim::LocalDuration tau) {
+  return t_c1 + tau;
+}
+
+// Verifies the theorem's premise for a concrete pair of clock rates: both
+// rates must lie within the mutual bound. (rate = local-seconds per true
+// second.)
+[[nodiscard]] inline bool rates_within_bound(double rate_a, double rate_b, double eps) {
+  const double ratio = rate_a / rate_b;
+  return ratio < (1.0 + eps) && ratio > 1.0 / (1.0 + eps);
+}
+
+// Global-frame duration of a client-side lease of length tau on a clock of
+// the given rate: how long the true world waits while that clock counts tau.
+[[nodiscard]] inline sim::Duration lease_global_span(sim::LocalDuration tau, double clock_rate) {
+  return sim::Duration{tau.ns} / clock_rate;
+}
+
+// Worst-case extra availability delay the protocol imposes beyond tau, in
+// global time: the server waits tau(1+eps) on a clock that may itself run
+// slow by (1+eps), so the bound is tau(1+eps)^2 in true time.
+[[nodiscard]] inline sim::Duration worst_case_steal_delay(sim::LocalDuration tau, double eps) {
+  return sim::Duration{tau.ns} * ((1.0 + eps) * (1.0 + eps));
+}
+
+}  // namespace stank::core

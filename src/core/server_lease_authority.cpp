@@ -1,0 +1,117 @@
+#include "core/server_lease_authority.hpp"
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace stank::core {
+
+ServerLeaseAuthority::ServerLeaseAuthority(sim::NodeClock& clock, LeaseConfig cfg,
+                                           metrics::Counters& counters, Hooks hooks)
+    : clock_(&clock), cfg_(cfg), counters_(&counters), hooks_(std::move(hooks)) {
+  cfg_.validate();
+}
+
+ServerLeaseAuthority::~ServerLeaseAuthority() {
+  for (auto& [node, e] : entries_) {
+    if (e.timer != 0) {
+      clock_->cancel(e.timer);
+    }
+  }
+}
+
+void ServerLeaseAuthority::on_delivery_failure(NodeId client) {
+  if (entries_.contains(client)) {
+    return;  // already suspect or failed
+  }
+  ++counters_->lease_ops;
+  Entry e;
+  e.standing = ClientStanding::kSuspect;
+  // Wait tau(1+eps) on OUR clock; rate synchronization guarantees that is at
+  // least tau on the client's clock, so its lease has expired by the time
+  // the timer fires.
+  e.timer = clock_->schedule_after(server_wait(cfg_.tau, cfg_.epsilon),
+                                   [this, client]() { fire(client); });
+  entries_.emplace(client, e);
+  if (hooks_.standing_changed) {
+    hooks_.standing_changed(client, ClientStanding::kSuspect);
+  }
+  STANK_DEBUG("lease authority: client " << client << " suspect, timer armed");
+}
+
+void ServerLeaseAuthority::fire(NodeId client) {
+  auto it = entries_.find(client);
+  STANK_ASSERT(it != entries_.end());
+  STANK_ASSERT(it->second.standing == ClientStanding::kSuspect);
+  ++counters_->lease_ops;
+  it->second.timer = 0;
+  it->second.standing = ClientStanding::kFailed;
+  if (hooks_.standing_changed) {
+    hooks_.standing_changed(client, ClientStanding::kFailed);
+  }
+  STANK_DEBUG("lease authority: client " << client << " lease expired, stealing locks");
+  if (hooks_.steal_locks) {
+    hooks_.steal_locks(client);
+  }
+}
+
+bool ServerLeaseAuthority::may_ack(NodeId client) const {
+  return !entries_.contains(client);
+}
+
+ClientStanding ServerLeaseAuthority::standing(NodeId client) const {
+  auto it = entries_.find(client);
+  return it == entries_.end() ? ClientStanding::kGood : it->second.standing;
+}
+
+bool ServerLeaseAuthority::try_reregister(NodeId client) {
+  auto it = entries_.find(client);
+  if (it == entries_.end()) {
+    return true;  // nothing held against this client
+  }
+  ++counters_->lease_ops;
+  if (it->second.standing == ClientStanding::kSuspect) {
+    if (!cfg_.allow_early_reregister) {
+      return false;  // conservative: wait out the full tau(1+eps)
+    }
+    // Ablation path: the client asserts its lease expired; steal now and
+    // accept.
+    clock_->cancel(it->second.timer);
+    it->second.timer = 0;
+    it->second.standing = ClientStanding::kFailed;
+    if (hooks_.standing_changed) {
+      hooks_.standing_changed(client, ClientStanding::kFailed);
+    }
+    if (hooks_.steal_locks) {
+      hooks_.steal_locks(client);
+    }
+  }
+  entries_.erase(client);
+  if (hooks_.standing_changed) {
+    hooks_.standing_changed(client, ClientStanding::kGood);
+  }
+  return true;
+}
+
+std::size_t ServerLeaseAuthority::state_bytes() const {
+  // Honest accounting of the per-client lease footprint: map node plus
+  // bucket pointer overhead.
+  return entries_.size() * (sizeof(NodeId) + sizeof(Entry) + 2 * sizeof(void*));
+}
+
+std::size_t ServerLeaseAuthority::suspect_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, e] : entries_) {
+    if (e.standing == ClientStanding::kSuspect) ++n;
+  }
+  return n;
+}
+
+std::size_t ServerLeaseAuthority::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, e] : entries_) {
+    if (e.standing == ClientStanding::kFailed) ++n;
+  }
+  return n;
+}
+
+}  // namespace stank::core

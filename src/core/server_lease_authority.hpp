@@ -1,0 +1,98 @@
+// The passive server side of the lease protocol.
+//
+// "The key feature of the server's protocol is that it retains no state
+// about client leases. During normal operation, the server merely grants
+// locks and ignores leasing altogether." (section 3)
+//
+// Only a delivery error creates state here: the client is marked suspect, a
+// timer of tau(1+eps) — measured on the server's own clock — is started, and
+// from that instant no ACK may reach that client. When the timer fires, the
+// client's lease has provably expired (Theorem 3.1) and the steal hook runs.
+// After the steal the client stays in a "failed" state, NACKed on every
+// request except re-registration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/strong_id.hpp"
+#include "core/lease_config.hpp"
+#include "core/lease_math.hpp"
+#include "metrics/counters.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::core {
+
+enum class ClientStanding : std::uint8_t {
+  kGood = 0,    // no lease state exists for this client (the normal case)
+  kSuspect,     // delivery failure observed; expiry timer running
+  kFailed,      // locks stolen; awaiting re-registration
+};
+
+class ServerLeaseAuthority {
+ public:
+  struct Hooks {
+    // Timer expired: the client's lease is provably over — steal its locks,
+    // fence it, redistribute.
+    std::function<void(NodeId)> steal_locks;
+    // Observer for traces (optional).
+    std::function<void(NodeId, ClientStanding)> standing_changed;
+  };
+
+  ServerLeaseAuthority(sim::NodeClock& clock, LeaseConfig cfg, metrics::Counters& counters,
+                       Hooks hooks);
+  ~ServerLeaseAuthority();
+
+  ServerLeaseAuthority(const ServerLeaseAuthority&) = delete;
+  ServerLeaseAuthority& operator=(const ServerLeaseAuthority&) = delete;
+
+  // A message requiring a client ACK exhausted its retries. Starts the
+  // tau(1+eps) timer unless one is already running or the client is already
+  // failed. This is the ONLY entry point that creates lease state.
+  void on_delivery_failure(NodeId client);
+
+  // The transport's ACK gate: false while suspect or failed.
+  [[nodiscard]] bool may_ack(NodeId client) const;
+
+  [[nodiscard]] ClientStanding standing(NodeId client) const;
+  [[nodiscard]] bool is_suspect(NodeId client) const {
+    return standing(client) == ClientStanding::kSuspect;
+  }
+  [[nodiscard]] bool is_failed(NodeId client) const {
+    return standing(client) == ClientStanding::kFailed;
+  }
+
+  // Re-registration: clears the failed state. Returns false (and does
+  // nothing) while the timer still runs and early re-registration is
+  // disabled. With allow_early_reregister, a suspect client's locks are
+  // stolen immediately and registration proceeds.
+  [[nodiscard]] bool try_reregister(NodeId client);
+
+  // Memory devoted to lease bookkeeping right now. The paper's claim is that
+  // this is zero during failure-free operation.
+  [[nodiscard]] std::size_t state_bytes() const;
+  [[nodiscard]] std::size_t suspect_count() const;
+  [[nodiscard]] std::size_t failed_count() const;
+
+  [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
+
+ private:
+  struct Entry {
+    ClientStanding standing{ClientStanding::kSuspect};
+    sim::TimerId timer{0};
+  };
+
+  void fire(NodeId client);
+  void set_standing(NodeId client, ClientStanding s);
+
+  sim::NodeClock* clock_;
+  LeaseConfig cfg_;
+  metrics::Counters* counters_;
+  Hooks hooks_;
+  // Empty during normal operation — that emptiness IS the paper's claim,
+  // and bench T2 asserts it.
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace stank::core

@@ -1,0 +1,35 @@
+// A small exact-quantile histogram: stores samples, sorts on demand.
+//
+// Simulation runs produce at most a few million samples; exact quantiles
+// beat bucketed approximations for reproducing table rows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stank::metrics {
+
+class Histogram {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  // q in [0, 1]; nearest-rank. Returns 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double stddev() const;
+
+  void clear();
+  void merge(const Histogram& other);
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_{false};
+};
+
+}  // namespace stank::metrics

@@ -1,0 +1,53 @@
+#include "net/control_net.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace stank::net {
+
+ControlNet::ControlNet(sim::Engine& engine, sim::Rng rng, NetConfig cfg)
+    : engine_(&engine), rng_(rng), cfg_(cfg) {}
+
+void ControlNet::attach(NodeId node, Handler handler) {
+  STANK_ASSERT(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+void ControlNet::detach(NodeId node) { handlers_.erase(node); }
+
+void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
+  ++stats_.sent;
+  stats_.bytes += datagram.size();
+
+  if (!reach_.can_reach(from, to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
+    ++stats_.dropped_random;
+    return;
+  }
+
+  sim::Duration delay = cfg_.latency;
+  if (cfg_.jitter.ns > 0) {
+    delay += sim::Duration{rng_.uniform_int(0, cfg_.jitter.ns)};
+  }
+
+  engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() {
+    // Partition formed while in flight?
+    if (!reach_.can_reach(from, to)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    ++stats_.delivered;
+    it->second(from, dg);
+  });
+}
+
+}  // namespace stank::net

@@ -1,0 +1,70 @@
+// The control network: a connection-less datagram fabric between clients and
+// servers (paper section 3: "the protocol operates in a connection-less
+// network environment, where messages are datagrams").
+//
+// Datagrams are byte buffers (the protocol codec produces them), delivery
+// takes a sampled latency, packets can be dropped randomly, and a directed
+// Reachability relation models arbitrary — including asymmetric — partitions.
+// A packet must be deliverable both when it is sent and when it arrives;
+// a partition that forms mid-flight eats it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/strong_id.hpp"
+#include "net/reachability.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace stank::net {
+
+struct NetConfig {
+  sim::Duration latency{sim::micros(200)};  // one-way base latency
+  sim::Duration jitter{sim::micros(50)};    // uniform extra in [0, jitter]
+  double drop_probability{0.0};             // random loss, independent per datagram
+};
+
+struct NetStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped_partition{0};
+  std::uint64_t dropped_random{0};
+  std::uint64_t dropped_detached{0};
+  std::uint64_t bytes{0};
+};
+
+class ControlNet {
+ public:
+  using Handler = std::function<void(NodeId from, const Bytes& datagram)>;
+
+  ControlNet(sim::Engine& engine, sim::Rng rng, NetConfig cfg = {});
+
+  // Registers a node's receive handler. A node that detaches (crash) loses
+  // all in-flight traffic addressed to it.
+  void attach(NodeId node, Handler handler);
+  void detach(NodeId node);
+  [[nodiscard]] bool attached(NodeId node) const { return handlers_.contains(node); }
+
+  // Fire-and-forget datagram send; loss is silent, exactly like UDP.
+  void send(NodeId from, NodeId to, Bytes datagram);
+
+  [[nodiscard]] Reachability<NodeId>& reachability() { return reach_; }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+
+  void set_config(NetConfig cfg) { cfg_ = cfg; }
+  [[nodiscard]] const NetConfig& config() const { return cfg_; }
+
+ private:
+  sim::Engine* engine_;
+  sim::Rng rng_;
+  NetConfig cfg_;
+  Reachability<NodeId> reach_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  NetStats stats_;
+};
+
+}  // namespace stank::net

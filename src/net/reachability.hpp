@@ -1,0 +1,81 @@
+// Directed reachability between endpoints of one network.
+//
+// Section 2 of the paper is explicit that with two networks, partitions are
+// asymmetric in general: A may reach B while B cannot reach A, and views
+// V(A) != V(B). We therefore model reachability as a directed relation with
+// individually severable edges, plus conveniences for the common symmetric
+// cases.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace stank::net {
+
+// Src and Dst are strong id types (NodeId, DiskId, ...).
+template <typename Src, typename Dst = Src>
+class Reachability {
+ public:
+  // Everything is reachable by default.
+  [[nodiscard]] bool can_reach(Src from, Dst to) const {
+    return !severed_.contains({from, to});
+  }
+
+  // Cuts delivery in one direction only (asymmetric partition).
+  void sever(Src from, Dst to) { severed_.insert({from, to}); }
+  void restore(Src from, Dst to) { severed_.erase({from, to}); }
+
+  // Cuts both directions between a pair (only meaningful when Src == Dst).
+  void sever_pair(Src a, Dst b)
+    requires std::same_as<Src, Dst>
+  {
+    sever(a, b);
+    sever(Src{b}, Dst{a});
+  }
+  void restore_pair(Src a, Dst b)
+    requires std::same_as<Src, Dst>
+  {
+    restore(a, b);
+    restore(Src{b}, Dst{a});
+  }
+
+  // Symmetric partition into groups: members of different groups cannot
+  // reach each other in either direction.
+  void partition(const std::vector<std::vector<Src>>& groups)
+    requires std::same_as<Src, Dst>
+  {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      for (std::size_t j = 0; j < groups.size(); ++j) {
+        if (i == j) continue;
+        for (Src a : groups[i]) {
+          for (Src b : groups[j]) {
+            sever(a, b);
+          }
+        }
+      }
+    }
+  }
+
+  // Isolates one endpoint from a set of peers, both directions.
+  void isolate(Src node, const std::vector<Dst>& peers) {
+    for (Dst p : peers) {
+      sever(node, p);
+      if constexpr (std::same_as<Src, Dst>) {
+        sever(p, node);
+      }
+    }
+  }
+
+  // Restores full connectivity.
+  void heal() { severed_.clear(); }
+
+  [[nodiscard]] std::size_t severed_edges() const { return severed_.size(); }
+  [[nodiscard]] bool fully_connected() const { return severed_.empty(); }
+
+ private:
+  std::set<std::pair<Src, Dst>> severed_;
+};
+
+}  // namespace stank::net

@@ -1,0 +1,208 @@
+#include "protocol/client_transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace stank::protocol {
+
+ClientTransport::ClientTransport(net::ControlNet& net, sim::NodeClock& clock, NodeId self,
+                                 NodeId server, metrics::Counters& counters, TransportConfig cfg)
+    : net_(&net), clock_(&clock), self_(self), server_(server), counters_(&counters), cfg_(cfg) {}
+
+ClientTransport::~ClientTransport() {
+  if (started_) {
+    stop();
+  }
+}
+
+void ClientTransport::start() {
+  STANK_ASSERT(!started_);
+  started_ = true;
+  net_->attach(self_, [this](NodeId from, const Bytes& dg) { handle_datagram(from, dg); });
+}
+
+void ClientTransport::stop() {
+  if (!started_) return;
+  started_ = false;
+  net_->detach(self_);
+  for (auto& [id, p] : pending_) {
+    clock_->cancel(p.timer);
+  }
+  pending_.clear();
+}
+
+MsgId ClientTransport::send_request(RequestBody body, ReplyHandler handler, bool lease_only) {
+  STANK_ASSERT_MSG(started_, "send_request on stopped transport");
+  STANK_ASSERT(handler != nullptr);
+  const MsgId id{next_msg_++};
+  Pending p;
+  p.body = std::move(body);
+  p.handler = std::move(handler);
+  p.first_send = clock_->now();
+  p.lease_only = lease_only;
+  p.epoch = epoch_;
+  pending_.emplace(id, std::move(p));
+  transmit(id);
+  return id;
+}
+
+void ClientTransport::abandon_pending() {
+  for (auto& [id, p] : pending_) {
+    clock_->cancel(p.timer);
+  }
+  pending_.clear();
+}
+
+void ClientTransport::transmit(MsgId id) {
+  auto it = pending_.find(id);
+  STANK_ASSERT(it != pending_.end());
+  Pending& p = it->second;
+
+  Frame f;
+  f.kind = FrameKind::kRequest;
+  f.sender = self_;
+  f.msg_id = id;
+  f.epoch = p.epoch;
+  f.body = p.body;
+
+  ++counters_->requests_sent;
+  if (p.transmissions > 0) {
+    ++counters_->retransmissions;
+  }
+  if (p.lease_only) {
+    ++counters_->lease_only_msgs;
+  }
+  ++p.transmissions;
+  net_->send(self_, server_, encode(f));
+  arm_retry(id);
+}
+
+void ClientTransport::arm_retry(MsgId id) {
+  Pending& p = pending_.at(id);
+  p.timer = clock_->schedule_after(cfg_.retransmit_timeout, [this, id]() {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;  // already answered
+    }
+    if (it->second.transmissions > cfg_.max_retries) {
+      // Delivery failure: report timeout and give up.
+      Pending p2 = std::move(it->second);
+      pending_.erase(it);
+      ReplyEvent ev;
+      ev.outcome = ReplyOutcome::kTimeout;
+      ev.first_send = p2.first_send;
+      p2.handler(ev);
+      return;
+    }
+    transmit(id);
+  });
+}
+
+void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
+  auto frame = decode(datagram);
+  if (!frame) {
+    STANK_WARN("client " << self_ << ": undecodable datagram from " << from);
+    return;
+  }
+  const Frame& f = *frame;
+
+  switch (f.kind) {
+    case FrameKind::kAck: {
+      auto it = pending_.find(f.msg_id);
+      if (it == pending_.end()) {
+        return;  // duplicate ACK for an already-completed request
+      }
+      if (it->second.epoch != f.epoch) {
+        // Reply from a stale session: pretend it never arrived so the
+        // retransmit/timeout machinery still resolves this request.
+        return;
+      }
+      Pending p = std::move(it->second);
+      clock_->cancel(p.timer);
+      pending_.erase(it);
+      // Opportunistic lease renewal fires before the handler so the handler
+      // observes a renewed lease.
+      if (on_ack) {
+        on_ack(p.first_send);
+      }
+      if (on_stale_session) {
+        if (const auto* body = std::get_if<ReplyBody>(&f.body)) {
+          if (const auto* err = std::get_if<ErrReply>(body)) {
+            if (err->code == ErrorCode::kStaleSession) {
+              on_stale_session();
+            }
+          }
+        }
+      }
+      ReplyEvent ev;
+      ev.outcome = ReplyOutcome::kAck;
+      ev.body = std::get<ReplyBody>(f.body);
+      ev.first_send = p.first_send;
+      p.handler(ev);
+      return;
+    }
+    case FrameKind::kNack: {
+      auto it = pending_.find(f.msg_id);
+      // A NACK means the server is timing out our lease regardless of which
+      // request it answers.
+      if (on_nack) {
+        on_nack();
+      }
+      if (it == pending_.end()) {
+        return;
+      }
+      Pending p = std::move(it->second);
+      clock_->cancel(p.timer);
+      pending_.erase(it);
+      ReplyEvent ev;
+      ev.outcome = ReplyOutcome::kNack;
+      ev.first_send = p.first_send;
+      p.handler(ev);
+      return;
+    }
+    case FrameKind::kServerMsg: {
+      note_server_msg(f);
+      return;
+    }
+    case FrameKind::kRequest:
+    case FrameKind::kClientAck:
+      STANK_WARN("client " << self_ << ": unexpected frame kind");
+      return;
+  }
+}
+
+void ClientTransport::note_server_msg(const Frame& f) {
+  if (accept_server_msg && !accept_server_msg(f.epoch)) {
+    // Going silent is deliberate: the server's retransmissions will exhaust
+    // and it will start the lease timeout for us.
+    return;
+  }
+
+  // Transport-level ACK (idempotent; re-ACK duplicates in case our earlier
+  // ACK was lost).
+  Frame ack;
+  ack.kind = FrameKind::kClientAck;
+  ack.sender = self_;
+  ack.msg_id = f.msg_id;
+  ack.epoch = f.epoch;
+  ++counters_->client_acks_sent;
+  net_->send(self_, server_, encode(ack));
+
+  if (seen_server_msgs_.contains(f.msg_id)) {
+    return;  // duplicate: ACKed again but not re-delivered
+  }
+  seen_server_msgs_.insert(f.msg_id);
+  seen_order_.push_back(f.msg_id);
+  while (seen_order_.size() > cfg_.reply_cache_size) {
+    seen_server_msgs_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+
+  if (on_server_msg) {
+    on_server_msg(std::get<ServerBody>(f.body));
+  }
+}
+
+}  // namespace stank::protocol

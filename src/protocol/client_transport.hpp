@@ -1,0 +1,101 @@
+// Client side of the control-network session: request/reply with
+// retransmission, at-most-once ids, and delivery of server-initiated
+// messages (which it transport-ACKs).
+//
+// Lease integration points (used by core::ClientLeaseAgent):
+//  * on_ack fires for every ACK of a client-initiated request, carrying the
+//    request's first-transmission local time — the opportunistic renewal of
+//    section 3.1.
+//  * on_nack fires when the server negatively acknowledges — the client has
+//    missed a message and must treat its cache as suspect (section 3.3).
+//  * deliver_server_msgs gates whether incoming server messages are ACKed at
+//    all; a client that knows its lease lapsed must go silent so the server
+//    path converges on steal + fence.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "metrics/counters.hpp"
+#include "net/control_net.hpp"
+#include "protocol/codec.hpp"
+#include "protocol/transport.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::protocol {
+
+class ClientTransport {
+ public:
+  ClientTransport(net::ControlNet& net, sim::NodeClock& clock, NodeId self, NodeId server,
+                  metrics::Counters& counters, TransportConfig cfg = {});
+  ~ClientTransport();
+
+  ClientTransport(const ClientTransport&) = delete;
+  ClientTransport& operator=(const ClientTransport&) = delete;
+
+  // Attach to / detach from the network. Detaching models a crash: all
+  // pending requests are dropped without callbacks.
+  void start();
+  void stop();
+
+  // Sends a request; the handler always fires exactly once (ACK, NACK, or
+  // timeout after retries). lease_only marks pure keep-alives for metrics.
+  MsgId send_request(RequestBody body, ReplyHandler handler, bool lease_only = false);
+
+  // Abandons every pending request without invoking handlers. Used when the
+  // lease expires and all outstanding state is invalid anyway.
+  void abandon_pending();
+  [[nodiscard]] std::size_t pending_requests() const { return pending_.size(); }
+
+  // Hooks (owner wires these before start()).
+  std::function<void(sim::LocalTime first_send)> on_ack;
+  std::function<void()> on_nack;
+  // Fired when any reply carries ErrReply{kStaleSession}: the server
+  // restarted and lost this session (re-register + reassert, section 6).
+  std::function<void()> on_stale_session;
+  std::function<void(const ServerBody&)> on_server_msg;
+  // Consulted before ACKing/delivering a server-initiated message; default
+  // accepts. Return false to drop silently (e.g. stale epoch, expired lease).
+  std::function<bool(std::uint32_t epoch)> accept_server_msg;
+
+  void set_epoch(std::uint32_t e) { epoch_ = e; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] NodeId server() const { return server_; }
+
+ private:
+  struct Pending {
+    RequestBody body;
+    ReplyHandler handler;
+    sim::LocalTime first_send;
+    int transmissions{0};
+    sim::TimerId timer{0};
+    bool lease_only{false};
+    std::uint32_t epoch{0};
+  };
+
+  void transmit(MsgId id);
+  void arm_retry(MsgId id);
+  void handle_datagram(NodeId from, const Bytes& datagram);
+  void note_server_msg(const Frame& f);
+
+  net::ControlNet* net_;
+  sim::NodeClock* clock_;
+  NodeId self_;
+  NodeId server_;
+  metrics::Counters* counters_;
+  TransportConfig cfg_;
+  std::uint32_t epoch_{0};
+  std::uint64_t next_msg_{1};
+  bool started_{false};
+
+  std::unordered_map<MsgId, Pending> pending_;
+  // Recently seen server-msg ids, to suppress duplicate delivery while still
+  // re-ACKing (the ACK may have been lost).
+  std::unordered_set<MsgId> seen_server_msgs_;
+  std::deque<MsgId> seen_order_;
+};
+
+}  // namespace stank::protocol

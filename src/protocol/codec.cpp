@@ -1,0 +1,436 @@
+#include "protocol/codec.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::protocol {
+
+namespace {
+
+// Body type tags. Stable on the wire; append-only.
+enum class ReqTag : std::uint8_t {
+  kOpen = 1,
+  kClose,
+  kLock,
+  kUnlock,
+  kDemandDone,
+  kGetAttr,
+  kSetSize,
+  kKeepAlive,
+  kRegister,
+  kRenewObj,
+  kReadData,
+  kWriteData,
+  kReassertLock,
+};
+enum class RepTag : std::uint8_t {
+  kOk = 1,
+  kErr,
+  kOpen,
+  kLock,
+  kAttr,
+  kRegister,
+  kData,
+};
+enum class SrvTag : std::uint8_t {
+  kLockDemand = 1,
+  kLockGrant,
+};
+
+void put_attr(ByteWriter& w, const FileAttr& a) {
+  w.u64(a.size);
+  w.u64(a.mtime_ns);
+  w.u32(a.meta_version);
+}
+
+FileAttr get_attr(ByteReader& r) {
+  FileAttr a;
+  a.size = r.u64();
+  a.mtime_ns = r.u64();
+  a.meta_version = r.u32();
+  return a;
+}
+
+void put_extents(ByteWriter& w, const std::vector<Extent>& ex) {
+  w.u32(static_cast<std::uint32_t>(ex.size()));
+  for (const auto& e : ex) {
+    w.u32(e.disk.value());
+    w.u64(e.start);
+    w.u32(e.count);
+  }
+}
+
+std::vector<Extent> get_extents(ByteReader& r) {
+  std::uint32_t n = r.u32();
+  std::vector<Extent> ex;
+  // Guard against hostile lengths: cap by remaining bytes (16 per extent).
+  if (n > r.remaining() / 16 + 1) {
+    n = 0;
+  }
+  ex.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Extent e;
+    e.disk = DiskId{r.u32()};
+    e.start = r.u64();
+    e.count = r.u32();
+    ex.push_back(e);
+  }
+  return ex;
+}
+
+void encode_request(ByteWriter& w, const RequestBody& body) {
+  std::visit(
+      [&](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, OpenReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kOpen));
+          w.str(b.path);
+          w.boolean(b.create);
+        } else if constexpr (std::is_same_v<T, CloseReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kClose));
+          w.u32(b.file.value());
+        } else if constexpr (std::is_same_v<T, LockReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kLock));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.mode));
+        } else if constexpr (std::is_same_v<T, UnlockReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kUnlock));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.downgrade_to));
+          w.u32(b.gen);
+        } else if constexpr (std::is_same_v<T, DemandDoneReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kDemandDone));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.new_mode));
+          w.u32(b.gen);
+        } else if constexpr (std::is_same_v<T, GetAttrReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kGetAttr));
+          w.u32(b.file.value());
+        } else if constexpr (std::is_same_v<T, SetSizeReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kSetSize));
+          w.u32(b.file.value());
+          w.u64(b.new_size);
+          w.boolean(b.truncate);
+        } else if constexpr (std::is_same_v<T, KeepAliveReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kKeepAlive));
+        } else if constexpr (std::is_same_v<T, RegisterReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kRegister));
+        } else if constexpr (std::is_same_v<T, RenewObjReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kRenewObj));
+          w.u32(b.file.value());
+        } else if constexpr (std::is_same_v<T, ReadDataReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kReadData));
+          w.u32(b.file.value());
+          w.u64(b.offset);
+          w.u32(b.len);
+        } else if constexpr (std::is_same_v<T, WriteDataReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kWriteData));
+          w.u32(b.file.value());
+          w.u64(b.offset);
+          w.raw(b.data);
+        } else if constexpr (std::is_same_v<T, ReassertLockReq>) {
+          w.u8(static_cast<std::uint8_t>(ReqTag::kReassertLock));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.mode));
+        }
+      },
+      body);
+}
+
+std::optional<RequestBody> decode_request(ByteReader& r) {
+  const auto tag = static_cast<ReqTag>(r.u8());
+  switch (tag) {
+    case ReqTag::kOpen: {
+      OpenReq b;
+      b.path = r.str();
+      b.create = r.boolean();
+      return RequestBody{b};
+    }
+    case ReqTag::kClose:
+      return RequestBody{CloseReq{FileId{r.u32()}}};
+    case ReqTag::kLock: {
+      LockReq b;
+      b.file = FileId{r.u32()};
+      b.mode = static_cast<LockMode>(r.u8());
+      return RequestBody{b};
+    }
+    case ReqTag::kUnlock: {
+      UnlockReq b;
+      b.file = FileId{r.u32()};
+      b.downgrade_to = static_cast<LockMode>(r.u8());
+      b.gen = r.u32();
+      return RequestBody{b};
+    }
+    case ReqTag::kDemandDone: {
+      DemandDoneReq b;
+      b.file = FileId{r.u32()};
+      b.new_mode = static_cast<LockMode>(r.u8());
+      b.gen = r.u32();
+      return RequestBody{b};
+    }
+    case ReqTag::kGetAttr:
+      return RequestBody{GetAttrReq{FileId{r.u32()}}};
+    case ReqTag::kSetSize: {
+      SetSizeReq b;
+      b.file = FileId{r.u32()};
+      b.new_size = r.u64();
+      b.truncate = r.boolean();
+      return RequestBody{b};
+    }
+    case ReqTag::kKeepAlive:
+      return RequestBody{KeepAliveReq{}};
+    case ReqTag::kRegister:
+      return RequestBody{RegisterReq{}};
+    case ReqTag::kRenewObj:
+      return RequestBody{RenewObjReq{FileId{r.u32()}}};
+    case ReqTag::kReadData: {
+      ReadDataReq b;
+      b.file = FileId{r.u32()};
+      b.offset = r.u64();
+      b.len = r.u32();
+      return RequestBody{b};
+    }
+    case ReqTag::kWriteData: {
+      WriteDataReq b;
+      b.file = FileId{r.u32()};
+      b.offset = r.u64();
+      b.data = r.raw();
+      return RequestBody{b};
+    }
+    case ReqTag::kReassertLock: {
+      ReassertLockReq b;
+      b.file = FileId{r.u32()};
+      b.mode = static_cast<LockMode>(r.u8());
+      return RequestBody{b};
+    }
+  }
+  return std::nullopt;
+}
+
+void encode_reply(ByteWriter& w, const ReplyBody& body) {
+  std::visit(
+      [&](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, OkReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kOk));
+        } else if constexpr (std::is_same_v<T, ErrReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kErr));
+          w.u8(static_cast<std::uint8_t>(b.code));
+        } else if constexpr (std::is_same_v<T, OpenReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kOpen));
+          w.u32(b.file.value());
+          put_attr(w, b.attr);
+          put_extents(w, b.extents);
+        } else if constexpr (std::is_same_v<T, LockReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kLock));
+          w.boolean(b.granted);
+          w.u8(static_cast<std::uint8_t>(b.mode));
+          w.u32(b.gen);
+        } else if constexpr (std::is_same_v<T, AttrReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kAttr));
+          put_attr(w, b.attr);
+          put_extents(w, b.extents);
+        } else if constexpr (std::is_same_v<T, RegisterReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kRegister));
+          w.u32(b.epoch);
+          w.u32(b.incarnation);
+        } else if constexpr (std::is_same_v<T, DataReply>) {
+          w.u8(static_cast<std::uint8_t>(RepTag::kData));
+          w.raw(b.data);
+        }
+      },
+      body);
+}
+
+std::optional<ReplyBody> decode_reply(ByteReader& r) {
+  const auto tag = static_cast<RepTag>(r.u8());
+  switch (tag) {
+    case RepTag::kOk:
+      return ReplyBody{OkReply{}};
+    case RepTag::kErr:
+      return ReplyBody{ErrReply{static_cast<ErrorCode>(r.u8())}};
+    case RepTag::kOpen: {
+      OpenReply b;
+      b.file = FileId{r.u32()};
+      b.attr = get_attr(r);
+      b.extents = get_extents(r);
+      return ReplyBody{b};
+    }
+    case RepTag::kLock: {
+      LockReply b;
+      b.granted = r.boolean();
+      b.mode = static_cast<LockMode>(r.u8());
+      b.gen = r.u32();
+      return ReplyBody{b};
+    }
+    case RepTag::kAttr: {
+      AttrReply b;
+      b.attr = get_attr(r);
+      b.extents = get_extents(r);
+      return ReplyBody{b};
+    }
+    case RepTag::kRegister: {
+      RegisterReply b;
+      b.epoch = r.u32();
+      b.incarnation = r.u32();
+      return ReplyBody{b};
+    }
+    case RepTag::kData:
+      return ReplyBody{DataReply{r.raw()}};
+  }
+  return std::nullopt;
+}
+
+void encode_server(ByteWriter& w, const ServerBody& body) {
+  std::visit(
+      [&](const auto& b) {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, LockDemand>) {
+          w.u8(static_cast<std::uint8_t>(SrvTag::kLockDemand));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.max_mode));
+          w.u32(b.gen);
+        } else if constexpr (std::is_same_v<T, LockGrant>) {
+          w.u8(static_cast<std::uint8_t>(SrvTag::kLockGrant));
+          w.u32(b.file.value());
+          w.u8(static_cast<std::uint8_t>(b.mode));
+          w.u32(b.gen);
+        }
+      },
+      body);
+}
+
+std::optional<ServerBody> decode_server(ByteReader& r) {
+  const auto tag = static_cast<SrvTag>(r.u8());
+  switch (tag) {
+    case SrvTag::kLockDemand: {
+      LockDemand b;
+      b.file = FileId{r.u32()};
+      b.max_mode = static_cast<LockMode>(r.u8());
+      b.gen = r.u32();
+      return ServerBody{b};
+    }
+    case SrvTag::kLockGrant: {
+      LockGrant b;
+      b.file = FileId{r.u32()};
+      b.mode = static_cast<LockMode>(r.u8());
+      b.gen = r.u32();
+      return ServerBody{b};
+    }
+  }
+  return std::nullopt;
+}
+
+bool valid_mode(LockMode m) {
+  return m == LockMode::kNone || m == LockMode::kShared || m == LockMode::kExclusive;
+}
+
+bool body_modes_valid(const Frame& f) {
+  // Reject out-of-range lock modes smuggled in by a corrupted datagram.
+  if (const auto* req = std::get_if<RequestBody>(&f.body)) {
+    if (const auto* l = std::get_if<LockReq>(req)) return valid_mode(l->mode);
+    if (const auto* u = std::get_if<UnlockReq>(req)) return valid_mode(u->downgrade_to);
+    if (const auto* d = std::get_if<DemandDoneReq>(req)) return valid_mode(d->new_mode);
+    if (const auto* ra = std::get_if<ReassertLockReq>(req)) return valid_mode(ra->mode);
+  }
+  if (const auto* rep = std::get_if<ReplyBody>(&f.body)) {
+    if (const auto* l = std::get_if<LockReply>(rep)) return valid_mode(l->mode);
+  }
+  if (const auto* srv = std::get_if<ServerBody>(&f.body)) {
+    if (const auto* d = std::get_if<LockDemand>(srv)) return valid_mode(d->max_mode);
+    if (const auto* g = std::get_if<LockGrant>(srv)) return valid_mode(g->mode);
+  }
+  return true;
+}
+
+}  // namespace
+
+Bytes encode(const Frame& frame) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  w.u32(frame.sender.value());
+  w.u64(frame.msg_id.value());
+  w.u32(frame.epoch);
+  switch (frame.kind) {
+    case FrameKind::kRequest:
+      encode_request(w, std::get<RequestBody>(frame.body));
+      break;
+    case FrameKind::kAck:
+      encode_reply(w, std::get<ReplyBody>(frame.body));
+      break;
+    case FrameKind::kServerMsg:
+      encode_server(w, std::get<ServerBody>(frame.body));
+      break;
+    case FrameKind::kNack:
+    case FrameKind::kClientAck:
+      break;  // no body
+  }
+  return w.take();
+}
+
+std::optional<Frame> decode(const Bytes& datagram) {
+  ByteReader r(datagram);
+  Frame f;
+  const std::uint8_t kind = r.u8();
+  if (kind < 1 || kind > 5) {
+    return std::nullopt;
+  }
+  f.kind = static_cast<FrameKind>(kind);
+  f.sender = NodeId{r.u32()};
+  f.msg_id = MsgId{r.u64()};
+  f.epoch = r.u32();
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+
+  switch (f.kind) {
+    case FrameKind::kRequest: {
+      auto body = decode_request(r);
+      if (!body) return std::nullopt;
+      f.body = std::move(*body);
+      break;
+    }
+    case FrameKind::kAck: {
+      auto body = decode_reply(r);
+      if (!body) return std::nullopt;
+      f.body = std::move(*body);
+      break;
+    }
+    case FrameKind::kServerMsg: {
+      auto body = decode_server(r);
+      if (!body) return std::nullopt;
+      f.body = std::move(*body);
+      break;
+    }
+    case FrameKind::kNack:
+    case FrameKind::kClientAck:
+      break;
+  }
+  if (!r.ok() || !r.at_end() || !body_modes_valid(f)) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+const char* request_name(const RequestBody& body) {
+  return std::visit(
+      [](const auto& b) -> const char* {
+        using T = std::decay_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, OpenReq>) return "open";
+        else if constexpr (std::is_same_v<T, CloseReq>) return "close";
+        else if constexpr (std::is_same_v<T, LockReq>) return "lock";
+        else if constexpr (std::is_same_v<T, UnlockReq>) return "unlock";
+        else if constexpr (std::is_same_v<T, DemandDoneReq>) return "demand-done";
+        else if constexpr (std::is_same_v<T, GetAttrReq>) return "getattr";
+        else if constexpr (std::is_same_v<T, SetSizeReq>) return "setsize";
+        else if constexpr (std::is_same_v<T, KeepAliveReq>) return "keepalive";
+        else if constexpr (std::is_same_v<T, RegisterReq>) return "register";
+        else if constexpr (std::is_same_v<T, RenewObjReq>) return "renew-obj";
+        else if constexpr (std::is_same_v<T, ReadDataReq>) return "read-data";
+        else if constexpr (std::is_same_v<T, WriteDataReq>) return "write-data";
+        else if constexpr (std::is_same_v<T, ReassertLockReq>) return "reassert-lock";
+        else return "?";
+      },
+      body);
+}
+
+}  // namespace stank::protocol

@@ -1,0 +1,19 @@
+// Wire codec: Frame <-> bytes.
+//
+// Every frame actually crosses the simulated control network as a byte
+// buffer, so the codec is exercised on every message of every experiment.
+// Decoding is total: malformed or truncated datagrams yield nullopt, never
+// undefined behaviour.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "protocol/messages.hpp"
+
+namespace stank::protocol {
+
+[[nodiscard]] Bytes encode(const Frame& frame);
+[[nodiscard]] std::optional<Frame> decode(const Bytes& datagram);
+
+}  // namespace stank::protocol

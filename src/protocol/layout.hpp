@@ -1,0 +1,75 @@
+// File layout arithmetic: mapping a byte range of a file onto the disk
+// blocks of its extent list.
+//
+// Shared by the Storage Tank client (direct SAN I/O) and by the
+// data-shipping baseline server (which performs the same I/O on the
+// client's behalf).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "protocol/messages.hpp"
+
+namespace stank::protocol {
+
+// One block's worth of a byte-range operation.
+struct BlockSlice {
+  DiskId disk;
+  storage::BlockAddr addr{0};     // block address on that disk
+  std::uint64_t file_block{0};    // block index within the file
+  std::uint32_t offset_in_block{0};
+  std::uint32_t len{0};           // bytes of this slice
+  std::uint64_t buf_offset{0};    // offset into the caller's buffer
+};
+
+// Looks up the disk block backing file-block index `fb`, or returns false if
+// the extent list does not cover it.
+inline bool locate_block(const std::vector<Extent>& extents, std::uint64_t fb, DiskId& disk,
+                         storage::BlockAddr& addr) {
+  std::uint64_t base = 0;
+  for (const auto& e : extents) {
+    if (fb < base + e.count) {
+      disk = e.disk;
+      addr = e.start + (fb - base);
+      return true;
+    }
+    base += e.count;
+  }
+  return false;
+}
+
+// Splits [offset, offset+len) of a file into per-block slices. Returns an
+// empty vector (and sets ok=false) if the extent list does not cover the
+// range.
+inline std::vector<BlockSlice> slice_range(const std::vector<Extent>& extents,
+                                           std::uint32_t block_size, std::uint64_t offset,
+                                           std::uint64_t len, bool& ok) {
+  STANK_ASSERT(block_size > 0);
+  ok = true;
+  std::vector<BlockSlice> out;
+  std::uint64_t pos = offset;
+  std::uint64_t buf = 0;
+  while (buf < len) {
+    const std::uint64_t fb = pos / block_size;
+    const std::uint32_t in_block = static_cast<std::uint32_t>(pos % block_size);
+    const std::uint32_t take =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(block_size - in_block, len - buf));
+    BlockSlice s;
+    if (!locate_block(extents, fb, s.disk, s.addr)) {
+      ok = false;
+      return {};
+    }
+    s.file_block = fb;
+    s.offset_in_block = in_block;
+    s.len = take;
+    s.buf_offset = buf;
+    out.push_back(s);
+    pos += take;
+    buf += take;
+  }
+  return out;
+}
+
+}  // namespace stank::protocol

@@ -1,0 +1,202 @@
+#include "protocol/server_transport.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace stank::protocol {
+
+ServerTransport::ServerTransport(net::ControlNet& net, sim::NodeClock& clock, NodeId self,
+                                 metrics::Counters& counters, TransportConfig cfg)
+    : net_(&net), clock_(&clock), self_(self), counters_(&counters), cfg_(cfg) {}
+
+ServerTransport::~ServerTransport() {
+  if (started_) {
+    stop();
+  }
+}
+
+void ServerTransport::start() {
+  STANK_ASSERT(!started_);
+  STANK_ASSERT_MSG(on_request != nullptr, "wire on_request before start()");
+  started_ = true;
+  net_->attach(self_, [this](NodeId from, const Bytes& dg) { handle_datagram(from, dg); });
+}
+
+void ServerTransport::stop() {
+  if (!started_) return;
+  started_ = false;
+  net_->detach(self_);
+  for (auto& [id, m] : out_msgs_) {
+    clock_->cancel(m.timer);
+  }
+  out_msgs_.clear();
+}
+
+ServerTransport::Session& ServerTransport::session(NodeId client, std::uint32_t epoch) {
+  return sessions_[client][epoch];
+}
+
+void ServerTransport::handle_datagram(NodeId from, const Bytes& datagram) {
+  auto frame = decode(datagram);
+  if (!frame) {
+    STANK_WARN("server " << self_ << ": undecodable datagram from " << from);
+    return;
+  }
+  switch (frame->kind) {
+    case FrameKind::kRequest:
+      handle_request(*frame);
+      return;
+    case FrameKind::kClientAck: {
+      auto it = out_msgs_.find(frame->msg_id);
+      if (it == out_msgs_.end()) {
+        return;  // duplicate ACK
+      }
+      OutMsg m = std::move(it->second);
+      clock_->cancel(m.timer);
+      out_msgs_.erase(it);
+      if (m.done) {
+        m.done(true);
+      }
+      return;
+    }
+    case FrameKind::kAck:
+    case FrameKind::kNack:
+    case FrameKind::kServerMsg:
+      STANK_WARN("server " << self_ << ": unexpected frame kind from " << from);
+      return;
+  }
+}
+
+void ServerTransport::handle_request(const Frame& f) {
+  Session& s = session(f.sender, f.epoch);
+  auto it = s.executed.find(f.msg_id);
+  if (it != s.executed.end()) {
+    if (it->second.has_value()) {
+      // Retransmission of a completed request: re-send the cached reply,
+      // unless the ACK gate has closed in the meantime — then the client
+      // must see a NACK, not a lease-renewing ACK.
+      Frame reply = *it->second;
+      if (reply.kind == FrameKind::kAck && may_ack && !may_ack(f.sender)) {
+        reply.kind = FrameKind::kNack;
+        reply.body = std::monostate{};
+      }
+      send_reply_frame(f.sender, reply);
+    }
+    // else: still executing; the eventual reply will go out once.
+    return;
+  }
+
+  s.executed.emplace(f.msg_id, std::nullopt);
+  s.order.push_back(f.msg_id);
+  while (s.order.size() > cfg_.reply_cache_size) {
+    s.executed.erase(s.order.front());
+    s.order.pop_front();
+  }
+
+  Responder r(this, f.sender, f.msg_id, f.epoch);
+  on_request(f.sender, f.epoch, std::get<RequestBody>(f.body), r);
+}
+
+void ServerTransport::Responder::ack(ReplyBody body) const {
+  t_->respond(client_, id_, epoch_, true, std::move(body));
+}
+
+void ServerTransport::Responder::nack() const {
+  t_->respond(client_, id_, epoch_, false, ReplyBody{});
+}
+
+void ServerTransport::respond(NodeId client, MsgId id, std::uint32_t epoch, bool positive,
+                              ReplyBody body) {
+  Frame f;
+  f.sender = self_;
+  f.msg_id = id;
+  f.epoch = epoch;
+  // The ACK gate is enforced HERE, unconditionally, so no server-logic bug
+  // can leak a lease-renewing ACK to a client being timed out.
+  if (positive && may_ack && !may_ack(client)) {
+    positive = false;
+  }
+  if (positive) {
+    f.kind = FrameKind::kAck;
+    f.body = std::move(body);
+  } else {
+    f.kind = FrameKind::kNack;
+  }
+
+  Session& s = session(client, epoch);
+  auto it = s.executed.find(id);
+  if (it != s.executed.end()) {
+    STANK_ASSERT_MSG(!it->second.has_value(), "double reply to one request");
+    it->second = f;
+  }
+  send_reply_frame(client, f);
+}
+
+void ServerTransport::send_reply_frame(NodeId client, const Frame& f) {
+  if (f.kind == FrameKind::kAck) {
+    ++counters_->acks_sent;
+  } else {
+    ++counters_->nacks_sent;
+  }
+  net_->send(self_, client, encode(f));
+}
+
+void ServerTransport::send_server_msg(NodeId client, std::uint32_t epoch, ServerBody body,
+                                      std::function<void(bool)> done) {
+  STANK_ASSERT_MSG(started_, "send_server_msg on stopped transport");
+  const MsgId id{next_msg_++};
+  OutMsg m;
+  m.client = client;
+  m.frame.kind = FrameKind::kServerMsg;
+  m.frame.sender = self_;
+  m.frame.msg_id = id;
+  m.frame.epoch = epoch;
+  m.frame.body = std::move(body);
+  m.done = std::move(done);
+  out_msgs_.emplace(id, std::move(m));
+  transmit_server_msg(id);
+}
+
+void ServerTransport::transmit_server_msg(MsgId id) {
+  auto it = out_msgs_.find(id);
+  STANK_ASSERT(it != out_msgs_.end());
+  OutMsg& m = it->second;
+
+  ++counters_->server_msgs_sent;
+  if (m.transmissions > 0) {
+    ++counters_->retransmissions;
+  }
+  ++m.transmissions;
+  net_->send(self_, m.client, encode(m.frame));
+
+  m.timer = clock_->schedule_after(cfg_.retransmit_timeout, [this, id]() {
+    auto it2 = out_msgs_.find(id);
+    if (it2 == out_msgs_.end()) {
+      return;  // ACKed meanwhile
+    }
+    if (it2->second.transmissions > cfg_.max_retries) {
+      OutMsg m2 = std::move(it2->second);
+      out_msgs_.erase(it2);
+      if (m2.done) {
+        m2.done(false);  // delivery failure
+      }
+      return;
+    }
+    transmit_server_msg(id);
+  });
+}
+
+void ServerTransport::cancel_server_msgs(NodeId client) {
+  for (auto it = out_msgs_.begin(); it != out_msgs_.end();) {
+    if (it->second.client == client) {
+      clock_->cancel(it->second.timer);
+      it = out_msgs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace stank::protocol

@@ -1,0 +1,111 @@
+// Server side of the control-network session.
+//
+// Responsibilities:
+//  * At-most-once request execution per (client, epoch, msg id), with a
+//    bounded reply cache so retransmitted requests re-send the original
+//    reply instead of re-executing.
+//  * The ACK gate: before ANY positive acknowledgment leaves this node, the
+//    may_ack predicate is consulted. Section 3.1: "we require the server not
+//    to ACK messages if it has already started a counter to expire client
+//    locks". A denied ACK is turned into a NACK (section 3.3).
+//  * Server-initiated messages (lock demands/grants) with retransmission;
+//    exhausting retries reports a delivery failure, which is what triggers
+//    the passive lease authority.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "metrics/counters.hpp"
+#include "net/control_net.hpp"
+#include "protocol/codec.hpp"
+#include "protocol/transport.hpp"
+#include "sim/clock.hpp"
+
+namespace stank::protocol {
+
+class ServerTransport {
+ public:
+  ServerTransport(net::ControlNet& net, sim::NodeClock& clock, NodeId self,
+                  metrics::Counters& counters, TransportConfig cfg = {});
+  ~ServerTransport();
+
+  ServerTransport(const ServerTransport&) = delete;
+  ServerTransport& operator=(const ServerTransport&) = delete;
+
+  void start();
+  void stop();
+
+  // Handle with which the request handler answers exactly once.
+  class Responder {
+   public:
+    void ack(ReplyBody body) const;
+    void nack() const;
+    [[nodiscard]] NodeId client() const { return client_; }
+    [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+   private:
+    friend class ServerTransport;
+    Responder(ServerTransport* t, NodeId client, MsgId id, std::uint32_t epoch)
+        : t_(t), client_(client), id_(id), epoch_(epoch) {}
+    ServerTransport* t_;
+    NodeId client_;
+    MsgId id_;
+    std::uint32_t epoch_;
+  };
+
+  // Wired by the server before start().
+  std::function<void(NodeId client, std::uint32_t epoch, const RequestBody&, Responder)>
+      on_request;
+  // ACK suppression gate; default permits.
+  std::function<bool(NodeId client)> may_ack;
+
+  // Sends a server-initiated message requiring a client transport ACK.
+  // done(delivered) fires exactly once; delivered=false after retries are
+  // exhausted — the delivery error of section 3.
+  void send_server_msg(NodeId client, std::uint32_t epoch, ServerBody body,
+                       std::function<void(bool delivered)> done);
+
+  // Drops outstanding server messages to a client without firing their
+  // callbacks (used once the client has been declared failed).
+  void cancel_server_msgs(NodeId client);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t outstanding_server_msgs() const { return out_msgs_.size(); }
+
+ private:
+  struct Session {
+    // msg id -> cached reply frame; nullopt while the handler is running.
+    std::unordered_map<MsgId, std::optional<Frame>> executed;
+    std::deque<MsgId> order;
+  };
+  struct OutMsg {
+    NodeId client;
+    Frame frame;
+    int transmissions{0};
+    sim::TimerId timer{0};
+    std::function<void(bool)> done;
+  };
+
+  void handle_datagram(NodeId from, const Bytes& datagram);
+  void handle_request(const Frame& f);
+  void respond(NodeId client, MsgId id, std::uint32_t epoch, bool positive, ReplyBody body);
+  void send_reply_frame(NodeId client, const Frame& f);
+  void transmit_server_msg(MsgId id);
+  Session& session(NodeId client, std::uint32_t epoch);
+
+  net::ControlNet* net_;
+  sim::NodeClock* clock_;
+  NodeId self_;
+  metrics::Counters* counters_;
+  TransportConfig cfg_;
+  bool started_{false};
+  std::uint64_t next_msg_{1};
+
+  std::unordered_map<NodeId, std::unordered_map<std::uint32_t, Session>> sessions_;
+  std::unordered_map<MsgId, OutMsg> out_msgs_;
+};
+
+}  // namespace stank::protocol

@@ -1,0 +1,39 @@
+// Shared transport configuration and reply-event types.
+#pragma once
+
+#include <functional>
+
+#include "protocol/messages.hpp"
+#include "sim/time.hpp"
+
+namespace stank::protocol {
+
+struct TransportConfig {
+  // Retransmit period, measured on the sender's own clock.
+  sim::LocalDuration retransmit_timeout{sim::local_millis(500)};
+  // Total transmissions = 1 + max_retries before a delivery failure is
+  // reported. The paper: "if a server attempts to send a message that
+  // requires an ACK ... and the client does not respond, the server assumes
+  // the client to be failed."
+  int max_retries{3};
+  // Reply-cache capacity per client session (at-most-once dedup window).
+  std::size_t reply_cache_size{128};
+};
+
+enum class ReplyOutcome : std::uint8_t { kAck, kNack, kTimeout };
+
+// Delivered to the requester when its request concludes.
+struct ReplyEvent {
+  ReplyOutcome outcome{ReplyOutcome::kTimeout};
+  ReplyBody body;              // meaningful only for kAck
+  // Local time at which the FIRST transmission of this request left the
+  // client. This is the paper's t_C1: the lease obtained by the eventual ACK
+  // is valid for [t_C1, t_C1 + tau). Using the first transmission is the
+  // conservative choice that keeps t_C1 <= t_S2 for whichever copy the
+  // server actually acknowledged.
+  sim::LocalTime first_send{};
+};
+
+using ReplyHandler = std::function<void(const ReplyEvent&)>;
+
+}  // namespace stank::protocol

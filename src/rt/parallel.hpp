@@ -1,0 +1,55 @@
+// Parallel sweep driver for randomized experiment batches.
+//
+// Each task is an independent simulation (its own engine, nodes, RNG), so
+// the sweep is embarrassingly parallel; results land in a pre-sized vector
+// indexed by task id, making the aggregate deterministic regardless of
+// thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace stank::rt {
+
+// Runs f(i) for i in [0, n) on up to `threads` workers. f must be callable
+// concurrently from multiple threads for distinct i.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f,
+                         unsigned threads = 0) {
+  if (n == 0) return;
+  unsigned hw = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  hw = static_cast<unsigned>(std::min<std::size_t>(hw, n));
+
+  if (hw <= 1) {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::jthread> workers;
+  workers.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) {
+    workers.emplace_back([&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        f(i);
+      }
+    });
+  }
+}
+
+// Maps f over [0, n) in parallel, collecting results in index order.
+template <typename R>
+std::vector<R> parallel_map(std::size_t n, const std::function<R(std::size_t)>& f,
+                            unsigned threads = 0) {
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = f(i); }, threads);
+  return out;
+}
+
+}  // namespace stank::rt

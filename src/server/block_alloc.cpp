@@ -1,0 +1,90 @@
+#include "server/block_alloc.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::server {
+
+BlockAllocator::BlockAllocator(DiskId disk, storage::BlockAddr total_blocks)
+    : disk_(disk), total_(total_blocks), free_count_(total_blocks) {
+  STANK_ASSERT(total_blocks > 0);
+  free_.emplace(0, total_blocks);
+}
+
+Result<std::vector<protocol::Extent>> BlockAllocator::allocate(std::uint64_t count) {
+  if (count == 0) {
+    return std::vector<protocol::Extent>{};
+  }
+  if (count > free_count_) {
+    return ErrorCode::kNoSpace;
+  }
+
+  std::vector<protocol::Extent> out;
+  std::uint64_t remaining = count;
+  auto it = free_.begin();
+  while (remaining > 0) {
+    STANK_ASSERT_MSG(it != free_.end(), "free_count_ out of sync with free list");
+    const storage::BlockAddr start = it->first;
+    const storage::BlockAddr len = it->second;
+    const std::uint64_t take = std::min<std::uint64_t>(len, remaining);
+    out.push_back(protocol::Extent{disk_, start, static_cast<std::uint32_t>(take)});
+    remaining -= take;
+    it = free_.erase(it);
+    if (take < len) {
+      free_.emplace(start + take, len - take);
+    }
+  }
+  free_count_ -= count;
+  return out;
+}
+
+void BlockAllocator::release(const std::vector<protocol::Extent>& extents) {
+  for (const auto& e : extents) {
+    if (e.count == 0) continue;
+    STANK_ASSERT_MSG(e.disk == disk_, "extent from a different disk");
+    STANK_ASSERT(e.start + e.count <= total_);
+
+    storage::BlockAddr start = e.start;
+    storage::BlockAddr len = e.count;
+
+    // No existing free run may overlap the released range.
+    auto next = free_.lower_bound(start);
+    STANK_ASSERT_MSG(next == free_.end() || next->first >= start + len,
+                     "double free (overlaps following run)");
+    if (next != free_.begin()) {
+      auto prev = std::prev(next);
+      STANK_ASSERT_MSG(prev->first + prev->second <= start, "double free (overlaps predecessor)");
+      if (prev->first + prev->second == start) {
+        start = prev->first;
+        len += prev->second;
+        free_.erase(prev);
+      }
+    }
+    // Coalesce with successor.
+    next = free_.lower_bound(start + len);
+    if (next != free_.end() && next->first == start + len) {
+      len += next->second;
+      free_.erase(next);
+    }
+
+    free_.emplace(start, len);
+    free_count_ += e.count;
+  }
+}
+
+bool BlockAllocator::invariants_hold() const {
+  storage::BlockAddr sum = 0;
+  storage::BlockAddr prev_end = 0;
+  bool first = true;
+  for (const auto& [start, len] : free_) {
+    if (len == 0) return false;
+    if (!first && start <= prev_end) return false;  // overlap or missed coalesce
+    if (!first && start == prev_end) return false;
+    if (start + len > total_) return false;
+    sum += len;
+    prev_end = start + len;
+    first = false;
+  }
+  return sum == free_count_;
+}
+
+}  // namespace stank::server

@@ -1,0 +1,48 @@
+// First-fit extent allocator over one shared disk's block space.
+//
+// The server performs "the allocation of file data" (section 1.1): clients
+// never choose block addresses; they receive extent lists and do direct I/O
+// against them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/strong_id.hpp"
+#include "protocol/messages.hpp"
+#include "storage/io.hpp"
+
+namespace stank::server {
+
+class BlockAllocator {
+ public:
+  BlockAllocator(DiskId disk, storage::BlockAddr total_blocks);
+
+  // Allocates `count` blocks, possibly split across several extents when
+  // free space is fragmented. Returns kNoSpace and allocates nothing if the
+  // disk cannot satisfy the request.
+  Result<std::vector<protocol::Extent>> allocate(std::uint64_t count);
+
+  // Returns blocks to the free pool, coalescing adjacent runs.
+  void release(const std::vector<protocol::Extent>& extents);
+
+  [[nodiscard]] storage::BlockAddr free_blocks() const { return free_count_; }
+  [[nodiscard]] storage::BlockAddr total_blocks() const { return total_; }
+  [[nodiscard]] std::size_t free_runs() const { return free_.size(); }
+  [[nodiscard]] DiskId disk() const { return disk_; }
+
+  // Invariant check used by tests: free runs are disjoint, sorted, coalesced
+  // and sum to free_blocks().
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  DiskId disk_;
+  storage::BlockAddr total_;
+  storage::BlockAddr free_count_;
+  // start -> length, non-overlapping, non-adjacent.
+  std::map<storage::BlockAddr, storage::BlockAddr> free_;
+};
+
+}  // namespace stank::server

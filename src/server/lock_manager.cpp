@@ -1,0 +1,250 @@
+#include "server/lock_manager.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace stank::server {
+
+namespace {
+
+// Strongest mode the holder may keep while `want` is granted to another.
+LockMode retained_mode(LockMode want) {
+  return want == LockMode::kExclusive ? LockMode::kNone : LockMode::kShared;
+}
+
+bool mode_leq(LockMode a, LockMode b) {
+  return static_cast<int>(a) <= static_cast<int>(b);
+}
+
+}  // namespace
+
+bool LockManager::grantable(const FileLocks& fl, NodeId client, LockMode mode) {
+  for (const auto& [holder, held] : fl.holders) {
+    if (holder == client) continue;
+    if (!protocol::compatible(held, mode)) return false;
+  }
+  return true;
+}
+
+LockManager::AcquireResult LockManager::acquire(NodeId client, FileId file, LockMode mode) {
+  STANK_ASSERT_MSG(mode != LockMode::kNone, "acquire(kNone) is a release; use set_mode");
+  FileLocks& fl = files_[file];
+
+  auto held_it = fl.holders.find(client);
+  const LockMode held = held_it == fl.holders.end() ? LockMode::kNone : held_it->second;
+  if (mode_leq(mode, held)) {
+    gc(file);
+    return AcquireResult{AcquireOutcome::kAlreadyHeld, {}};
+  }
+
+  // Strict FIFO: a request must queue behind existing waiters even when
+  // immediately grantable, or writers would starve behind a reader stream.
+  const bool must_queue = !fl.waiters.empty() || !grantable(fl, client, mode);
+  if (!must_queue) {
+    fl.holders[client] = mode;
+    fl.demanded.erase(client);
+    return AcquireResult{AcquireOutcome::kGranted, {}};
+  }
+
+  // Deduplicate: a client re-requesting while queued keeps one entry at the
+  // strongest requested mode.
+  bool queued = false;
+  for (auto& w : fl.waiters) {
+    if (w.client == client) {
+      if (mode_leq(w.mode, mode)) w.mode = mode;
+      queued = true;
+      break;
+    }
+  }
+  if (!queued) {
+    fl.waiters.push_back(Waiter{client, mode});
+  }
+
+  AcquireResult res;
+  res.outcome = AcquireOutcome::kQueued;
+  Update upd;
+  collect_demands(file, fl, upd);
+  res.demands = std::move(upd.demands);
+  return res;
+}
+
+void LockManager::collect_demands(FileId file, FileLocks& fl, Update& out) {
+  if (fl.waiters.empty()) return;
+  const Waiter& head = fl.waiters.front();
+  for (const auto& [holder, held] : fl.holders) {
+    if (holder == head.client) continue;
+    if (protocol::compatible(held, head.mode)) continue;
+    const LockMode need = retained_mode(head.mode);
+    auto dem = fl.demanded.find(holder);
+    if (dem != fl.demanded.end() && mode_leq(dem->second, need)) {
+      continue;  // already demanded this far (or further) down
+    }
+    fl.demanded[holder] = need;
+    out.demands.push_back(Demand{holder, file, need});
+  }
+}
+
+LockManager::Update LockManager::set_mode(NodeId client, FileId file, LockMode mode) {
+  Update out;
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
+    return out;
+  }
+  FileLocks& fl = fit->second;
+
+  auto held_it = fl.holders.find(client);
+  if (held_it == fl.holders.end()) {
+    // Not a holder (already stolen or never granted): nothing to apply, but
+    // the queue may still be pumpable.
+    pump_waiters(file, fl, out);
+    gc(file);
+    return out;
+  }
+
+  if (mode == LockMode::kNone) {
+    fl.holders.erase(held_it);
+    fl.demanded.erase(client);
+  } else if (mode_leq(mode, held_it->second)) {
+    held_it->second = mode;
+    // Satisfied a demand down to `mode`? Clear bookkeeping at or above it.
+    auto dem = fl.demanded.find(client);
+    if (dem != fl.demanded.end() && mode_leq(mode, dem->second)) {
+      fl.demanded.erase(dem);
+    }
+  }
+  // Upgrades via set_mode are ignored; acquire() is the only upgrade path.
+
+  pump_waiters(file, fl, out);
+  gc(file);
+  return out;
+}
+
+void LockManager::pump_waiters(FileId file, FileLocks& fl, Update& out) {
+  while (!fl.waiters.empty()) {
+    const Waiter& w = fl.waiters.front();
+    if (!grantable(fl, w.client, w.mode)) {
+      break;
+    }
+    fl.holders[w.client] = w.mode;
+    fl.demanded.erase(w.client);
+    out.grants.push_back(Grant{w.client, file, w.mode});
+    fl.waiters.pop_front();
+  }
+  collect_demands(file, fl, out);
+}
+
+LockManager::Update LockManager::cancel_waiter(NodeId client, FileId file) {
+  Update out;
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return out;
+  auto& ws = fit->second.waiters;
+  ws.erase(std::remove_if(ws.begin(), ws.end(),
+                          [&](const Waiter& w) { return w.client == client; }),
+           ws.end());
+  pump_waiters(file, fit->second, out);
+  gc(file);
+  return out;
+}
+
+LockManager::StealResult LockManager::steal_all(NodeId client) {
+  StealResult res;
+  std::vector<FileId> to_process;
+  for (auto& [file, fl] : files_) {
+    const bool holds = fl.holders.contains(client);
+    const bool waits = std::any_of(fl.waiters.begin(), fl.waiters.end(),
+                                   [&](const Waiter& w) { return w.client == client; });
+    if (holds || waits) {
+      to_process.push_back(file);
+    }
+  }
+  for (FileId file : to_process) {
+    FileLocks& fl = files_.at(file);
+    fl.holders.erase(client);
+    fl.demanded.erase(client);
+    fl.waiters.erase(std::remove_if(fl.waiters.begin(), fl.waiters.end(),
+                                    [&](const Waiter& w) { return w.client == client; }),
+                     fl.waiters.end());
+    res.affected.push_back(file);
+    pump_waiters(file, fl, res.update);
+    gc(file);
+  }
+  return res;
+}
+
+std::optional<LockMode> LockManager::demanded_mode(NodeId client, FileId file) const {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return std::nullopt;
+  auto it = fit->second.demanded.find(client);
+  if (it == fit->second.demanded.end()) return std::nullopt;
+  return it->second;
+}
+
+LockMode LockManager::mode_of(NodeId client, FileId file) const {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return LockMode::kNone;
+  auto it = fit->second.holders.find(client);
+  return it == fit->second.holders.end() ? LockMode::kNone : it->second;
+}
+
+std::vector<std::pair<NodeId, LockMode>> LockManager::holders(FileId file) const {
+  std::vector<std::pair<NodeId, LockMode>> out;
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return out;
+  out.assign(fit->second.holders.begin(), fit->second.holders.end());
+  return out;
+}
+
+bool LockManager::has_waiters(FileId file) const {
+  auto fit = files_.find(file);
+  return fit != files_.end() && !fit->second.waiters.empty();
+}
+
+std::size_t LockManager::waiter_count(FileId file) const {
+  auto fit = files_.find(file);
+  return fit == files_.end() ? 0 : fit->second.waiters.size();
+}
+
+std::vector<FileId> LockManager::files_of(NodeId client) const {
+  std::vector<FileId> out;
+  for (const auto& [file, fl] : files_) {
+    if (fl.holders.contains(client)) {
+      out.push_back(file);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void LockManager::gc(FileId file) {
+  auto fit = files_.find(file);
+  if (fit != files_.end() && fit->second.holders.empty() && fit->second.waiters.empty()) {
+    files_.erase(fit);
+  }
+}
+
+bool LockManager::invariants_hold() const {
+  for (const auto& [file, fl] : files_) {
+    if (fl.holders.empty() && fl.waiters.empty()) {
+      return false;  // should have been gc'd
+    }
+    // Holders pairwise compatible.
+    for (const auto& [a, am] : fl.holders) {
+      if (am == LockMode::kNone) return false;
+      for (const auto& [b, bm] : fl.holders) {
+        if (a != b && !protocol::compatible(am, bm)) return false;
+      }
+    }
+    // Head waiter must actually be blocked.
+    if (!fl.waiters.empty() && grantable(fl, fl.waiters.front().client, fl.waiters.front().mode)) {
+      return false;
+    }
+    // demanded refers only to current holders.
+    for (const auto& [node, m] : fl.demanded) {
+      if (!fl.holders.contains(node)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace stank::server

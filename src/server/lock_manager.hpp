@@ -1,0 +1,120 @@
+// Per-file data-lock manager: the distributed lock state machine at the
+// locking authority.
+//
+// Pure state — no I/O, no timers — so it can be tested exhaustively and
+// reused by every recovery mode. The server drives it and performs the
+// messaging (demands, grants) it prescribes.
+//
+// Lock modes: Shared (cached reads) and Exclusive (write-back caching and
+// direct SAN writes). Waiters queue in FIFO order; conflicting holders are
+// demanded down; a steal removes a client's locks without its cooperation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "protocol/messages.hpp"
+
+namespace stank::server {
+
+using protocol::LockMode;
+
+class LockManager {
+ public:
+  struct Grant {
+    NodeId client;
+    FileId file;
+    LockMode mode{LockMode::kNone};
+  };
+  struct Demand {
+    NodeId holder;
+    FileId file;
+    // The strongest mode the holder may retain.
+    LockMode max_mode{LockMode::kNone};
+  };
+
+  enum class AcquireOutcome : std::uint8_t {
+    kGranted,      // lock held now (possibly an upgrade)
+    kQueued,       // conflicts exist; caller should issue returned demands
+    kAlreadyHeld,  // requested mode (or stronger) already held
+  };
+
+  struct AcquireResult {
+    AcquireOutcome outcome{AcquireOutcome::kGranted};
+    // Demands the server must deliver to conflicting holders (kQueued only;
+    // holders already demanded at this or a lower max_mode are not repeated).
+    std::vector<Demand> demands;
+  };
+
+  // Grants and demands that fell out of a state change, already applied to
+  // the lock table; the caller must deliver them.
+  struct Update {
+    std::vector<Grant> grants;
+    std::vector<Demand> demands;
+  };
+
+  // Requests `mode` on `file` for `client`.
+  AcquireResult acquire(NodeId client, FileId file, LockMode mode);
+
+  // Voluntary release/downgrade (also the holder's response to a demand).
+  Update set_mode(NodeId client, FileId file, LockMode mode);
+
+  // Removes a queued (not yet granted) request, e.g. when its client fails.
+  // Removing a blocked head can unblock the queue, so grants may result.
+  Update cancel_waiter(NodeId client, FileId file);
+
+  // Steals every lock and queued request of a client without its
+  // cooperation. Returns the files whose state changed plus the grants and
+  // follow-up demands that became possible.
+  struct StealResult {
+    std::vector<FileId> affected;
+    Update update;
+  };
+  StealResult steal_all(NodeId client);
+
+  [[nodiscard]] LockMode mode_of(NodeId client, FileId file) const;
+  // Strongest retained mode currently demanded of this holder, if any
+  // demand is outstanding against it.
+  [[nodiscard]] std::optional<LockMode> demanded_mode(NodeId client, FileId file) const;
+  [[nodiscard]] std::vector<std::pair<NodeId, LockMode>> holders(FileId file) const;
+  [[nodiscard]] bool has_waiters(FileId file) const;
+  [[nodiscard]] std::size_t waiter_count(FileId file) const;
+  [[nodiscard]] std::size_t held_files() const { return files_.size(); }
+  // Files on which this client currently holds any lock.
+  [[nodiscard]] std::vector<FileId> files_of(NodeId client) const;
+
+  // Invariant check for tests: holders of each file are pairwise compatible
+  // and waiters are only queued while a conflict actually exists.
+  [[nodiscard]] bool invariants_hold() const;
+
+ private:
+  struct Waiter {
+    NodeId client;
+    LockMode mode{LockMode::kShared};
+  };
+  struct FileLocks {
+    std::map<NodeId, LockMode> holders;  // mode is kShared or kExclusive
+    std::deque<Waiter> waiters;
+    // Strongest retained mode already demanded of each holder, to avoid
+    // duplicate demands.
+    std::map<NodeId, LockMode> demanded;
+  };
+
+  // Can `client` hold `mode` given current holders (ignoring itself)?
+  [[nodiscard]] static bool grantable(const FileLocks& fl, NodeId client, LockMode mode);
+  // Grants every grantable waiter (FIFO, stopping at the first conflict),
+  // then computes fresh demands needed by the new queue head.
+  void pump_waiters(FileId file, FileLocks& fl, Update& out);
+  void collect_demands(FileId file, FileLocks& fl, Update& out);
+  void gc(FileId file);
+
+  std::unordered_map<FileId, FileLocks> files_;
+};
+
+}  // namespace stank::server

@@ -1,0 +1,52 @@
+#include "server/metadata.hpp"
+
+namespace stank::server {
+
+Result<FileId> Metadata::open(const std::string& path, bool create) {
+  auto it = names_.find(path);
+  if (it != names_.end()) {
+    return it->second;
+  }
+  if (!create) {
+    return ErrorCode::kNotFound;
+  }
+  const FileId id{next_id_++};
+  names_.emplace(path, id);
+  Inode inode;
+  inode.id = id;
+  inodes_.emplace(id, std::move(inode));
+  return id;
+}
+
+Inode* Metadata::find(FileId id) {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const Inode* Metadata::find(FileId id) const {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Status Metadata::remove(const std::string& path) {
+  auto it = names_.find(path);
+  if (it == names_.end()) {
+    return ErrorCode::kNotFound;
+  }
+  inodes_.erase(it->second);
+  names_.erase(it);
+  return Status::ok();
+}
+
+std::optional<FileId> Metadata::lookup(const std::string& path) const {
+  auto it = names_.find(path);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Metadata::touch(Inode& inode, std::uint64_t now_ns) {
+  inode.attr.mtime_ns = now_ns;
+  ++inode.attr.meta_version;
+}
+
+}  // namespace stank::server

@@ -1,0 +1,54 @@
+// Server-resident file system metadata: a flat namespace and an inode table.
+//
+// Per the paper's architecture (section 1.1), metadata — including "the
+// location of the blocks of each file on shared storage" — lives only at the
+// server; the shared disks hold nothing but file data blocks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/strong_id.hpp"
+#include "protocol/messages.hpp"
+
+namespace stank::server {
+
+struct Inode {
+  FileId id;
+  protocol::FileAttr attr;
+  std::vector<protocol::Extent> extents;
+
+  [[nodiscard]] std::uint64_t allocated_blocks() const {
+    std::uint64_t n = 0;
+    for (const auto& e : extents) n += e.count;
+    return n;
+  }
+};
+
+class Metadata {
+ public:
+  // Resolves a path; creates the file if `create` and absent. Returns the
+  // inode, or kNotFound.
+  Result<FileId> open(const std::string& path, bool create);
+
+  [[nodiscard]] Inode* find(FileId id);
+  [[nodiscard]] const Inode* find(FileId id) const;
+  Status remove(const std::string& path);
+
+  [[nodiscard]] std::size_t file_count() const { return inodes_.size(); }
+  [[nodiscard]] std::optional<FileId> lookup(const std::string& path) const;
+
+  // Every mutation bumps the inode's meta version and mtime stamp (weakly
+  // consistent metadata per the paper's footnote 1).
+  void touch(Inode& inode, std::uint64_t now_ns);
+
+ private:
+  std::unordered_map<std::string, FileId> names_;
+  std::unordered_map<FileId, Inode> inodes_;
+  std::uint32_t next_id_{1};
+};
+
+}  // namespace stank::server

@@ -1,0 +1,967 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "core/lease_math.hpp"
+#include "protocol/layout.hpp"
+
+namespace stank::server {
+
+using protocol::ServerTransport;
+
+Server::Server(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& san,
+               sim::LocalClock local_clock, ServerConfig cfg, sim::TraceLog* trace)
+    : engine_(&engine),
+      net_(&net),
+      san_(&san),
+      cfg_(std::move(cfg)),
+      clock_(engine, local_clock),
+      trace_(trace),
+      transport_(net, clock_, cfg_.id, counters_, cfg_.transport) {
+  cfg_.lease.validate();
+  STANK_ASSERT_MSG(!cfg_.data_disks.empty(), "server needs at least one data disk");
+  for (DiskId d : cfg_.data_disks) {
+    allocators_.push_back(std::make_unique<BlockAllocator>(d, san_->disk(d).capacity()));
+  }
+
+  switch (cfg_.strategy) {
+    case LeaseStrategy::kStorageTank: {
+      core::ServerLeaseAuthority::Hooks hooks;
+      hooks.steal_locks = [this](NodeId c) {
+        if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
+          fence_client(c, [this, c]() { do_steal(c); });
+        } else {
+          do_steal(c);
+        }
+      };
+      hooks.standing_changed = [this](NodeId c, core::ClientStanding s) {
+        std::ostringstream os;
+        os << "client " << c << " standing="
+           << (s == core::ClientStanding::kGood
+                   ? "good"
+                   : s == core::ClientStanding::kSuspect ? "suspect" : "failed");
+        this->trace("lease", os.str());
+      };
+      authority_ = std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
+                                                                std::move(hooks));
+      break;
+    }
+    case LeaseStrategy::kVLeases:
+      v_table_ = std::make_unique<baselines::VLeaseTable>(cfg_.lease.tau, counters_);
+      break;
+    case LeaseStrategy::kFrangipani:
+      hb_table_ = std::make_unique<baselines::HeartbeatTable>(cfg_.lease.tau, counters_);
+      break;
+  }
+}
+
+Server::~Server() {
+  if (started_) {
+    stop();
+  }
+}
+
+void Server::start() {
+  STANK_ASSERT(!started_);
+  started_ = true;
+  transport_.on_request = [this](NodeId client, std::uint32_t epoch,
+                                 const protocol::RequestBody& body, ServerTransport::Responder r) {
+    handle_request(client, epoch, body, r);
+  };
+  transport_.may_ack = [this](NodeId c) {
+    if (barred_.contains(c)) return false;
+    if (authority_ && !authority_->may_ack(c)) return false;
+    return true;
+  };
+  transport_.start();
+}
+
+void Server::stop() {
+  if (!started_) return;
+  started_ = false;
+  transport_.stop();
+  for (auto& [key, timer] : demand_timers_) {
+    clock_.cancel(timer);
+  }
+  demand_timers_.clear();
+  for (auto& [node, timer] : recovery_timers_) {
+    clock_.cancel(timer);
+  }
+  recovery_timers_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+
+void Server::handle_request(NodeId client, std::uint32_t epoch,
+                            const protocol::RequestBody& body, ServerTransport::Responder r) {
+  if (std::holds_alternative<protocol::RegisterReq>(body)) {
+    handle_register(client, r);
+    return;
+  }
+
+  // "The server can neither acknowledge the message, which would renew the
+  // client lease, nor execute a transaction on the client's behalf." (3.3)
+  if (barred_.contains(client) || (authority_ && !authority_->may_ack(client))) {
+    if (cfg_.nack_suspect) {
+      r.nack();
+    }
+    // else: silent-ignore ablation — the client keeps retrying blindly.
+    return;
+  }
+
+  auto sit = sessions_.find(client);
+  if (sit == sessions_.end()) {
+    // No session at all. After a restart that is the normal state for every
+    // pre-crash client: tell it to re-register and reassert (section 6)
+    // rather than NACKing it into cache invalidation.
+    if (incarnation_ > 1) {
+      r.ack(protocol::ErrReply{ErrorCode::kStaleSession});
+    } else {
+      r.nack();
+    }
+    return;
+  }
+  if (!sit->second.valid || sit->second.epoch != epoch) {
+    // Stale epoch within a known session: the client is out of sync.
+    r.nack();
+    return;
+  }
+
+  std::visit(
+      [&](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, protocol::OpenReq>) {
+          handle_open(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::CloseReq>) {
+          ++counters_.transactions;
+          r.ack(protocol::OkReply{});
+        } else if constexpr (std::is_same_v<T, protocol::LockReq>) {
+          handle_lock(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::UnlockReq>) {
+          handle_unlock(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::DemandDoneReq>) {
+          handle_demand_done(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::GetAttrReq>) {
+          ++counters_.transactions;
+          const Inode* inode = metadata_.find(req.file);
+          if (inode == nullptr) {
+            r.ack(protocol::ErrReply{ErrorCode::kNotFound});
+          } else {
+            r.ack(protocol::AttrReply{inode->attr, inode->extents});
+          }
+        } else if constexpr (std::is_same_v<T, protocol::SetSizeReq>) {
+          handle_setsize(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::KeepAliveReq>) {
+          // The paper's NULL message. For Storage Tank the server does
+          // nothing lease-related here — the transport-level ACK is the
+          // renewal. Frangipani's server must update its lease table.
+          if (hb_table_) {
+            hb_table_->renew(client, clock_.now());
+          }
+          r.ack(protocol::OkReply{});
+        } else if constexpr (std::is_same_v<T, protocol::RenewObjReq>) {
+          if (v_table_) {
+            v_table_->renew(client, req.file, clock_.now());
+          }
+          r.ack(protocol::OkReply{});
+        } else if constexpr (std::is_same_v<T, protocol::ReadDataReq>) {
+          handle_read_data(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::WriteDataReq>) {
+          handle_write_data(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::ReassertLockReq>) {
+          handle_reassert(client, req, r);
+        } else if constexpr (std::is_same_v<T, protocol::RegisterReq>) {
+          // handled above
+        }
+      },
+      body);
+}
+
+void Server::handle_register(NodeId client, ServerTransport::Responder r) {
+  if (authority_ && !authority_->try_reregister(client)) {
+    // Conservative protocol: the timer must run out first.
+    r.nack();
+    return;
+  }
+  if (recovery_timers_.contains(client)) {
+    r.nack();
+    return;
+  }
+  barred_.erase(client);
+
+  Session& s = sessions_[client];
+  ++s.epoch;
+  s.valid = true;
+
+  if (hb_table_) {
+    hb_table_->renew(client, clock_.now());
+  }
+  unfence_client(client);
+  ++counters_.transactions;
+  trace("session", "client " + std::to_string(client.value()) + " registered epoch " +
+                       std::to_string(s.epoch));
+  r.ack(protocol::RegisterReply{s.epoch, incarnation_});
+}
+
+void Server::handle_open(NodeId client, const protocol::OpenReq& req,
+                         ServerTransport::Responder r) {
+  (void)client;
+  ++counters_.transactions;
+  auto res = metadata_.open(req.path, req.create);
+  if (!res.ok()) {
+    r.ack(protocol::ErrReply{res.error()});
+    return;
+  }
+  const Inode* inode = metadata_.find(res.value());
+  STANK_ASSERT(inode != nullptr);
+  r.ack(protocol::OpenReply{inode->id, inode->attr, inode->extents});
+}
+
+void Server::handle_lock(NodeId client, const protocol::LockReq& req,
+                         ServerTransport::Responder r) {
+  ++counters_.transactions;
+  if (metadata_.find(req.file) == nullptr) {
+    r.ack(protocol::ErrReply{ErrorCode::kNotFound});
+    return;
+  }
+  if (req.mode == protocol::LockMode::kNone) {
+    r.ack(protocol::ErrReply{ErrorCode::kInvalidArgument});
+    return;
+  }
+
+  if (in_grace()) {
+    // No fresh locks while reassertions may still arrive: a grant now could
+    // conflict with a lock the previous incarnation had given out.
+    r.ack(protocol::ErrReply{ErrorCode::kRetryLater});
+    return;
+  }
+  auto res = locks_.acquire(client, req.file, req.mode);
+  if (res.outcome == LockManager::AcquireOutcome::kQueued) {
+    for (const auto& d : res.demands) {
+      issue_demand(d);
+    }
+    r.ack(protocol::LockReply{false, req.mode, 0});
+    return;
+  }
+  ++counters_.lock_grants;
+  // A fresh grant supersedes any outstanding demand against this client's
+  // previous incarnation of the lock.
+  const std::uint32_t gen = bump_lock_gen(client, req.file);
+  cancel_demand_timer(client, req.file);
+  if (v_table_) {
+    v_table_->renew(client, req.file, clock_.now());
+  }
+  {
+    std::ostringstream os;
+    os << "grant " << req.file << " " << protocol::to_string(req.mode) << " g" << gen << " -> "
+       << client;
+    trace("lock", os.str());
+  }
+  r.ack(protocol::LockReply{true, req.mode, gen});
+}
+
+void Server::handle_unlock(NodeId client, const protocol::UnlockReq& req,
+                           ServerTransport::Responder r) {
+  ++counters_.transactions;
+  if (req.gen != lock_gen(client, req.file)) {
+    // Release of a superseded lock incarnation: a newer grant crossed this
+    // request in flight. Ignore; the client will learn the new state from
+    // the grant.
+    r.ack(protocol::OkReply{});
+    return;
+  }
+  auto upd = locks_.set_mode(client, req.file, req.downgrade_to);
+  if (v_table_ && req.downgrade_to == protocol::LockMode::kNone) {
+    v_table_->drop(client, req.file);
+  }
+  apply_update(upd);
+  r.ack(protocol::OkReply{});
+}
+
+void Server::handle_demand_done(NodeId client, const protocol::DemandDoneReq& req,
+                                ServerTransport::Responder r) {
+  ++counters_.transactions;
+  if (req.gen != lock_gen(client, req.file)) {
+    // Compliance for a superseded lock incarnation; the state it describes
+    // no longer exists.
+    r.ack(protocol::OkReply{});
+    return;
+  }
+  auto upd = locks_.set_mode(client, req.file, req.new_mode);
+  if (v_table_ && req.new_mode == protocol::LockMode::kNone) {
+    v_table_->drop(client, req.file);
+  }
+  // Stop the compliance clock only once no demand remains outstanding
+  // against this holder (a deeper demand may have been issued meanwhile).
+  if (!locks_.demanded_mode(client, req.file).has_value()) {
+    cancel_demand_timer(client, req.file);
+  } else {
+    arm_demand_timer(client, req.file);
+  }
+  apply_update(upd);
+  r.ack(protocol::OkReply{});
+}
+
+void Server::handle_setsize(NodeId client, const protocol::SetSizeReq& req,
+                            ServerTransport::Responder r) {
+  (void)client;
+  ++counters_.transactions;
+  Inode* inode = metadata_.find(req.file);
+  if (inode == nullptr) {
+    r.ack(protocol::ErrReply{ErrorCode::kNotFound});
+    return;
+  }
+  if (req.new_size > inode->attr.size) {
+    Status st = grow_file(*inode, req.new_size);
+    if (!st.is_ok()) {
+      r.ack(protocol::ErrReply{st.error()});
+      return;
+    }
+    inode->attr.size = req.new_size;
+    metadata_.touch(*inode, now_ns());
+  } else if (req.new_size < inode->attr.size) {
+    if (!req.truncate) {
+      // Grow-only request against an already-larger file: no-op; the reply
+      // refreshes the client's stale attributes.
+      r.ack(protocol::AttrReply{inode->attr, inode->extents});
+      return;
+    }
+    shrink_file(*inode, req.new_size);
+    inode->attr.size = req.new_size;
+    metadata_.touch(*inode, now_ns());
+  }
+  r.ack(protocol::AttrReply{inode->attr, inode->extents});
+}
+
+void Server::handle_reassert(NodeId client, const protocol::ReassertLockReq& req,
+                             ServerTransport::Responder r) {
+  ++counters_.transactions;
+  if (!in_grace()) {
+    // Reassertion outside the grace window is not honored: the lock may
+    // already have been granted elsewhere.
+    r.ack(protocol::ErrReply{ErrorCode::kInvalidArgument});
+    return;
+  }
+  if (metadata_.find(req.file) == nullptr || req.mode == protocol::LockMode::kNone) {
+    r.ack(protocol::ErrReply{ErrorCode::kInvalidArgument});
+    return;
+  }
+  // If the pre-crash state was legal, concurrent reassertions are mutually
+  // compatible; an incompatible one indicates divergence and is refused
+  // (that client must invalidate the file).
+  auto res = locks_.acquire(client, req.file, req.mode);
+  if (res.outcome == LockManager::AcquireOutcome::kQueued) {
+    locks_.cancel_waiter(client, req.file);
+    r.ack(protocol::ErrReply{ErrorCode::kLockConflict});
+    return;
+  }
+  ++counters_.lock_grants;
+  const std::uint32_t gen = bump_lock_gen(client, req.file);
+  if (v_table_) {
+    v_table_->renew(client, req.file, clock_.now());
+  }
+  {
+    std::ostringstream os;
+    os << "reassert " << req.file << " " << protocol::to_string(req.mode) << " g" << gen
+       << " <- " << client;
+    trace("lock", os.str());
+  }
+  r.ack(protocol::LockReply{true, req.mode, gen});
+}
+
+bool Server::in_grace() const {
+  return incarnation_ > 1 && clock_.now() < grace_until_;
+}
+
+void Server::crash() {
+  if (!started_) return;
+  trace("node", "server crash");
+  stop();  // drops transport, timers
+  // Volatile state is gone. Metadata, the allocator and the incarnation
+  // counter live on the server's private persistent storage.
+  locks_ = LockManager{};
+  sessions_.clear();
+  barred_.clear();
+  fenced_clients_.clear();
+  lock_gens_.clear();
+  if (authority_) {
+    // Rebuild the authority empty (its timers died with stop()).
+    core::ServerLeaseAuthority::Hooks hooks;
+    hooks.steal_locks = [this](NodeId c) {
+      if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
+        fence_client(c, [this, c]() { do_steal(c); });
+      } else {
+        do_steal(c);
+      }
+    };
+    hooks.standing_changed = [this](NodeId c, core::ClientStanding st) {
+      std::ostringstream os;
+      os << "client " << c << " standing="
+         << (st == core::ClientStanding::kGood
+                 ? "good"
+                 : st == core::ClientStanding::kSuspect ? "suspect" : "failed");
+      this->trace("lease", os.str());
+    };
+    authority_ = std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
+                                                              std::move(hooks));
+  }
+  if (v_table_) {
+    v_table_ = std::make_unique<baselines::VLeaseTable>(cfg_.lease.tau, counters_);
+  }
+  if (hb_table_) {
+    hb_table_ = std::make_unique<baselines::HeartbeatTable>(cfg_.lease.tau, counters_);
+  }
+}
+
+void Server::restart() {
+  STANK_ASSERT_MSG(!started_, "restart() requires a crashed/stopped server");
+  ++incarnation_;
+  const sim::LocalDuration grace = cfg_.recovery_grace.ns > 0
+                                       ? cfg_.recovery_grace
+                                       : core::server_wait(cfg_.lease.tau, cfg_.lease.epsilon);
+  grace_until_ = clock_.now() + grace;
+  trace("node", "server restart incarnation " + std::to_string(incarnation_) +
+                    ", grace until " + std::to_string(grace_until_.seconds()) + "s");
+  start();
+}
+
+// ---------------------------------------------------------------------------
+// Data shipping (traditional client/server baseline; NFS mode)
+
+namespace {
+
+// Fan-in helper: fires `done` once after `expected` completions, reporting
+// the first error seen.
+struct FanIn {
+  std::size_t expected{0};
+  std::size_t seen{0};
+  Status status{Status::ok()};
+  std::function<void(Status)> done;
+
+  void complete(Status s) {
+    if (!s.is_ok() && status.is_ok()) {
+      status = s;
+    }
+    if (++seen == expected && done) {
+      done(status);
+    }
+  }
+};
+
+}  // namespace
+
+void Server::handle_read_data(NodeId client, const protocol::ReadDataReq& req,
+                              ServerTransport::Responder r) {
+  (void)client;
+  ++counters_.transactions;
+  Inode* inode = metadata_.find(req.file);
+  if (inode == nullptr) {
+    r.ack(protocol::ErrReply{ErrorCode::kNotFound});
+    return;
+  }
+  const std::uint64_t end = std::min<std::uint64_t>(inode->attr.size, req.offset + req.len);
+  const std::uint64_t len = end > req.offset ? end - req.offset : 0;
+  auto buf = std::make_shared<Bytes>(len, 0);
+  if (len == 0) {
+    counters_.server_data_bytes += 0;
+    r.ack(protocol::DataReply{*buf});
+    return;
+  }
+
+  bool ok = false;
+  auto slices = protocol::slice_range(inode->extents, cfg_.block_size, req.offset, len, ok);
+  if (!ok) {
+    r.ack(protocol::ErrReply{ErrorCode::kIoError});
+    return;
+  }
+
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = slices.size();
+  fan->done = [this, r, buf, len](Status st) {
+    if (!st.is_ok()) {
+      r.ack(protocol::ErrReply{st.error()});
+      return;
+    }
+    counters_.server_data_bytes += len;
+    r.ack(protocol::DataReply{*buf});
+  };
+  for (const auto& s : slices) {
+    storage::IoRequest io;
+    io.initiator = cfg_.id;
+    io.disk = s.disk;
+    io.op = storage::IoOp::kRead;
+    io.addr = s.addr;
+    io.count = 1;
+    san_->submit(std::move(io), [fan, buf, s](storage::IoResult res) {
+      if (res.status.is_ok()) {
+        std::copy_n(res.data.begin() + s.offset_in_block, s.len,
+                    buf->begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
+      }
+      fan->complete(res.status);
+    });
+  }
+}
+
+void Server::handle_write_data(NodeId client, const protocol::WriteDataReq& req,
+                               ServerTransport::Responder r) {
+  (void)client;
+  ++counters_.transactions;
+  Inode* inode = metadata_.find(req.file);
+  if (inode == nullptr) {
+    r.ack(protocol::ErrReply{ErrorCode::kNotFound});
+    return;
+  }
+  const std::uint64_t new_end = req.offset + req.data.size();
+  if (new_end > inode->attr.size) {
+    Status st = grow_file(*inode, new_end);
+    if (!st.is_ok()) {
+      r.ack(protocol::ErrReply{st.error()});
+      return;
+    }
+    inode->attr.size = new_end;
+  }
+  metadata_.touch(*inode, now_ns());
+
+  bool ok = false;
+  auto slices =
+      protocol::slice_range(inode->extents, cfg_.block_size, req.offset, req.data.size(), ok);
+  if (!ok) {
+    r.ack(protocol::ErrReply{ErrorCode::kIoError});
+    return;
+  }
+
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = slices.size();
+  const std::uint64_t len = req.data.size();
+  fan->done = [this, r, len](Status st) {
+    if (!st.is_ok()) {
+      r.ack(protocol::ErrReply{st.error()});
+      return;
+    }
+    counters_.server_data_bytes += len;
+    r.ack(protocol::OkReply{});
+  };
+
+  auto data = std::make_shared<Bytes>(req.data);
+  for (const auto& s : slices) {
+    auto write_block = [this, fan, s](Bytes block) {
+      storage::IoRequest io;
+      io.initiator = cfg_.id;
+      io.disk = s.disk;
+      io.op = storage::IoOp::kWrite;
+      io.addr = s.addr;
+      io.count = 1;
+      io.data = std::move(block);
+      san_->submit(std::move(io),
+                   [fan](storage::IoResult res) { fan->complete(res.status); });
+    };
+
+    if (s.len == cfg_.block_size) {
+      Bytes block(data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset),
+                  data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset + s.len));
+      write_block(std::move(block));
+    } else {
+      // Partial block: read-modify-write at the server.
+      storage::IoRequest io;
+      io.initiator = cfg_.id;
+      io.disk = s.disk;
+      io.op = storage::IoOp::kRead;
+      io.addr = s.addr;
+      io.count = 1;
+      san_->submit(std::move(io),
+                   [fan, s, data, write_block](storage::IoResult res) mutable {
+                     if (!res.status.is_ok()) {
+                       fan->complete(res.status);
+                       return;
+                     }
+                     Bytes block = std::move(res.data);
+                     std::copy_n(data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
+                                 block.begin() + s.offset_in_block);
+                     write_block(std::move(block));
+                   });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locking plumbing
+
+void Server::apply_update(const LockManager::Update& upd) {
+  for (const auto& g : upd.grants) {
+    deliver_grant(g);
+  }
+  for (const auto& d : upd.demands) {
+    issue_demand(d);
+  }
+}
+
+void Server::issue_demand(const LockManager::Demand& d) {
+  ++counters_.lock_demands;
+  const std::uint32_t gen = lock_gen(d.holder, d.file);
+  {
+    std::ostringstream os;
+    os << "demand " << d.file << " max=" << protocol::to_string(d.max_mode) << " g" << gen
+       << " -> " << d.holder;
+    trace("lock", os.str());
+  }
+  auto sit = sessions_.find(d.holder);
+  const std::uint32_t epoch = sit == sessions_.end() ? 0 : sit->second.epoch;
+  transport_.send_server_msg(
+      d.holder, epoch, protocol::LockDemand{d.file, d.max_mode, gen},
+      [this, d, gen](bool delivered) {
+        if (!delivered) {
+          trace("lease", "demand to client " + std::to_string(d.holder.value()) +
+                             " undeliverable");
+          on_delivery_failure(d.holder);
+          return;
+        }
+        if (gen != lock_gen(d.holder, d.file)) {
+          return;  // a grant superseded this demand while it was in flight
+        }
+        if (!locks_.demanded_mode(d.holder, d.file).has_value()) {
+          // Compliance already arrived (it can overtake the transport-level
+          // ACK of the demand itself): nothing left to time out.
+          return;
+        }
+        arm_demand_timer(d.holder, d.file);
+      });
+}
+
+void Server::arm_demand_timer(NodeId holder, FileId file) {
+  const DemandKey key{holder, file};
+  auto it = demand_timers_.find(key);
+  if (it != demand_timers_.end()) {
+    clock_.cancel(it->second);
+  }
+  demand_timers_[key] = clock_.schedule_after(cfg_.demand_timeout, [this, key]() {
+    demand_timers_.erase(key);
+    trace("lease", "demand compliance timeout for client " + std::to_string(key.holder.value()) +
+                       " file " + std::to_string(key.file.value()) + " gen " +
+                       std::to_string(lock_gen(key.holder, key.file)));
+    on_delivery_failure(key.holder);
+  });
+}
+
+std::uint32_t Server::lock_gen(NodeId client, FileId file) const {
+  auto it = lock_gens_.find(DemandKey{client, file});
+  return it == lock_gens_.end() ? 0 : it->second;
+}
+
+std::uint32_t Server::bump_lock_gen(NodeId client, FileId file) {
+  return ++lock_gens_[DemandKey{client, file}];
+}
+
+void Server::deliver_grant(const LockManager::Grant& g) {
+  ++counters_.lock_grants;
+  const std::uint32_t gen = bump_lock_gen(g.client, g.file);
+  cancel_demand_timer(g.client, g.file);
+  if (v_table_) {
+    v_table_->renew(g.client, g.file, clock_.now());
+  }
+  {
+    std::ostringstream os;
+    os << "grant " << g.file << " " << protocol::to_string(g.mode) << " g" << gen << " -> "
+       << g.client << " (queued)";
+    trace("lock", os.str());
+  }
+  auto sit = sessions_.find(g.client);
+  const std::uint32_t epoch = sit == sessions_.end() ? 0 : sit->second.epoch;
+  transport_.send_server_msg(g.client, epoch, protocol::LockGrant{g.file, g.mode, gen},
+                             [this, g](bool delivered) {
+                               if (!delivered) {
+                                 on_delivery_failure(g.client);
+                               }
+                             });
+}
+
+void Server::cancel_demand_timer(NodeId holder, FileId file) {
+  auto it = demand_timers_.find(DemandKey{holder, file});
+  if (it != demand_timers_.end()) {
+    clock_.cancel(it->second);
+    demand_timers_.erase(it);
+  }
+}
+
+void Server::cancel_demand_timers(NodeId holder) {
+  for (auto it = demand_timers_.begin(); it != demand_timers_.end();) {
+    if (it->first.holder == holder) {
+      clock_.cancel(it->second);
+      it = demand_timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+void Server::inject_delivery_failure(NodeId client) { on_delivery_failure(client); }
+
+Result<FileId> Server::preallocate(const std::string& path, std::uint64_t size) {
+  auto res = metadata_.open(path, /*create=*/true);
+  if (!res.ok()) {
+    return res;
+  }
+  Inode* inode = metadata_.find(res.value());
+  STANK_ASSERT(inode != nullptr);
+  if (size > inode->attr.size) {
+    Status st = grow_file(*inode, size);
+    if (!st.is_ok()) {
+      return st.error();
+    }
+    inode->attr.size = size;
+    metadata_.touch(*inode, now_ns());
+  }
+  return res;
+}
+
+void Server::on_delivery_failure(NodeId client) {
+  if (barred_.contains(client)) {
+    return;  // already stolen; nothing left to protect
+  }
+  switch (cfg_.recovery) {
+    case RecoveryMode::kNoRecovery:
+      trace("lease", "delivery failure for client " + std::to_string(client.value()) +
+                         " ignored (no-recovery)");
+      return;
+    case RecoveryMode::kNaiveSteal:
+      do_steal(client);
+      return;
+    case RecoveryMode::kFenceOnly:
+      ++counters_.fences_issued;
+      fence_client(client, [this, client]() { do_steal(client); });
+      return;
+    case RecoveryMode::kLeaseOnly:
+    case RecoveryMode::kLeaseAndFence:
+      begin_recovery(client);
+      return;
+  }
+}
+
+void Server::begin_recovery(NodeId client) {
+  if (authority_) {
+    authority_->on_delivery_failure(client);  // idempotent
+    return;
+  }
+  // V / Frangipani: wait out the lease recorded in the server-side table,
+  // then re-check — a heartbeat or renewal may have arrived in the interim.
+  if (recovery_timers_.contains(client)) {
+    return;
+  }
+  sim::LocalTime steal_at;
+  const sim::LocalTime now = clock_.now();
+  if (hb_table_) {
+    steal_at = hb_table_->steal_time(client, now, cfg_.lease.epsilon);
+  } else if (v_table_) {
+    steal_at = now;
+    for (FileId f : locks_.files_of(client)) {
+      steal_at = std::max(steal_at, v_table_->steal_time(client, f, now, cfg_.lease.epsilon));
+    }
+  } else {
+    steal_at = now + core::server_wait(cfg_.lease.tau, cfg_.lease.epsilon);
+  }
+  ++counters_.lease_ops;
+  sim::LocalDuration delay = steal_at > now ? steal_at - now : sim::LocalDuration{1};
+  recovery_timers_[client] = clock_.schedule_after(delay, [this, client]() {
+    recovery_timers_.erase(client);
+    const sim::LocalTime t = clock_.now();
+    // Re-check: did the client legitimately renew while we waited?
+    if (hb_table_ && hb_table_->valid(client, t)) {
+      return;
+    }
+    if (v_table_) {
+      bool any_valid = false;
+      for (FileId f : locks_.files_of(client)) {
+        any_valid = any_valid || v_table_->valid(client, f, t);
+      }
+      if (any_valid) {
+        begin_recovery(client);  // re-arm at the extended expiry
+        return;
+      }
+    }
+    if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
+      fence_client(client, [this, client]() { do_steal(client); });
+    } else {
+      do_steal(client);
+    }
+  });
+}
+
+void Server::fence_client(NodeId client, std::function<void()> then) {
+  ++counters_.fences_issued;
+  fenced_clients_.insert(client);
+  trace("fence", "fencing client " + std::to_string(client.value()));
+
+  auto fan = std::make_shared<FanIn>();
+  fan->expected = cfg_.data_disks.size();
+  fan->done = [this, client, then = std::move(then)](Status st) {
+    if (!st.is_ok()) {
+      // A disk we cannot reach cannot be fenced; proceed regardless — the
+      // lease protocol, not the fence, carries the consistency guarantee.
+      trace("fence", "fence of client " + std::to_string(client.value()) +
+                         " incomplete: " + to_string(st.error()));
+    }
+    if (then) then();
+  };
+  for (DiskId d : cfg_.data_disks) {
+    san_->submit_admin(storage::AdminRequest{cfg_.id, d, storage::AdminOp::kFence, client},
+                       [fan](Status st) { fan->complete(st); });
+  }
+}
+
+void Server::unfence_client(NodeId client) {
+  // Only fencing recovery modes ever touch the disks' fence state (the
+  // lease-only baseline must not get fencing semantics through the back
+  // door).
+  if (cfg_.recovery != RecoveryMode::kFenceOnly &&
+      cfg_.recovery != RecoveryMode::kLeaseAndFence) {
+    return;
+  }
+  // Sent unconditionally within those modes: after a server crash the fenced
+  // set is forgotten, but fences persist at the disks; re-registration must
+  // clear them. The unfence installs the client's NEW session epoch as its
+  // registration key, so commands the old incarnation left crawling through
+  // the SAN stay locked out forever.
+  fenced_clients_.erase(client);
+  auto sit = sessions_.find(client);
+  const std::uint32_t key = sit == sessions_.end() ? 0 : sit->second.epoch;
+  trace("fence", "unfencing client " + std::to_string(client.value()) + " key " +
+                     std::to_string(key));
+  for (DiskId d : cfg_.data_disks) {
+    san_->submit_admin(
+        storage::AdminRequest{cfg_.id, d, storage::AdminOp::kUnfence, client, key},
+        [](Status) {});
+  }
+}
+
+void Server::do_steal(NodeId client) {
+  if (barred_.contains(client)) {
+    return;
+  }
+  barred_.insert(client);
+  auto sit = sessions_.find(client);
+  if (sit != sessions_.end()) {
+    sit->second.valid = false;
+  }
+  transport_.cancel_server_msgs(client);
+  cancel_demand_timers(client);
+  auto rt = recovery_timers_.find(client);
+  if (rt != recovery_timers_.end()) {
+    clock_.cancel(rt->second);
+    recovery_timers_.erase(rt);
+  }
+
+  auto res = locks_.steal_all(client);
+  counters_.lock_steals += res.affected.size();
+  for (FileId f : res.affected) {
+    bump_lock_gen(client, f);  // any in-flight compliance from the victim is now stale
+  }
+  {
+    std::ostringstream os;
+    os << "stole " << res.affected.size() << " locks from client " << client;
+    trace("lock", os.str());
+  }
+  if (v_table_) {
+    v_table_->drop_client(client);
+  }
+  if (hb_table_) {
+    hb_table_->drop(client);
+  }
+  apply_update(res.update);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+bool Server::barred(NodeId client) const { return barred_.contains(client); }
+
+bool Server::session_valid(NodeId client) const {
+  auto it = sessions_.find(client);
+  return it != sessions_.end() && it->second.valid;
+}
+
+std::uint32_t Server::session_epoch(NodeId client) const {
+  auto it = sessions_.find(client);
+  return it == sessions_.end() ? 0 : it->second.epoch;
+}
+
+std::size_t Server::lease_state_bytes() const {
+  if (authority_) return authority_->state_bytes();
+  if (v_table_) return v_table_->state_bytes();
+  if (hb_table_) return hb_table_->state_bytes();
+  return 0;
+}
+
+void Server::trace(const char* category, const std::string& detail) {
+  if (trace_ != nullptr) {
+    trace_->record(engine_->now(), cfg_.id, category, detail);
+  }
+}
+
+std::uint64_t Server::now_ns() const { return static_cast<std::uint64_t>(clock_.now().ns); }
+
+BlockAllocator* Server::allocator_with_space(std::uint64_t blocks) {
+  for (auto& a : allocators_) {
+    if (a->free_blocks() >= blocks) {
+      return a.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Server::grow_file(Inode& inode, std::uint64_t new_size) {
+  const std::uint64_t needed = (new_size + cfg_.block_size - 1) / cfg_.block_size;
+  const std::uint64_t have = inode.allocated_blocks();
+  if (needed <= have) {
+    return Status::ok();
+  }
+  BlockAllocator* alloc = allocator_with_space(needed - have);
+  if (alloc == nullptr) {
+    return ErrorCode::kNoSpace;
+  }
+  auto extents = alloc->allocate(needed - have);
+  STANK_ASSERT(extents.ok());
+  for (auto& e : extents.value()) {
+    inode.extents.push_back(e);
+  }
+  return Status::ok();
+}
+
+void Server::shrink_file(Inode& inode, std::uint64_t new_size) {
+  const std::uint64_t needed = (new_size + cfg_.block_size - 1) / cfg_.block_size;
+  std::uint64_t have = inode.allocated_blocks();
+  while (have > needed && !inode.extents.empty()) {
+    protocol::Extent& last = inode.extents.back();
+    const std::uint64_t excess = have - needed;
+    if (last.count <= excess) {
+      have -= last.count;
+      for (auto& a : allocators_) {
+        if (a->disk() == last.disk) {
+          a->release({last});
+          break;
+        }
+      }
+      inode.extents.pop_back();
+    } else {
+      const std::uint32_t trim = static_cast<std::uint32_t>(excess);
+      protocol::Extent freed{last.disk, last.start + last.count - trim, trim};
+      last.count -= trim;
+      have -= trim;
+      for (auto& a : allocators_) {
+        if (a->disk() == freed.disk) {
+          a->release({freed});
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace stank::server

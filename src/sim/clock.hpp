@@ -1,0 +1,95 @@
+// Per-node hardware clocks with bounded rate skew.
+//
+// The paper's only timing assumption (section 3) is *rate* synchronization:
+// an interval of length t on one clock measures within (t/(1+eps), t(1+eps))
+// on another. We model each node's clock as running at a fixed rate rho in
+// [1/(1+eps), 1+eps] relative to true (global) time. There is no absolute
+// synchronization: nodes cannot see global time at all.
+#pragma once
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace stank::sim {
+
+// Pure mapping between the global frame and one node's local frame.
+class LocalClock {
+ public:
+  // rate = local seconds elapsed per global second; offset shifts the local
+  // epoch (nodes do not share an epoch).
+  explicit LocalClock(double rate = 1.0, LocalTime epoch = LocalTime{0})
+      : rate_(rate), epoch_(epoch) {
+    STANK_ASSERT_MSG(rate > 0.0, "clock must advance");
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+  [[nodiscard]] LocalTime local_now(SimTime global) const {
+    return epoch_ + LocalDuration{llround_ns(static_cast<double>(global.ns) * rate_)};
+  }
+
+  // Converts a local duration into the global duration that elapses while
+  // this clock counts it off.
+  [[nodiscard]] Duration to_global(LocalDuration d) const {
+    return Duration{llround_ns(static_cast<double>(d.ns) / rate_)};
+  }
+
+  [[nodiscard]] LocalDuration to_local(Duration d) const {
+    return LocalDuration{llround_ns(static_cast<double>(d.ns) * rate_)};
+  }
+
+  // True if this clock's rate is within the paper's bound of another's:
+  // an interval t on one clock measures within (t/(1+eps), t(1+eps)) on the
+  // other.
+  [[nodiscard]] bool rate_synchronized_with(const LocalClock& other, double eps) const {
+    const double ratio = rate_ / other.rate_;
+    return ratio < (1.0 + eps) && ratio > 1.0 / (1.0 + eps);
+  }
+
+ private:
+  static std::int64_t llround_ns(double v) { return static_cast<std::int64_t>(std::llround(v)); }
+
+  double rate_;
+  LocalTime epoch_;
+};
+
+// A node's view of time: read the local clock, set timers in local units.
+// This is the ONLY time interface node code (client/server) may use; the
+// global frame is reserved for the fabric models and the verifier.
+class NodeClock {
+ public:
+  NodeClock(Engine& engine, LocalClock clock) : engine_(&engine), clock_(clock) {}
+
+  [[nodiscard]] LocalTime now() const { return clock_.local_now(engine_->now()); }
+
+  // Schedules fn after a delay measured on THIS node's clock.
+  TimerId schedule_after(LocalDuration d, std::function<void()> fn) {
+    return engine_->schedule_after(clock_.to_global(d), std::move(fn));
+  }
+
+  bool cancel(TimerId id) { return engine_->cancel(id); }
+  [[nodiscard]] bool pending(TimerId id) const { return engine_->pending(id); }
+
+  [[nodiscard]] const LocalClock& local_clock() const { return clock_; }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+
+ private:
+  Engine* engine_;
+  LocalClock clock_;
+};
+
+// Builds a clock rate drawn uniformly from the legal band [1/(1+eps), 1+eps].
+// With adversarial = +1/-1, returns the extreme fast/slow rate — used by the
+// Theorem 3.1 boundary tests.
+inline double skewed_rate(double eps, double unit_draw, int adversarial = 0) {
+  const double lo = 1.0 / (1.0 + eps);
+  const double hi = 1.0 + eps;
+  if (adversarial > 0) return hi;
+  if (adversarial < 0) return lo;
+  return lo + (hi - lo) * unit_draw;
+}
+
+}  // namespace stank::sim

@@ -1,0 +1,66 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace stank::sim {
+
+TimerId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  STANK_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  STANK_ASSERT(fn != nullptr);
+  const TimerId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(TimerId id) { return callbacks_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled; discard tombstone
+      continue;
+    }
+    queue_.pop();
+    STANK_ASSERT(e.at >= now_);
+    now_ = e.at;
+    // Move the callback out before invoking: the callback may schedule new
+    // events, which can rehash callbacks_.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    STANK_ASSERT_MSG(executed_ <= event_limit_, "event limit exceeded: runaway simulation?");
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime horizon) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    // Peek past tombstones to find the next live event time.
+    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().at > horizon) {
+      break;
+    }
+    step();
+  }
+  if (now_ < horizon) {
+    now_ = horizon;
+  }
+}
+
+void Engine::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+}  // namespace stank::sim

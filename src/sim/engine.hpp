@@ -1,0 +1,84 @@
+// Discrete-event simulation engine.
+//
+// A single priority queue of (global time, sequence) ordered events. All node
+// behaviour — message delivery, disk service, lease timers — runs inside
+// events. Ties are broken by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace stank::sim {
+
+using TimerId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules fn at absolute global time t (>= now). Returns an id usable
+  // with cancel().
+  TimerId schedule_at(SimTime t, std::function<void()> fn);
+  TimerId schedule_after(Duration d, std::function<void()> fn) {
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  // Cancels a pending event; a no-op if it already ran or was cancelled.
+  // Returns true if the event was still pending.
+  bool cancel(TimerId id);
+
+  [[nodiscard]] bool pending(TimerId id) const { return callbacks_.contains(id); }
+
+  // Executes the next event. Returns false if the queue is empty.
+  bool step();
+
+  // Runs events until the queue is empty, the horizon is passed, or stop()
+  // is called. Events scheduled exactly at the horizon still run.
+  void run_until(SimTime horizon);
+
+  // Runs until the queue drains or the safety limit on executed events trips
+  // (which aborts: a drained queue is the only legitimate way to finish).
+  void run();
+
+  // Requests that the current run_until()/run() return after the current
+  // event completes.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t events_pending() const { return callbacks_.size(); }
+
+  // Safety valve against runaway event loops; default is generous.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    TimerId id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{};
+  std::uint64_t next_seq_{0};
+  TimerId next_id_{1};
+  std::uint64_t executed_{0};
+  std::uint64_t event_limit_{500'000'000};
+  bool stop_requested_{false};
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+};
+
+}  // namespace stank::sim

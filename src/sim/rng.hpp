@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement the generator and the distributions ourselves (xoshiro256++
+// seeded via splitmix64) so that a given seed produces the identical event
+// schedule on every platform and standard library. std::*_distribution output
+// is implementation-defined and would break cross-machine reproducibility of
+// the experiment tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace stank::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Derives an independent stream; used to give each node its own RNG so the
+  // order in which nodes draw numbers cannot perturb one another.
+  [[nodiscard]] Rng fork(std::uint64_t stream);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  bool bernoulli(double p);
+  // Zipf-distributed rank in [0, n), exponent s >= 0 (0 = uniform).
+  std::size_t zipf(std::size_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  // Cached Zipf normalization: recomputed only when (n, s) changes.
+  std::size_t zipf_n_{0};
+  double zipf_s_{-1.0};
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace stank::sim

@@ -1,0 +1,98 @@
+// Simulated time.
+//
+// Two distinct time frames exist in this system and the whole point of the
+// paper's clock model is that they must never be confused:
+//
+//  * Global time (SimTime/Duration)  — the simulator's omniscient frame, in
+//    nanoseconds. Real nodes do not have access to it.
+//  * Local time (LocalTime/LocalDuration) — what a node's own hardware clock
+//    reads. Each node's clock runs at a fixed rate within the paper's
+//    rate-synchronization bound epsilon of true time.
+//
+// The types are distinct so that passing a local duration where a global one
+// is expected fails to compile.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace stank::sim {
+
+namespace time_detail {
+
+template <typename Tag>
+struct DurationT {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(DurationT, DurationT) = default;
+  friend constexpr DurationT operator+(DurationT a, DurationT b) { return {a.ns + b.ns}; }
+  friend constexpr DurationT operator-(DurationT a, DurationT b) { return {a.ns - b.ns}; }
+  friend constexpr DurationT operator*(DurationT a, std::int64_t k) { return {a.ns * k}; }
+  friend constexpr DurationT operator/(DurationT a, std::int64_t k) { return {a.ns / k}; }
+  friend DurationT operator*(DurationT a, double k) {
+    return {static_cast<std::int64_t>(std::llround(static_cast<double>(a.ns) * k))};
+  }
+  friend DurationT operator/(DurationT a, double k) {
+    return {static_cast<std::int64_t>(std::llround(static_cast<double>(a.ns) / k))};
+  }
+  constexpr DurationT& operator+=(DurationT b) {
+    ns += b.ns;
+    return *this;
+  }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns) / 1e6; }
+};
+
+template <typename Tag>
+struct TimePointT {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(TimePointT, TimePointT) = default;
+  friend constexpr TimePointT operator+(TimePointT t, DurationT<Tag> d) { return {t.ns + d.ns}; }
+  friend constexpr TimePointT operator-(TimePointT t, DurationT<Tag> d) { return {t.ns - d.ns}; }
+  friend constexpr DurationT<Tag> operator-(TimePointT a, TimePointT b) { return {a.ns - b.ns}; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns) / 1e9; }
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, DurationT<Tag> d) {
+  return os << d.seconds() << "s";
+}
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, TimePointT<Tag> t) {
+  return os << "@" << t.seconds() << "s";
+}
+
+struct GlobalTag {};
+struct LocalTag {};
+
+}  // namespace time_detail
+
+// The simulator's true frame.
+using Duration = time_detail::DurationT<time_detail::GlobalTag>;
+using SimTime = time_detail::TimePointT<time_detail::GlobalTag>;
+
+// A node's own hardware-clock frame.
+using LocalDuration = time_detail::DurationT<time_detail::LocalTag>;
+using LocalTime = time_detail::TimePointT<time_detail::LocalTag>;
+
+// Duration literal helpers (usable for either frame via the templated tag).
+constexpr Duration nanos(std::int64_t n) { return {n}; }
+constexpr Duration micros(std::int64_t n) { return {n * 1'000}; }
+constexpr Duration millis(std::int64_t n) { return {n * 1'000'000}; }
+constexpr Duration seconds(std::int64_t n) { return {n * 1'000'000'000}; }
+constexpr Duration seconds_d(double s) {
+  return {static_cast<std::int64_t>(s * 1e9)};
+}
+
+constexpr LocalDuration local_nanos(std::int64_t n) { return {n}; }
+constexpr LocalDuration local_micros(std::int64_t n) { return {n * 1'000}; }
+constexpr LocalDuration local_millis(std::int64_t n) { return {n * 1'000'000}; }
+constexpr LocalDuration local_seconds(std::int64_t n) { return {n * 1'000'000'000}; }
+constexpr LocalDuration local_seconds_d(double s) {
+  return {static_cast<std::int64_t>(s * 1e9)};
+}
+
+}  // namespace stank::sim

@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+
+namespace stank::sim {
+
+void TraceLog::record(SimTime at, NodeId node, std::string category, std::string detail) {
+  events_.push_back(TraceEvent{at, node, std::move(category), std::move(detail)});
+}
+
+std::vector<TraceEvent> TraceLog::by_category(const std::string& category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::by_node(NodeId node) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.node == node) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+const TraceEvent* TraceLog::find(const std::string& category, const std::string& needle) const {
+  for (const auto& e : events_) {
+    if (e.category == category && e.detail.find(needle) != std::string::npos) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t TraceLog::count(const std::string& category, const std::string& needle) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category && e.detail.find(needle) != std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceLog::print(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << std::fixed << std::setprecision(6) << e.at.seconds() << "s  " << e.node << "  ["
+       << e.category << "] " << e.detail << "\n";
+  }
+}
+
+}  // namespace stank::sim

@@ -1,0 +1,47 @@
+// Structured trace log.
+//
+// Records protocol events with their global timestamp so tests can assert on
+// orderings ("the server stole the locks strictly after the client finished
+// its phase-4 flush") and benches can replay the paper's figures as traces.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "sim/time.hpp"
+
+namespace stank::sim {
+
+struct TraceEvent {
+  SimTime at;
+  NodeId node;
+  std::string category;  // e.g. "lease", "lock", "net", "io"
+  std::string detail;
+};
+
+class TraceLog {
+ public:
+  void record(SimTime at, NodeId node, std::string category, std::string detail);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  // All events whose category matches exactly, preserving order.
+  [[nodiscard]] std::vector<TraceEvent> by_category(const std::string& category) const;
+  [[nodiscard]] std::vector<TraceEvent> by_node(NodeId node) const;
+
+  // First event whose category matches and whose detail contains `needle`;
+  // returns nullptr if absent.
+  [[nodiscard]] const TraceEvent* find(const std::string& category,
+                                       const std::string& needle) const;
+  [[nodiscard]] std::size_t count(const std::string& category, const std::string& needle) const;
+
+  void clear() { events_.clear(); }
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace stank::sim

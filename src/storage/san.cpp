@@ -1,0 +1,113 @@
+#include "storage/san.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace stank::storage {
+
+SanFabric::SanFabric(sim::Engine& engine, sim::Rng rng, SanConfig cfg)
+    : engine_(&engine), rng_(rng), cfg_(std::move(cfg)) {}
+
+VirtualDisk& SanFabric::add_disk(DiskId id, BlockAddr capacity_blocks, std::uint32_t block_size) {
+  auto [it, inserted] =
+      disks_.emplace(id, std::make_unique<VirtualDisk>(id, capacity_blocks, block_size));
+  STANK_ASSERT_MSG(inserted, "duplicate disk id");
+  return *it->second;
+}
+
+VirtualDisk& SanFabric::disk(DiskId id) {
+  auto it = disks_.find(id);
+  STANK_ASSERT_MSG(it != disks_.end(), "unknown disk");
+  return *it->second;
+}
+
+const VirtualDisk& SanFabric::disk(DiskId id) const {
+  auto it = disks_.find(id);
+  STANK_ASSERT_MSG(it != disks_.end(), "unknown disk");
+  return *it->second;
+}
+
+sim::Duration SanFabric::service_delay(NodeId initiator) {
+  sim::Duration d = cfg_.latency;
+  if (cfg_.jitter.ns > 0) {
+    d += sim::Duration{rng_.uniform_int(0, cfg_.jitter.ns)};
+  }
+  auto it = cfg_.initiator_delay.find(initiator);
+  if (it != cfg_.initiator_delay.end()) {
+    d += it->second;
+  }
+  return d;
+}
+
+void SanFabric::submit(IoRequest req, IoCallback cb) {
+  STANK_ASSERT(cb != nullptr);
+  ++stats_.ios_submitted;
+
+  if (!reach_.can_reach(req.initiator, req.disk)) {
+    ++stats_.ios_failed_partition;
+    // The initiator observes a timeout, not an instant failure.
+    engine_->schedule_after(cfg_.error_timeout, [cb = std::move(cb)]() {
+      cb(IoResult{Status{ErrorCode::kIoError}, {}});
+    });
+    return;
+  }
+  if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
+    engine_->schedule_after(cfg_.error_timeout, [cb = std::move(cb)]() {
+      cb(IoResult{Status{ErrorCode::kIoError}, {}});
+    });
+    return;
+  }
+
+  const sim::Duration delay = service_delay(req.initiator);
+  engine_->schedule_after(delay, [this, req = std::move(req), cb = std::move(cb)]() mutable {
+    // A partition that formed while the command was in flight also kills it.
+    if (!reach_.can_reach(req.initiator, req.disk)) {
+      ++stats_.ios_failed_partition;
+      cb(IoResult{Status{ErrorCode::kIoError}, {}});
+      return;
+    }
+    auto it = disks_.find(req.disk);
+    STANK_ASSERT_MSG(it != disks_.end(), "I/O to unknown disk");
+    IoResult result = it->second->execute(req);
+    ++stats_.ios_completed;
+    if (result.status.is_ok()) {
+      stats_.bytes_transferred += req.op == IoOp::kWrite ? req.data.size() : result.data.size();
+      if (on_io) {
+        on_io(req, result, engine_->now());
+      }
+    } else if (result.status.error() == ErrorCode::kFenced) {
+      ++stats_.ios_failed_fenced;
+    }
+    cb(std::move(result));
+  });
+}
+
+void SanFabric::submit_admin(AdminRequest req, AdminCallback cb) {
+  STANK_ASSERT(cb != nullptr);
+  ++stats_.admin_ops;
+
+  if (!reach_.can_reach(req.requester, req.disk)) {
+    engine_->schedule_after(cfg_.error_timeout,
+                            [cb = std::move(cb)]() { cb(Status{ErrorCode::kIoError}); });
+    return;
+  }
+
+  const sim::Duration delay = service_delay(req.requester);
+  engine_->schedule_after(delay, [this, req, cb = std::move(cb)]() {
+    if (!reach_.can_reach(req.requester, req.disk)) {
+      cb(Status{ErrorCode::kIoError});
+      return;
+    }
+    auto it = disks_.find(req.disk);
+    STANK_ASSERT_MSG(it != disks_.end(), "admin to unknown disk");
+    if (req.op == AdminOp::kFence) {
+      it->second->fence(req.target);
+    } else {
+      it->second->unfence(req.target, req.new_key);
+    }
+    cb(Status::ok());
+  });
+}
+
+}  // namespace stank::storage

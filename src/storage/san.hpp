@@ -1,0 +1,80 @@
+// The storage area network fabric.
+//
+// Routes block I/O and admin (fence) commands from initiators — clients and
+// servers — to disks, with its own latency model and its own independent
+// partition state. The paper's "two network problem" arises exactly because
+// this fabric and the control network fail independently: a client cut off
+// from the server usually still reaches the disks, and vice versa.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/reachability.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "storage/io.hpp"
+#include "storage/virtual_disk.hpp"
+
+namespace stank::storage {
+
+struct SanConfig {
+  sim::Duration latency{sim::micros(500)};  // submit-to-completion base service time
+  sim::Duration jitter{sim::micros(100)};
+  double drop_probability{0.0};  // lost command: completes with kIoError after timeout
+  sim::Duration error_timeout{sim::millis(50)};
+  // Per-initiator extra service delay; models the paper's "slow computer"
+  // whose late commands fencing must stop.
+  std::unordered_map<NodeId, sim::Duration> initiator_delay;
+};
+
+struct SanStats {
+  std::uint64_t ios_submitted{0};
+  std::uint64_t ios_completed{0};
+  std::uint64_t ios_failed_partition{0};
+  std::uint64_t ios_failed_fenced{0};
+  std::uint64_t admin_ops{0};
+  std::uint64_t bytes_transferred{0};
+};
+
+class SanFabric {
+ public:
+  SanFabric(sim::Engine& engine, sim::Rng rng, SanConfig cfg = {});
+
+  // The fabric owns its disks.
+  VirtualDisk& add_disk(DiskId id, BlockAddr capacity_blocks, std::uint32_t block_size);
+  [[nodiscard]] VirtualDisk& disk(DiskId id);
+  [[nodiscard]] const VirtualDisk& disk(DiskId id) const;
+
+  // Submits block I/O; the callback always fires (with kIoError on loss,
+  // kFenced on rejection, kIoError on partition).
+  void submit(IoRequest req, IoCallback cb);
+
+  // Admin command from a server to a disk: travels the SAN like any other
+  // command, so a SAN partition between server and disk makes fencing fail.
+  void submit_admin(AdminRequest req, AdminCallback cb);
+
+  // Initiator-to-disk reachability (directed, per the two-network model).
+  [[nodiscard]] net::Reachability<NodeId, DiskId>& reachability() { return reach_; }
+
+  // Omniscient observation tap for the verifier: fires for every I/O the
+  // disk actually executed successfully (at its completion time). Not part
+  // of the modelled system.
+  std::function<void(const IoRequest&, const IoResult&, sim::SimTime)> on_io;
+
+  [[nodiscard]] const SanStats& stats() const { return stats_; }
+  void set_config(SanConfig cfg) { cfg_ = std::move(cfg); }
+  [[nodiscard]] SanConfig& config() { return cfg_; }
+
+ private:
+  sim::Duration service_delay(NodeId initiator);
+
+  sim::Engine* engine_;
+  sim::Rng rng_;
+  SanConfig cfg_;
+  net::Reachability<NodeId, DiskId> reach_;
+  std::unordered_map<DiskId, std::unique_ptr<VirtualDisk>> disks_;
+  SanStats stats_;
+};
+
+}  // namespace stank::storage

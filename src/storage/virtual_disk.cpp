@@ -1,0 +1,56 @@
+#include "storage/virtual_disk.hpp"
+
+#include "common/assert.hpp"
+
+namespace stank::storage {
+
+VirtualDisk::VirtualDisk(DiskId id, BlockAddr capacity_blocks, std::uint32_t block_size)
+    : id_(id), capacity_(capacity_blocks), block_size_(block_size) {
+  STANK_ASSERT(capacity_blocks > 0);
+  STANK_ASSERT(block_size > 0);
+}
+
+IoResult VirtualDisk::execute(const IoRequest& req) {
+  auto key_it = keys_.find(req.initiator);
+  if (key_it != keys_.end() &&
+      (!key_it->second.has_value() || *key_it->second != req.io_key)) {
+    // Blocked outright, or a command from a superseded registration (a slow
+    // computer's late I/O — exactly what the paper's fence must stop).
+    ++fence_rejects_;
+    return IoResult{Status{ErrorCode::kFenced}, {}};
+  }
+  if (req.count == 0 || req.addr + req.count > capacity_) {
+    return IoResult{Status{ErrorCode::kInvalidArgument}, {}};
+  }
+
+  if (req.op == IoOp::kWrite) {
+    if (req.data.size() != static_cast<std::size_t>(req.count) * block_size_) {
+      return IoResult{Status{ErrorCode::kInvalidArgument}, {}};
+    }
+    for (std::uint32_t i = 0; i < req.count; ++i) {
+      Bytes& blk = blocks_[req.addr + i];
+      blk.assign(req.data.begin() + static_cast<std::ptrdiff_t>(i) * block_size_,
+                 req.data.begin() + static_cast<std::ptrdiff_t>(i + 1) * block_size_);
+    }
+    ++writes_;
+    return IoResult{Status::ok(), {}};
+  }
+
+  Bytes out(static_cast<std::size_t>(req.count) * block_size_, 0);
+  for (std::uint32_t i = 0; i < req.count; ++i) {
+    auto it = blocks_.find(req.addr + i);
+    if (it != blocks_.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(i) * block_size_);
+    }
+  }
+  ++reads_;
+  return IoResult{Status::ok(), std::move(out)};
+}
+
+Bytes VirtualDisk::peek(BlockAddr addr) const {
+  auto it = blocks_.find(addr);
+  return it == blocks_.end() ? Bytes{} : it->second;
+}
+
+}  // namespace stank::storage

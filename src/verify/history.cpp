@@ -1,0 +1,77 @@
+#include "verify/history.hpp"
+
+#include <algorithm>
+#include <span>
+
+namespace stank::verify {
+
+void HistoryRecorder::on_disk_io(const storage::IoRequest& req, const storage::IoResult& res,
+                                 sim::SimTime at, std::uint32_t block_size) {
+  if (req.op != storage::IoOp::kWrite || !res.status.is_ok()) {
+    return;
+  }
+  for (std::uint32_t i = 0; i < req.count; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * block_size;
+    if (off + block_size > req.data.size()) {
+      break;
+    }
+    auto stamp = decode_stamp(std::span<const std::uint8_t>(req.data).subspan(off, block_size));
+    if (!stamp) {
+      continue;  // unstamped write (metadata, filler) — not verified
+    }
+    disk_writes_.push_back(DiskWriteRec{at, req.initiator, req.disk, req.addr + i, *stamp});
+  }
+}
+
+void HistoryRecorder::on_buffered_write(sim::SimTime at, NodeId client, const Stamp& stamp) {
+  buffered_writes_.push_back(BufferedWriteRec{at, client, stamp});
+}
+
+void HistoryRecorder::on_read(const ReadRec& r) { reads_.push_back(r); }
+
+void HistoryRecorder::on_crash(NodeId client) { crashed_.insert(client); }
+
+std::vector<DiskWriteRec> HistoryRecorder::disk_writes_of(BlockKey key) const {
+  std::vector<DiskWriteRec> out;
+  for (const auto& w : disk_writes_) {
+    if (w.stamp.file == key.first && w.stamp.block == key.second) {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+std::uint64_t HistoryRecorder::disk_version_at(BlockKey key, sim::SimTime t) const {
+  std::uint64_t v = 0;
+  sim::SimTime latest{-1};
+  for (const auto& w : disk_writes_) {
+    if (w.stamp.file == key.first && w.stamp.block == key.second && w.at <= t && w.at >= latest) {
+      latest = w.at;
+      v = w.stamp.version;
+    }
+  }
+  return v;
+}
+
+std::set<HistoryRecorder::BlockKey> HistoryRecorder::all_blocks() const {
+  std::set<BlockKey> keys;
+  for (const auto& w : disk_writes_) {
+    keys.insert({w.stamp.file, w.stamp.block});
+  }
+  for (const auto& w : buffered_writes_) {
+    keys.insert({w.stamp.file, w.stamp.block});
+  }
+  for (const auto& r : reads_) {
+    keys.insert({r.file, r.block});
+  }
+  return keys;
+}
+
+void HistoryRecorder::clear() {
+  disk_writes_.clear();
+  buffered_writes_.clear();
+  reads_.clear();
+  crashed_.clear();
+}
+
+}  // namespace stank::verify

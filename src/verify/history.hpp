@@ -1,0 +1,84 @@
+// Omniscient history recorder.
+//
+// Test equipment, not part of the modelled system: it taps the SAN fabric
+// (every I/O the disks execute) and receives explicit notifications from the
+// workload driver (writes accepted into a client cache, reads returned to a
+// local process). The ConsistencyChecker replays this history against the
+// file system's guarantees.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "sim/time.hpp"
+#include "storage/io.hpp"
+#include "verify/stamp.hpp"
+
+namespace stank::verify {
+
+struct DiskWriteRec {
+  sim::SimTime at;        // completion time at the disk (serialization point)
+  NodeId initiator;
+  DiskId disk;
+  storage::BlockAddr addr;
+  Stamp stamp;            // decoded from the written block
+};
+
+struct BufferedWriteRec {
+  sim::SimTime at;        // when the local process's write() completed
+  NodeId client;
+  Stamp stamp;
+};
+
+struct ReadRec {
+  sim::SimTime start;
+  sim::SimTime end;
+  NodeId client;
+  FileId file;
+  std::uint64_t block{0};
+  // Version observed by the process; 0 when the block carried no stamp yet.
+  std::uint64_t observed_version{0};
+};
+
+class HistoryRecorder {
+ public:
+  // SAN tap entry point: install as
+  //   san.on_io = [&](auto& rq, auto& rs, auto t) { rec.on_disk_io(rq, rs, t, bs); };
+  void on_disk_io(const storage::IoRequest& req, const storage::IoResult& res, sim::SimTime at,
+                  std::uint32_t block_size);
+
+  // Driver notifications.
+  void on_buffered_write(sim::SimTime at, NodeId client, const Stamp& stamp);
+  void on_read(const ReadRec& r);
+  void on_crash(NodeId client);
+
+  using BlockKey = std::pair<FileId, std::uint64_t>;
+
+  [[nodiscard]] const std::vector<DiskWriteRec>& disk_writes() const { return disk_writes_; }
+  [[nodiscard]] const std::vector<BufferedWriteRec>& buffered_writes() const {
+    return buffered_writes_;
+  }
+  [[nodiscard]] const std::vector<ReadRec>& reads() const { return reads_; }
+  [[nodiscard]] const std::set<NodeId>& crashed() const { return crashed_; }
+
+  // Disk writes of one (file, block), in completion order.
+  [[nodiscard]] std::vector<DiskWriteRec> disk_writes_of(BlockKey key) const;
+  // Version of the last disk write to (file, block) completing at or before
+  // t; 0 if none.
+  [[nodiscard]] std::uint64_t disk_version_at(BlockKey key, sim::SimTime t) const;
+  // All block keys that appear anywhere in the history.
+  [[nodiscard]] std::set<BlockKey> all_blocks() const;
+
+  void clear();
+
+ private:
+  std::vector<DiskWriteRec> disk_writes_;
+  std::vector<BufferedWriteRec> buffered_writes_;
+  std::vector<ReadRec> reads_;
+  std::set<NodeId> crashed_;
+};
+
+}  // namespace stank::verify

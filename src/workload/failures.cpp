@@ -1,0 +1,62 @@
+#include "workload/failures.hpp"
+
+#include <algorithm>
+
+namespace stank::workload {
+
+FailurePlan FailurePlan::ctrl_partition(std::uint32_t client_idx, double from_s, double to_s) {
+  FailurePlan p;
+  p.add(from_s, FailureKind::kCtrlIsolate, client_idx);
+  if (to_s >= 0.0) {
+    p.add(to_s, FailureKind::kCtrlHeal, client_idx);
+  }
+  return p;
+}
+
+FailurePlan FailurePlan::random(sim::Rng& rng, const WorkloadSpec& spec, std::size_t count,
+                                RandomMix mix) {
+  std::vector<FailureKind> kinds;
+  if (mix.ctrl_partitions) kinds.push_back(FailureKind::kCtrlIsolate);
+  if (mix.asymmetric_partitions) kinds.push_back(FailureKind::kCtrlSeverToServer);
+  if (mix.crashes) kinds.push_back(FailureKind::kCrash);
+  if (mix.san_partitions) kinds.push_back(FailureKind::kSanIsolate);
+
+  FailurePlan p;
+  if (kinds.empty()) return p;
+  const double lo = 0.10 * spec.run_seconds;
+  const double hi = 0.70 * spec.run_seconds;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double at = lo + (hi - lo) * rng.uniform();
+    const auto client =
+        static_cast<std::uint32_t>(rng.uniform_int(0, spec.num_clients - 1));
+    const double hold = 0.05 * spec.run_seconds +
+                        0.20 * spec.run_seconds * rng.uniform();
+    const double end = std::min(at + hold, spec.run_seconds * 0.95);
+    switch (kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))]) {
+      case FailureKind::kCtrlIsolate:
+        p.add(at, FailureKind::kCtrlIsolate, client);
+        p.add(end, FailureKind::kCtrlHeal, client);
+        break;
+      case FailureKind::kCtrlSeverToServer:
+        p.add(at, FailureKind::kCtrlSeverToServer, client);
+        p.add(end, FailureKind::kCtrlHeal, client);
+        break;
+      case FailureKind::kCrash:
+        p.add(at, FailureKind::kCrash, client);
+        p.add(end, FailureKind::kRestart, client);
+        break;
+      case FailureKind::kSanIsolate:
+        p.add(at, FailureKind::kSanIsolate, client);
+        p.add(end, FailureKind::kSanHeal, client);
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(p.events.begin(), p.events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) { return a.at_s < b.at_s; });
+  return p;
+}
+
+}  // namespace stank::workload

@@ -1,0 +1,89 @@
+// Failure injection schedules.
+//
+// Failures are the whole subject of the paper: control-network partitions
+// (symmetric and asymmetric), SAN partitions, client crashes, and slow
+// clients. A FailurePlan is a deterministic list of timed events the
+// Scenario applies to the fabrics and nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/spec.hpp"
+
+namespace stank::workload {
+
+enum class FailureKind : std::uint8_t {
+  kCtrlIsolate,       // cut client <-> server on the control network (both ways)
+  kCtrlHeal,
+  kCtrlSeverToServer, // asymmetric: client -> server direction only
+  kSanIsolate,        // cut client -> disks on the SAN
+  kSanHeal,
+  kCrash,             // fail-stop: volatile state lost
+  kRestart,           // reboot a crashed client
+  kSlowSan,           // add extra SAN service delay for this initiator
+  kServerCrash,       // the metadata/lock server fails (volatile state lost)
+  kServerRestart,     // new server incarnation; grace period for reassertion
+};
+
+[[nodiscard]] constexpr const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::kCtrlIsolate: return "ctrl-isolate";
+    case FailureKind::kCtrlHeal: return "ctrl-heal";
+    case FailureKind::kCtrlSeverToServer: return "ctrl-sever-to-server";
+    case FailureKind::kSanIsolate: return "san-isolate";
+    case FailureKind::kSanHeal: return "san-heal";
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kRestart: return "restart";
+    case FailureKind::kSlowSan: return "slow-san";
+    case FailureKind::kServerCrash: return "server-crash";
+    case FailureKind::kServerRestart: return "server-restart";
+  }
+  return "?";
+}
+
+struct FailureEvent {
+  double at_s{0.0};
+  FailureKind kind{FailureKind::kCtrlIsolate};
+  std::uint32_t client_idx{0};
+  double param_s{0.0};  // kSlowSan: added delay in seconds
+};
+
+struct FailurePlan {
+  std::vector<FailureEvent> events;
+
+  FailurePlan& add(double at_s, FailureKind kind, std::uint32_t client_idx,
+                   double param_s = 0.0) {
+    events.push_back(FailureEvent{at_s, kind, client_idx, param_s});
+    return *this;
+  }
+
+  [[nodiscard]] static FailurePlan none() { return {}; }
+
+  // A control-network partition of one client over [from_s, to_s); to_s < 0
+  // leaves it partitioned for the rest of the run.
+  [[nodiscard]] static FailurePlan ctrl_partition(std::uint32_t client_idx, double from_s,
+                                                  double to_s = -1.0);
+
+  // Which failure classes random() may draw from. SAN cuts strand dirty data
+  // by design (storage-subsystem failures are outside the paper's protocol
+  // scope, section 1), so include them only when that loss is the point.
+  struct RandomMix {
+    bool ctrl_partitions{true};
+    bool asymmetric_partitions{true};
+    bool crashes{true};
+    bool san_partitions{false};
+  };
+
+  // `count` random failures over the middle of the run: partitions (healed
+  // after a random interval), crashes (restarted), SAN cuts.
+  [[nodiscard]] static FailurePlan random(sim::Rng& rng, const WorkloadSpec& spec,
+                                          std::size_t count, RandomMix mix);
+  [[nodiscard]] static FailurePlan random(sim::Rng& rng, const WorkloadSpec& spec,
+                                          std::size_t count) {
+    return random(rng, spec, count, RandomMix{});
+  }
+};
+
+}  // namespace stank::workload

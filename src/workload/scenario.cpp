@@ -1,0 +1,420 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace stank::workload {
+
+namespace {
+
+constexpr std::uint32_t kServerNode = 1;
+constexpr std::uint32_t kClientBase = 100;
+
+std::string file_path(std::size_t i) { return "/data/f" + std::to_string(i); }
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.workload.seed) {
+  cfg_.lease.validate();
+  settle_seconds_ = cfg_.workload.settle_seconds > 0.0
+                        ? cfg_.workload.settle_seconds
+                        : std::max(5.0, 3.0 * cfg_.lease.tau.seconds());
+}
+
+Scenario::~Scenario() = default;
+
+NodeId Scenario::server_node() const { return NodeId{kServerNode}; }
+
+NodeId Scenario::client_node(std::size_t i) const {
+  return NodeId{static_cast<std::uint32_t>(kClientBase + i)};
+}
+
+client::Fd Scenario::fd(std::size_t client_idx, std::size_t file_idx) const {
+  return drivers_.at(client_idx).fds.at(file_idx);
+}
+
+std::uint64_t Scenario::next_version(FileId file, std::uint64_t block) {
+  return ++versions_[{file, block}];
+}
+
+void Scenario::build() {
+  net_ = std::make_unique<net::ControlNet>(engine_, rng_.fork(1), cfg_.control_net);
+  san_ = std::make_unique<storage::SanFabric>(engine_, rng_.fork(2), cfg_.san);
+  san_->on_io = [this](const storage::IoRequest& rq, const storage::IoResult& rs,
+                       sim::SimTime t) { history_.on_disk_io(rq, rs, t, cfg_.block_size); };
+
+  std::vector<DiskId> disks;
+  for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+    const DiskId id{d + 1};
+    san_->add_disk(id, cfg_.disk_blocks, cfg_.block_size);
+    disks.push_back(id);
+  }
+
+  // Clock rates: any two nodes must be mutually rate-synchronized within
+  // epsilon, so individual rates live in [1/sqrt(1+eps), sqrt(1+eps)].
+  const double eps = cfg_.lease.epsilon;
+  const double hi = std::sqrt(1.0 + eps);
+  const double lo = 1.0 / hi;
+  auto draw_rate = [&](bool is_server) {
+    switch (cfg_.clock_skew_mode) {
+      case -1: return is_server ? hi : lo;  // safety-boundary: server fast, clients slow
+      case +1: return is_server ? lo : hi;  // availability-worst: server slow, clients fast
+      case +2: return 1.0;                  // ideal clocks
+      default: return lo + (hi - lo) * rng_.uniform();
+    }
+  };
+
+  server::ServerConfig scfg;
+  scfg.id = server_node();
+  scfg.lease = cfg_.lease;
+  scfg.recovery = cfg_.recovery;
+  scfg.strategy = cfg_.strategy;
+  scfg.transport = cfg_.transport;
+  scfg.block_size = cfg_.block_size;
+  scfg.data_disks = disks;
+  scfg.recovery_grace = cfg_.recovery_grace;
+  server_ = std::make_unique<server::Server>(engine_, *net_, *san_,
+                                             sim::LocalClock(draw_rate(true)), scfg,
+                                             cfg_.enable_trace ? &trace_ : nullptr);
+
+  for (std::uint32_t c = 0; c < cfg_.workload.num_clients; ++c) {
+    client::ClientConfig ccfg;
+    ccfg.id = client_node(c);
+    ccfg.server = server_node();
+    ccfg.lease = cfg_.lease;
+    ccfg.strategy = cfg_.strategy;
+    ccfg.coherence = cfg_.coherence;
+    ccfg.data_path = cfg_.data_path;
+    ccfg.transport = cfg_.transport;
+    ccfg.block_size = cfg_.block_size;
+    clients_.push_back(std::make_unique<client::Client>(
+        engine_, *net_, *san_, sim::LocalClock(draw_rate(false)), ccfg,
+        cfg_.enable_trace ? &trace_ : nullptr));
+  }
+
+  drivers_.resize(clients_.size());
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    drivers_[c].index = c;
+    drivers_[c].rng = rng_.fork(1000 + c);
+  }
+}
+
+void Scenario::setup() {
+  STANK_ASSERT(!setup_done_);
+  setup_done_ = true;
+  build();
+
+  // Preallocate the file pool so sizes and extents are stable.
+  for (std::uint32_t f = 0; f < cfg_.workload.num_files; ++f) {
+    auto res = server_->preallocate(
+        file_path(f), static_cast<std::uint64_t>(cfg_.workload.file_blocks) * cfg_.block_size);
+    STANK_ASSERT_MSG(res.ok(), "preallocation failed: disk too small for the file pool?");
+    file_ids_.push_back(res.value());
+  }
+
+  server_->start();
+
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    client::Client& cl = *clients_[c];
+    cl.on_registered = [this, c]() { open_all_files(c, []() {}); };
+    cl.start();
+  }
+
+  // Failure plan.
+  for (const auto& ev : cfg_.failures.events) {
+    engine_.schedule_at(sim::SimTime{} + sim::seconds_d(ev.at_s),
+                        [this, ev]() { apply_failure(ev); });
+  }
+
+  // Lease-state sampler.
+  sample_lease_state();
+}
+
+void Scenario::open_all_files(std::size_t ci, std::function<void()> done) {
+  // Sequentially (re-)open every pool file; fds are replaced wholesale.
+  auto fds = std::make_shared<std::map<std::size_t, client::Fd>>();
+  auto step = std::make_shared<std::function<void(std::size_t)>>();
+  auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
+  *step = [this, ci, fds, step, done_shared](std::size_t fi) {
+    if (fi >= cfg_.workload.num_files) {
+      drivers_[ci].fds = *fds;
+      (*done_shared)();
+      return;
+    }
+    clients_[ci]->open(file_path(fi), /*create=*/false,
+                       [this, ci, fi, fds, step](Result<client::Fd> res) {
+                         if (res.ok()) {
+                           (*fds)[fi] = res.value();
+                           (*step)(fi + 1);
+                         }
+                         // On failure (partition mid-open): leave fds partial;
+                         // the next registration retriggers the sweep.
+                       });
+  };
+  (*step)(0);
+}
+
+void Scenario::run_generators() {
+  for (auto& d : drivers_) {
+    d.running = true;
+    schedule_next_op(d.index);
+  }
+}
+
+bool Scenario::workload_over() const { return now_s() >= cfg_.workload.run_seconds; }
+
+void Scenario::schedule_next_op(std::size_t ci) {
+  ClientDriver& d = drivers_[ci];
+  const double wait = d.rng.exponential(cfg_.workload.mean_interarrival_s);
+  engine_.schedule_after(sim::seconds_d(wait), [this, ci]() { issue_op(ci); });
+}
+
+void Scenario::issue_op(std::size_t ci) {
+  ClientDriver& d = drivers_[ci];
+  if (!d.running || workload_over()) {
+    d.running = false;
+    return;
+  }
+  schedule_next_op(ci);  // open-loop arrivals: survive dropped callbacks
+
+  client::Client& cl = *clients_[ci];
+  if (cl.crashed() || d.fds.size() < cfg_.workload.num_files) {
+    return;  // machine down or files not (re-)opened yet; skip this arrival
+  }
+
+  const OpChoice op = choose_op(d);
+  if (op.is_read) {
+    do_read(ci, op.file_idx, op.block);
+  } else {
+    do_write(ci, op.file_idx, op.block);
+  }
+}
+
+Scenario::OpChoice Scenario::choose_op(ClientDriver& d) {
+  const WorkloadSpec& w = cfg_.workload;
+  OpChoice op;
+  switch (w.pattern) {
+    case Pattern::kRandomZipf:
+      op.file_idx = d.rng.zipf(w.num_files, w.zipf_s);
+      op.block = static_cast<std::uint64_t>(d.rng.uniform_int(0, w.file_blocks - 1));
+      op.is_read = d.rng.uniform() < w.read_fraction;
+      break;
+    case Pattern::kSequential: {
+      // Walk the whole pool block by block, wrapping around.
+      const std::uint64_t total =
+          static_cast<std::uint64_t>(w.num_files) * w.file_blocks;
+      const std::uint64_t pos = d.cursor++ % total;
+      op.file_idx = static_cast<std::size_t>(pos / w.file_blocks);
+      op.block = pos % w.file_blocks;
+      op.is_read = d.rng.uniform() < w.read_fraction;
+      break;
+    }
+    case Pattern::kProducerConsumer:
+      op.file_idx = d.rng.zipf(w.num_files, w.zipf_s);
+      op.block = static_cast<std::uint64_t>(d.rng.uniform_int(0, w.file_blocks - 1));
+      // Client 0 produces; everyone else consumes.
+      op.is_read = d.index != 0;
+      break;
+    case Pattern::kPrivate: {
+      // Client i owns the files congruent to i; nobody else touches them.
+      const std::uint32_t owned =
+          (w.num_files + w.num_clients - 1) / w.num_clients;
+      const auto nth = static_cast<std::uint32_t>(
+          d.rng.uniform_int(0, std::max<std::int64_t>(0, owned - 1)));
+      std::size_t fi = d.index + static_cast<std::size_t>(nth) * w.num_clients;
+      if (fi >= w.num_files) fi = d.index % w.num_files;
+      op.file_idx = fi;
+      op.block = static_cast<std::uint64_t>(d.rng.uniform_int(0, w.file_blocks - 1));
+      op.is_read = d.rng.uniform() < w.read_fraction;
+      break;
+    }
+  }
+  return op;
+}
+
+void Scenario::do_write(std::size_t ci, std::size_t fi, std::uint64_t block) {
+  ClientDriver& d = drivers_[ci];
+  client::Client& cl = *clients_[ci];
+  const client::Fd fd = d.fds.at(fi);
+  const FileId file = file_ids_.at(fi);
+  const NodeId node = client_node(ci);
+  const sim::SimTime t0 = engine_.now();
+
+  auto perform = [this, ci, fd, file, block, node, t0]() {
+    client::Client& cl2 = *clients_[ci];
+    const std::uint64_t version = next_version(file, block);
+    verify::Stamp stamp{file, block, version, node};
+    Bytes data = verify::make_stamped_block(cfg_.block_size, stamp);
+    cl2.write(fd, block * cfg_.block_size, std::move(data),
+              [this, stamp, node, t0](Status st) {
+                if (st.is_ok()) {
+                  ++writes_ok_;
+                  history_.on_buffered_write(engine_.now(), node, stamp);
+                  op_latency_ms_.add((engine_.now() - t0).millis());
+                } else {
+                  ++ops_failed_;
+                }
+              });
+  };
+
+  if (cfg_.coherence == client::CoherenceMode::kNfsPoll) {
+    // No locks in NFS mode; versions are drawn at issue time, which is
+    // exactly why unsynchronized writers can interleave badly.
+    perform();
+    return;
+  }
+  cl.lock(fd, protocol::LockMode::kExclusive, [this, perform](Status st) {
+    if (!st.is_ok()) {
+      ++ops_failed_;
+      return;
+    }
+    perform();
+  });
+}
+
+void Scenario::do_read(std::size_t ci, std::size_t fi, std::uint64_t block) {
+  ClientDriver& d = drivers_[ci];
+  client::Client& cl = *clients_[ci];
+  const client::Fd fd = d.fds.at(fi);
+  const FileId file = file_ids_.at(fi);
+  const NodeId node = client_node(ci);
+  const sim::SimTime t0 = engine_.now();
+
+  cl.read(fd, block * cfg_.block_size, cfg_.block_size,
+          [this, file, block, node, t0](Result<Bytes> res) {
+            if (!res.ok() || res.value().size() != cfg_.block_size) {
+              ++ops_failed_;
+              return;
+            }
+            ++reads_ok_;
+            op_latency_ms_.add((engine_.now() - t0).millis());
+            auto stamp = verify::decode_stamp(res.value());
+            verify::ReadRec rec;
+            rec.start = t0;
+            rec.end = engine_.now();
+            rec.client = node;
+            rec.file = file;
+            rec.block = block;
+            rec.observed_version = stamp ? stamp->version : 0;
+            history_.on_read(rec);
+          });
+}
+
+void Scenario::apply_failure(const FailureEvent& ev) {
+  const std::size_t ci = ev.client_idx;
+  if (ci >= clients_.size()) return;
+  const NodeId node = client_node(ci);
+  trace_.record(engine_.now(), node, "failure", to_string(ev.kind));
+
+  switch (ev.kind) {
+    case FailureKind::kCtrlIsolate:
+      net_->reachability().sever_pair(node, server_node());
+      break;
+    case FailureKind::kCtrlSeverToServer:
+      net_->reachability().sever(node, server_node());
+      break;
+    case FailureKind::kCtrlHeal:
+      net_->reachability().restore_pair(node, server_node());
+      break;
+    case FailureKind::kSanIsolate:
+      for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+        san_->reachability().sever(node, DiskId{d + 1});
+      }
+      break;
+    case FailureKind::kSanHeal:
+      for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+        san_->reachability().restore(node, DiskId{d + 1});
+      }
+      break;
+    case FailureKind::kCrash:
+      clients_[ci]->crash();
+      history_.on_crash(node);
+      drivers_[ci].fds.clear();
+      break;
+    case FailureKind::kRestart:
+      if (clients_[ci]->crashed()) {
+        clients_[ci]->restart();  // on_registered re-opens the file pool
+      }
+      break;
+    case FailureKind::kSlowSan:
+      san_->config().initiator_delay[node] = sim::seconds_d(ev.param_s);
+      break;
+    case FailureKind::kServerCrash:
+      server_->crash();
+      break;
+    case FailureKind::kServerRestart:
+      server_->restart();
+      break;
+  }
+}
+
+void Scenario::sample_lease_state() {
+  max_lease_bytes_ = std::max(max_lease_bytes_, server_->lease_state_bytes());
+  const double horizon = cfg_.workload.run_seconds + settle_seconds_;
+  if (now_s() < horizon) {
+    engine_.schedule_after(sim::millis(250), [this]() { sample_lease_state(); });
+  }
+}
+
+void Scenario::run_until_s(double t_s) {
+  engine_.run_until(sim::SimTime{} + sim::seconds_d(t_s));
+}
+
+ScenarioResult Scenario::run() {
+  setup();
+  run_generators();
+  run_until_s(cfg_.workload.run_seconds);
+  return finish();
+}
+
+ScenarioResult Scenario::finish() {
+  const double end_run = std::max(now_s(), cfg_.workload.run_seconds);
+
+  if (cfg_.heal_at_settle) {
+    net_->reachability().heal();
+    san_->reachability().heal();
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      if (clients_[c]->crashed()) {
+        clients_[c]->restart();
+        // A rebooted machine lost its volatile state; history already knows.
+      }
+    }
+  }
+
+  // Phase A: let recovery machinery (lease expiries, re-registrations,
+  // phase-4 flushes, steals) run its course.
+  run_until_s(end_run + 0.7 * settle_seconds_);
+
+  // Phase B: final sync of every healthy client.
+  for (auto& cl : clients_) {
+    if (!cl->crashed() && cl->registered() && cl->accepting()) {
+      cl->sync_all([](Status) {});
+    }
+  }
+  run_until_s(end_run + settle_seconds_);
+
+  ScenarioResult r;
+  r.violation_list = verify::ConsistencyChecker(history_).check_all();
+  r.violations = verify::ConsistencyChecker::summarize(r.violation_list);
+  r.reads_ok = reads_ok_;
+  r.writes_ok = writes_ok_;
+  r.ops_failed = ops_failed_;
+  r.server = server_->counters();
+  for (auto& cl : clients_) {
+    r.clients += cl->counters();
+  }
+  r.net = net_->stats();
+  r.san = san_->stats();
+  r.max_lease_state_bytes = std::max(max_lease_bytes_, server_->lease_state_bytes());
+  r.final_lease_state_bytes = server_->lease_state_bytes();
+  r.op_latency_ms = op_latency_ms_;
+  r.sim_seconds = now_s();
+  r.engine_events = engine_.events_executed();
+  return r;
+}
+
+}  // namespace stank::workload

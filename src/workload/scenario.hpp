@@ -1,0 +1,169 @@
+// Scenario: one complete simulated Storage Tank installation plus a workload
+// driver, failure injector, and verifier.
+//
+// This is the single entry point the examples and experiment benches build
+// on. A scenario owns the engine, both networks, the disks, the server, the
+// clients (each with an independently rate-skewed clock inside the epsilon
+// band), the omniscient history recorder, and a per-client open/lock/read/
+// write op generator. run() executes setup -> workload+failures -> settle ->
+// consistency check and returns every number the tables need.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "client/client.hpp"
+#include "metrics/histogram.hpp"
+#include "net/control_net.hpp"
+#include "server/server.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "storage/san.hpp"
+#include "verify/checker.hpp"
+#include "verify/history.hpp"
+#include "workload/failures.hpp"
+#include "workload/spec.hpp"
+
+namespace stank::workload {
+
+struct ScenarioConfig {
+  WorkloadSpec workload;
+  core::LeaseConfig lease;
+  server::RecoveryMode recovery{server::RecoveryMode::kLeaseAndFence};
+  core::LeaseStrategy strategy{core::LeaseStrategy::kStorageTank};
+  client::CoherenceMode coherence{client::CoherenceMode::kLocks};
+  client::DataPath data_path{client::DataPath::kDirectSan};
+  net::NetConfig control_net;
+  storage::SanConfig san;
+  protocol::TransportConfig transport;
+  std::uint32_t block_size{256};
+  std::uint64_t disk_blocks{1u << 16};
+  std::uint32_t num_disks{1};
+  FailurePlan failures;
+  // Post-restart grace period forwarded to the server; 0 = its safe default
+  // tau(1+eps).
+  sim::LocalDuration recovery_grace{sim::LocalDuration{0}};
+  bool heal_at_settle{true};
+  bool enable_trace{false};
+  // Clock-rate assignment inside [1/(1+eps), 1+eps]: 0 random per node,
+  // +1 clients slow / server fast (adversarial for availability),
+  // -1 clients fast / server slow (adversarial for safety margins),
+  // +2 ideal (all clocks exactly rate 1 — for benches that compare local
+  //    and global timestamps directly).
+  int clock_skew_mode{0};
+};
+
+struct ScenarioResult {
+  verify::ViolationSummary violations;
+  std::vector<verify::Violation> violation_list;
+
+  std::uint64_t reads_ok{0};
+  std::uint64_t writes_ok{0};
+  std::uint64_t ops_failed{0};
+
+  metrics::Counters server;
+  metrics::Counters clients;  // summed across clients
+  net::NetStats net;
+  storage::SanStats san;
+
+  // Peak lease bookkeeping at the server (sampled), and at the end.
+  std::size_t max_lease_state_bytes{0};
+  std::size_t final_lease_state_bytes{0};
+
+  metrics::Histogram op_latency_ms;
+  double sim_seconds{0.0};
+  std::uint64_t engine_events{0};
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // The standard pipeline.
+  ScenarioResult run();
+
+  // Piecewise control for bespoke drivers (figure benches, examples).
+  void setup();                 // builds nodes, preallocates, registers, opens
+  void run_generators();        // starts the op generators (ends at run_seconds)
+  void run_until_s(double t_s); // advance simulated time
+  ScenarioResult finish();      // settle, final sync, consistency check
+
+  // --- Access -------------------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] server::Server& server() { return *server_; }
+  [[nodiscard]] client::Client& client(std::size_t i) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+  [[nodiscard]] net::ControlNet& control_net() { return *net_; }
+  [[nodiscard]] storage::SanFabric& san() { return *san_; }
+  [[nodiscard]] sim::TraceLog& trace() { return trace_; }
+  [[nodiscard]] verify::HistoryRecorder& history() { return history_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] NodeId server_node() const;
+  [[nodiscard]] NodeId client_node(std::size_t i) const;
+  [[nodiscard]] FileId file_id(std::size_t file_idx) const { return file_ids_.at(file_idx); }
+  [[nodiscard]] client::Fd fd(std::size_t client_idx, std::size_t file_idx) const;
+
+  // Next version for a block, drawn under the caller's lock (see the
+  // generator): strictly increasing per (file, block).
+  std::uint64_t next_version(FileId file, std::uint64_t block);
+
+  // Applies one failure event immediately (the plan scheduler uses this).
+  void apply_failure(const FailureEvent& ev);
+
+ private:
+  struct ClientDriver {
+    std::size_t index{0};
+    bool running{false};
+    std::map<std::size_t, client::Fd> fds;  // file idx -> fd
+    sim::Rng rng{0};
+    std::uint64_t cursor{0};  // sequential patterns: absolute block position
+  };
+  // Picks (file, block, is_read) for this arrival under the configured
+  // pattern.
+  struct OpChoice {
+    std::size_t file_idx{0};
+    std::uint64_t block{0};
+    bool is_read{true};
+  };
+  OpChoice choose_op(ClientDriver& d);
+
+  void build();
+  void open_all_files(std::size_t ci, std::function<void()> done);
+  void schedule_next_op(std::size_t ci);
+  void issue_op(std::size_t ci);
+  void do_write(std::size_t ci, std::size_t fi, std::uint64_t block);
+  void do_read(std::size_t ci, std::size_t fi, std::uint64_t block);
+  void sample_lease_state();
+  [[nodiscard]] double now_s() const { return engine_.now().seconds(); }
+  [[nodiscard]] bool workload_over() const;
+
+  ScenarioConfig cfg_;
+  sim::Engine engine_;
+  sim::Rng rng_;
+  sim::TraceLog trace_;
+  verify::HistoryRecorder history_;
+
+  std::unique_ptr<net::ControlNet> net_;
+  std::unique_ptr<storage::SanFabric> san_;
+  std::unique_ptr<server::Server> server_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
+  std::vector<ClientDriver> drivers_;
+  std::vector<FileId> file_ids_;
+  std::map<std::pair<FileId, std::uint64_t>, std::uint64_t> versions_;
+
+  std::uint64_t reads_ok_{0};
+  std::uint64_t writes_ok_{0};
+  std::uint64_t ops_failed_{0};
+  metrics::Histogram op_latency_ms_;
+  std::size_t max_lease_bytes_{0};
+  bool setup_done_{false};
+  double settle_seconds_{0.0};
+};
+
+}  // namespace stank::workload

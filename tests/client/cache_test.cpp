@@ -1,0 +1,166 @@
+#include "client/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::client {
+namespace {
+
+const FileId kF{1}, kG{2};
+
+Bytes block(std::uint8_t fill, std::uint32_t bs = 64) { return Bytes(bs, fill); }
+
+TEST(BlockCache, MissThenHit) {
+  BlockCache c(64);
+  EXPECT_EQ(c.find(kF, 0), nullptr);
+  c.put(kF, 0, block(1), false);
+  auto* p = c.find(kF, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->data, block(1));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(BlockCache, PeekDoesNotCountStats) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), false);
+  (void)c.peek(kF, 0);
+  (void)c.peek(kF, 1);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(BlockCache, PutReplacesContent) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), false);
+  c.put(kF, 0, block(2), true);
+  EXPECT_EQ(c.peek(kF, 0)->data, block(2));
+  EXPECT_TRUE(c.peek(kF, 0)->dirty);
+  EXPECT_EQ(c.page_count(), 1u);
+}
+
+TEST(BlockCache, DirtyTracking) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), true);
+  c.put(kF, 1, block(2), false);
+  c.put(kF, 2, block(3), true);
+  c.put(kG, 0, block(4), true);
+  EXPECT_EQ(c.dirty_count(), 3u);
+  EXPECT_EQ(c.dirty_blocks(kF), (std::vector<std::uint64_t>{0, 2}));
+  EXPECT_EQ(c.all_dirty().size(), 3u);
+}
+
+TEST(BlockCache, MarkCleanAndDirty) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), true);
+  c.mark_clean(kF, 0);
+  EXPECT_FALSE(c.peek(kF, 0)->dirty);
+  c.mark_dirty(kF, 0);
+  EXPECT_TRUE(c.peek(kF, 0)->dirty);
+  c.mark_clean(kF, 99);  // nonexistent: no-op, no crash
+}
+
+TEST(BlockCache, InvalidateFileDropsOnlyThatFile) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), true);
+  c.put(kF, 1, block(2), false);
+  c.put(kG, 0, block(3), true);
+  c.invalidate_file(kF);
+  EXPECT_EQ(c.peek(kF, 0), nullptr);
+  EXPECT_EQ(c.peek(kF, 1), nullptr);
+  ASSERT_NE(c.peek(kG, 0), nullptr);
+  EXPECT_EQ(c.page_count(), 1u);
+}
+
+TEST(BlockCache, InvalidateAll) {
+  BlockCache c(64);
+  c.put(kF, 0, block(1), true);
+  c.put(kG, 0, block(2), false);
+  c.invalidate_all();
+  EXPECT_EQ(c.page_count(), 0u);
+  EXPECT_EQ(c.dirty_count(), 0u);
+}
+
+TEST(BlockCache, CachedFilesLists) {
+  BlockCache c(64);
+  c.put(kF, 3, block(1), false);
+  c.put(kF, 5, block(1), false);
+  c.put(kG, 0, block(1), false);
+  auto files = c.cached_files();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], kF);
+  EXPECT_EQ(files[1], kG);
+  EXPECT_EQ(c.file_page_count(kF), 2u);
+}
+
+TEST(BlockCacheLru, UnboundedByDefault) {
+  BlockCache c(64);
+  EXPECT_EQ(c.capacity(), 0u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    c.put(kF, i, block(1), false);
+  }
+  EXPECT_EQ(c.page_count(), 1000u);
+  EXPECT_FALSE(c.over_capacity());
+}
+
+TEST(BlockCacheLru, EvictsLeastRecentlyUsedCleanPage) {
+  BlockCache c(64, 3);
+  c.put(kF, 0, block(1), false);
+  c.put(kF, 1, block(2), false);
+  c.put(kF, 2, block(3), false);
+  // Touch page 0 so page 1 becomes the LRU.
+  (void)c.find(kF, 0);
+  c.put(kF, 3, block(4), false);
+  ASSERT_TRUE(c.over_capacity());
+  auto evicted = c.evict_clean_lru();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->second, 1u);  // the untouched page
+  EXPECT_EQ(c.page_count(), 3u);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(BlockCacheLru, NeverEvictsDirtyPages) {
+  BlockCache c(64, 2);
+  c.put(kF, 0, block(1), true);
+  c.put(kF, 1, block(2), true);
+  c.put(kF, 2, block(3), true);
+  EXPECT_FALSE(c.evict_clean_lru().has_value());
+  EXPECT_EQ(c.page_count(), 3u);  // over capacity but nothing droppable
+}
+
+TEST(BlockCacheLru, OldestDirtyIsLruDirty) {
+  BlockCache c(64, 0);
+  c.put(kF, 0, block(1), true);
+  c.put(kF, 1, block(2), false);
+  c.put(kF, 2, block(3), true);
+  (void)c.find(kF, 0);  // page 0 recently used; page 2 is now the oldest dirty
+  auto od = c.oldest_dirty();
+  ASSERT_TRUE(od.has_value());
+  EXPECT_EQ(od->second, 2u);
+  c.mark_clean(kF, 2);
+  c.mark_clean(kF, 0);
+  EXPECT_FALSE(c.oldest_dirty().has_value());
+}
+
+TEST(BlockCacheLru, PutOfExistingKeyDoesNotDuplicateLruEntry) {
+  BlockCache c(64, 2);
+  for (int i = 0; i < 10; ++i) {
+    c.put(kF, 0, block(static_cast<std::uint8_t>(i)), false);
+  }
+  EXPECT_EQ(c.page_count(), 1u);
+  ASSERT_TRUE(c.evict_clean_lru().has_value());
+  EXPECT_EQ(c.page_count(), 0u);
+  EXPECT_FALSE(c.evict_clean_lru().has_value());
+}
+
+TEST(BlockCacheDeathTest, WrongSizePageAborts) {
+  BlockCache c(64);
+  EXPECT_DEATH(c.put(kF, 0, Bytes(32, 0), false), "exactly one block");
+}
+
+TEST(BlockCacheDeathTest, MarkDirtyUncachedAborts) {
+  BlockCache c(64);
+  EXPECT_DEATH(c.mark_dirty(kF, 0), "uncached");
+}
+
+}  // namespace
+}  // namespace stank::client

@@ -1,0 +1,199 @@
+// Multi-server cluster: one lease PER (machine, server) pair — paper
+// section 3: "a client must have a valid lease on all servers with which it
+// holds locks."
+#include "client/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "server/server.hpp"
+
+namespace stank::client {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  net::ControlNet net;
+  storage::SanFabric san;
+  std::vector<std::unique_ptr<server::Server>> servers;
+  std::unique_ptr<Machine> machine;
+  static constexpr std::uint32_t kBs = 64;
+
+  explicit Fixture(std::size_t num_servers = 2)
+      : net(engine, sim::Rng(1), {}), san(engine, sim::Rng(2), {}) {
+    std::vector<NodeId> server_ids;
+    for (std::size_t k = 0; k < num_servers; ++k) {
+      const DiskId disk{static_cast<std::uint32_t>(k + 1)};
+      san.add_disk(disk, 4096, kBs);
+      server::ServerConfig scfg;
+      scfg.id = NodeId{static_cast<std::uint32_t>(k + 1)};
+      scfg.lease.tau = sim::local_seconds(5);
+      scfg.block_size = kBs;
+      scfg.data_disks = {disk};
+      servers.push_back(std::make_unique<server::Server>(engine, net, san,
+                                                         sim::LocalClock(1.0), scfg));
+      servers.back()->start();
+      server_ids.push_back(scfg.id);
+    }
+
+    MachineConfig mcfg;
+    mcfg.base_id = NodeId{100};
+    mcfg.servers = server_ids;
+    mcfg.client.lease.tau = sim::local_seconds(5);
+    mcfg.client.block_size = kBs;
+    machine = std::make_unique<Machine>(engine, net, san, sim::LocalClock(1.0), mcfg);
+    machine->start();
+    run_for(0.5);
+  }
+
+  void run_for(double s) { engine.run_until(engine.now() + sim::seconds_d(s)); }
+
+  // Picks a path that routes to the given sub-client.
+  std::string path_for(std::size_t sub) {
+    for (int i = 0; i < 1000; ++i) {
+      std::string p = "/m/f" + std::to_string(i);
+      if (machine->route(p) == sub) return p;
+    }
+    ADD_FAILURE() << "no path routes to sub " << sub;
+    return "";
+  }
+
+  MFd must_open(const std::string& path) {
+    std::optional<Result<MFd>> r;
+    machine->open(path, true, [&](Result<MFd> res) { r = res; });
+    run_for(0.1);
+    EXPECT_TRUE(r && r->ok());
+    return r && r->ok() ? r->value() : 0;
+  }
+};
+
+TEST(Machine, RegistersWithEveryServer) {
+  Fixture f(3);
+  EXPECT_TRUE(f.machine->fully_registered());
+  EXPECT_EQ(f.machine->num_servers(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(f.servers[k]->session_valid(NodeId{100 + static_cast<std::uint32_t>(k)}));
+  }
+}
+
+TEST(Machine, RoutesDeterministically) {
+  Fixture f(2);
+  const std::string p = "/some/path";
+  const std::size_t k = f.machine->route(p);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.machine->route(p), k);
+  }
+  // Both servers get some share of a path population.
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 200; ++i) {
+    ++counts[f.machine->route("/p/" + std::to_string(i))];
+  }
+  EXPECT_GT(counts[0], 40);
+  EXPECT_GT(counts[1], 40);
+}
+
+TEST(Machine, OpenWriteReadThroughRouting) {
+  Fixture f(2);
+  for (std::size_t sub : {0u, 1u}) {
+    const std::string path = f.path_for(sub);
+    MFd fd = f.must_open(path);
+    EXPECT_EQ(Machine::sub_of(fd), sub);
+    std::optional<Status> wst;
+    f.machine->write(fd, 0, Bytes(Fixture::kBs, static_cast<std::uint8_t>(sub + 1)),
+                     [&](Status s) { wst = s; });
+    f.run_for(0.2);
+    ASSERT_TRUE(wst && wst->is_ok());
+    std::optional<Result<Bytes>> r;
+    f.machine->read(fd, 0, Fixture::kBs, [&](Result<Bytes> res) { r = std::move(res); });
+    f.run_for(0.2);
+    ASSERT_TRUE(r && r->ok());
+    EXPECT_EQ(r->value(), Bytes(Fixture::kBs, static_cast<std::uint8_t>(sub + 1)));
+  }
+}
+
+TEST(Machine, PerServerLeasesAreIndependent) {
+  Fixture f(2);
+  const std::string p0 = f.path_for(0);
+  const std::string p1 = f.path_for(1);
+  MFd fd0 = f.must_open(p0);
+  MFd fd1 = f.must_open(p1);
+  std::optional<Status> st;
+  f.machine->write(fd0, 0, Bytes(Fixture::kBs, 1), [&](Status s) { st = s; });
+  f.machine->write(fd1, 0, Bytes(Fixture::kBs, 2), [](Status) {});
+  f.run_for(0.2);
+
+  // Partition the machine from SERVER 0 only.
+  f.net.reachability().sever_pair(NodeId{100}, NodeId{1});
+  f.run_for(8.0);  // past tau: sub 0's lease expired...
+  EXPECT_EQ(f.machine->sub(0).lease_phase(), core::LeasePhase::kExpired);
+  // ...but sub 1's lease is alive and its files remain fully usable.
+  EXPECT_EQ(f.machine->sub(1).lease_phase(), core::LeasePhase::kActive);
+  std::optional<Result<Bytes>> r;
+  f.machine->read(fd1, 0, Fixture::kBs, [&](Result<Bytes> res) { r = std::move(res); });
+  f.run_for(0.2);
+  ASSERT_TRUE(r && r->ok());
+  EXPECT_EQ(r->value(), Bytes(Fixture::kBs, 2));
+
+  // Ops routed to the partitioned server fail; the other server is unaware.
+  std::optional<Result<Bytes>> r0;
+  f.machine->read(fd0, 0, Fixture::kBs, [&](Result<Bytes> res) { r0 = std::move(res); });
+  f.run_for(0.2);
+  ASSERT_TRUE(r0.has_value());
+  EXPECT_FALSE(r0->ok());
+}
+
+TEST(Machine, PartitionedServersDirtyDataStillFlushes) {
+  Fixture f(2);
+  const std::string p0 = f.path_for(0);
+  MFd fd0 = f.must_open(p0);
+  f.machine->write(fd0, 0, Bytes(Fixture::kBs, 7), [](Status) {});
+  f.run_for(0.2);
+  ASSERT_EQ(f.machine->sub(0).cache().dirty_count(), 1u);
+
+  f.net.reachability().sever_pair(NodeId{100}, NodeId{1});
+  f.run_for(8.0);
+  // Phase 4 flushed sub 0's dirty page over the (healthy) SAN before expiry.
+  EXPECT_EQ(f.machine->sub(0).cache().dirty_count(), 0u);
+  EXPECT_EQ(f.san.disk(DiskId{1}).writes_served(), 1u);
+}
+
+TEST(Machine, SyncAllSpansServers) {
+  Fixture f(2);
+  MFd fd0 = f.must_open(f.path_for(0));
+  MFd fd1 = f.must_open(f.path_for(1));
+  f.machine->write(fd0, 0, Bytes(Fixture::kBs, 1), [](Status) {});
+  f.machine->write(fd1, 0, Bytes(Fixture::kBs, 2), [](Status) {});
+  f.run_for(0.2);
+  EXPECT_EQ(f.machine->total_dirty_pages(), 2u);
+  std::optional<Status> st;
+  f.machine->sync_all([&](Status s) { st = s; });
+  f.run_for(0.2);
+  ASSERT_TRUE(st && st->is_ok());
+  EXPECT_EQ(f.machine->total_dirty_pages(), 0u);
+}
+
+TEST(Machine, CrashAndRestartReregistersEverywhere) {
+  Fixture f(2);
+  f.machine->crash();
+  EXPECT_TRUE(f.machine->crashed());
+  f.run_for(0.5);
+  f.machine->restart();
+  f.run_for(1.0);
+  EXPECT_TRUE(f.machine->fully_registered());
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(f.servers[k]->session_epoch(NodeId{100 + static_cast<std::uint32_t>(k)}), 2u);
+  }
+}
+
+TEST(Machine, BadHandleRejected) {
+  Fixture f(1);
+  std::optional<Result<Bytes>> r;
+  const MFd bogus = (static_cast<MFd>(9) << Machine::kSubShift) | 1;
+  f.machine->read(bogus, 0, 64, [&](Result<Bytes> res) { r = std::move(res); });
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->error(), ErrorCode::kBadHandle);
+}
+
+}  // namespace
+}  // namespace stank::client

@@ -1,0 +1,111 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace stank {
+namespace {
+
+TEST(ByteWriter, WritesLittleEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xEF);
+  EXPECT_EQ(b[4], 0xBE);
+  EXPECT_EQ(b[5], 0xAD);
+  EXPECT_EQ(b[6], 0xDE);
+}
+
+TEST(ByteRoundTrip, AllScalarTypes) {
+  ByteWriter w;
+  w.u8(0x7F);
+  w.u16(65535);
+  w.u32(0);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(-123456789012345);
+  w.f64(3.14159265358979);
+  w.boolean(true);
+  w.boolean(false);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), -123456789012345);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, StringsAndRaw) {
+  ByteWriter w;
+  w.str("hello world");
+  w.str("");
+  Bytes raw{1, 2, 3, 4, 5};
+  w.raw(raw);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.raw(), raw);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, TruncationLatchesAndReturnsZero) {
+  ByteWriter w;
+  w.u16(0x1234);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // past the end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays latched
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, TruncatedStringDoesNotOverread) {
+  ByteWriter w;
+  w.u32(1000);  // claims a 1000-byte string
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, TruncatedRawDoesNotOverread) {
+  ByteWriter w;
+  w.u32(1 << 30);
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.raw().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteWriter, ExternalBufferAppends) {
+  Bytes out{9, 9};
+  ByteWriter w(out);
+  w.u8(1);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST(ByteReader, AtEndFalseWithRemainingBytes) {
+  ByteWriter w;
+  w.u32(5);
+  ByteReader r(w.bytes());
+  r.u16();
+  EXPECT_FALSE(r.at_end());
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace stank

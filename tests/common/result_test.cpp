@@ -1,0 +1,62 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stank {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.error(), ErrorCode::kOk);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(ErrorCode::kNotFound);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), ErrorCode::kNotFound);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<std::string> ok(std::string("x"));
+  Result<std::string> err(ErrorCode::kTimeout);
+  EXPECT_EQ(ok.value_or("y"), "x");
+  EXPECT_EQ(err.value_or("y"), "y");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.error(), ErrorCode::kOk);
+}
+
+TEST(Status, CarriesError) {
+  Status s(ErrorCode::kFenced);
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error(), ErrorCode::kFenced);
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::ok(), Status{});
+  EXPECT_EQ(Status(ErrorCode::kTimeout), Status(ErrorCode::kTimeout));
+  EXPECT_NE(Status(ErrorCode::kTimeout), Status::ok());
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kShutdown); ++i) {
+    EXPECT_STRNE(to_string(static_cast<ErrorCode>(i)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace stank

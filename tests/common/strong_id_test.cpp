@@ -1,0 +1,48 @@
+#include "common/strong_id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace stank {
+namespace {
+
+TEST(StrongId, ValueRoundTrip) {
+  NodeId n{7};
+  EXPECT_EQ(n.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(FileId{1}, FileId{2});
+  EXPECT_EQ(FileId{3}, FileId{3});
+  EXPECT_GT(MsgId{10}, MsgId{9});
+}
+
+TEST(StrongId, DistinctTypesDoNotConvert) {
+  static_assert(!std::is_convertible_v<NodeId, FileId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+}
+
+TEST(StrongId, WorksInOrderedAndUnorderedContainers) {
+  std::set<NodeId> s{NodeId{3}, NodeId{1}, NodeId{2}};
+  EXPECT_EQ(s.begin()->value(), 1u);
+  std::unordered_set<FileId> u{FileId{5}, FileId{5}, FileId{6}};
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(StrongId, StreamsWithPrefix) {
+  std::ostringstream os;
+  os << NodeId{42} << " " << FileId{7} << " " << DiskId{1} << " " << MsgId{9};
+  EXPECT_EQ(os.str(), "n42 f7 d1 m9");
+}
+
+TEST(StrongId, DefaultIsZero) {
+  NodeId n;
+  EXPECT_EQ(n.value(), 0u);
+}
+
+}  // namespace
+}  // namespace stank

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stank {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "count"});
+  t.row().cell("short").cell(1);
+  t.row().cell("much-longer-name").cell(12345);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Every data line has the same length.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+TEST(Table, TitlePrinted) {
+  Table t({"a"});
+  t.title("My Table");
+  t.row().cell(1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("== My Table =="), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().cell(1).cell(2);
+  t.row().cell(3).cell(4);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableDeathTest, OverfullRowAborts) {
+  Table t({"only"});
+  t.row().cell(1);
+  EXPECT_DEATH(t.cell(2), "overfull");
+}
+
+}  // namespace
+}  // namespace stank

@@ -1,0 +1,58 @@
+#include "core/lease_math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::core {
+namespace {
+
+TEST(LeaseMath, ServerWaitScalesByEpsilon) {
+  EXPECT_EQ(server_wait(sim::local_seconds(10), 0.0).ns, 10'000'000'000);
+  EXPECT_EQ(server_wait(sim::local_seconds(10), 0.01).ns, 10'100'000'000);
+  EXPECT_GT(server_wait(sim::local_seconds(10), 1e-6).ns, 10'000'000'000);
+}
+
+TEST(LeaseMath, ClientExpiry) {
+  EXPECT_EQ(client_expiry(sim::LocalTime{5'000}, sim::LocalDuration{100}).ns, 5'100);
+}
+
+TEST(LeaseMath, RatesWithinBound) {
+  EXPECT_TRUE(rates_within_bound(1.0, 1.0, 0.0001));
+  EXPECT_TRUE(rates_within_bound(1.004, 0.996, 0.01));
+  EXPECT_FALSE(rates_within_bound(1.02, 1.0, 0.01));
+  EXPECT_FALSE(rates_within_bound(1.0, 1.02, 0.01));
+}
+
+TEST(LeaseMath, LeaseGlobalSpan) {
+  // A fast clock counts tau off quicker in true time.
+  EXPECT_LT(lease_global_span(sim::local_seconds(10), 1.01).ns,
+            lease_global_span(sim::local_seconds(10), 1.0).ns);
+  EXPECT_EQ(lease_global_span(sim::local_seconds(10), 1.0).ns, 10'000'000'000);
+}
+
+TEST(LeaseMath, WorstCaseStealDelayBound) {
+  // tau(1+eps)^2 in true time.
+  const auto d = worst_case_steal_delay(sim::local_seconds(10), 0.01);
+  EXPECT_EQ(d.ns, static_cast<std::int64_t>(10e9 * 1.01 * 1.01));
+}
+
+// Theorem 3.1's core inequality: with rates within the bound, the server
+// wait, measured in true time, always exceeds the client lease span.
+TEST(LeaseMath, TheoremInequalityHolds) {
+  const sim::LocalDuration tau = sim::local_seconds(10);
+  for (double eps : {1e-6, 1e-4, 1e-2, 0.1}) {
+    const double hi = std::sqrt(1 + eps);
+    const double lo = 1.0 / hi;
+    for (double rc : {lo, 1.0, hi}) {
+      for (double rs : {lo, 1.0, hi}) {
+        ASSERT_TRUE(rates_within_bound(rc, rs, eps + 1e-12));
+        const auto client_span = lease_global_span(tau, rc);
+        const auto server_span = lease_global_span(server_wait(tau, eps), rs);
+        EXPECT_GE(server_span.ns, client_span.ns - 2)  // rounding slop
+            << "eps=" << eps << " rc=" << rc << " rs=" << rs;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stank::core

@@ -1,0 +1,222 @@
+// Section 2.1 / Table T4: compare recovery policies under the same injected
+// failure and assert exactly which guarantees each one breaks.
+#include <gtest/gtest.h>
+
+#include "verify/stamp.hpp"
+#include "workload/scenario.hpp"
+
+namespace stank {
+namespace {
+
+using server::RecoveryMode;
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+struct Outcome {
+  verify::ViolationSummary violations;
+  bool waiter_granted{false};
+  double grant_delay_s{-1};
+};
+
+// One client holds dirty exclusive data over blocks 0 and 1 and then drops
+// into a control-network partition; another client overwrites block 0 and
+// keeps re-reading it, while client 0's local process also re-reads its own
+// cache. Block 1 is never touched by anyone else.
+Outcome run_policy(RecoveryMode recovery, double partition_heals_at = -1.0) {
+  ScenarioConfig cfg;
+  cfg.workload.num_clients = 2;
+  cfg.workload.num_files = 1;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 60.0;
+  cfg.lease.tau = sim::local_seconds(8);
+  cfg.recovery = recovery;
+
+  Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(1.0);
+  const std::uint32_t bs = cfg.block_size;
+  const FileId file = sc.file_id(0);
+  auto& c0 = sc.client(0);
+  auto& c1 = sc.client(1);
+
+  c0.lock(sc.fd(0, 0), protocol::LockMode::kExclusive, [&](Status) {
+    for (std::uint64_t b : {0ULL, 1ULL}) {
+      const std::uint64_t v = sc.next_version(file, b);
+      verify::Stamp st{file, b, v, c0.id()};
+      c0.write(sc.fd(0, 0), b * bs, verify::make_stamped_block(bs, st),
+               [&sc, st, &c0](Status ok) {
+                 if (ok.is_ok()) {
+                   sc.history().on_buffered_write(sc.engine().now(), c0.id(), st);
+                 }
+               });
+    }
+  });
+  sc.run_until_s(2.0);
+  sc.control_net().reachability().sever_pair(c0.id(), sc.server_node());
+
+  Outcome out;
+  double requested_at = 3.0;
+  sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(requested_at), [&]() {
+    c1.lock(sc.fd(1, 0), protocol::LockMode::kExclusive, [&](Status st) {
+      if (!st.is_ok()) return;
+      out.waiter_granted = true;
+      out.grant_delay_s = sc.engine().now().seconds() - requested_at;
+      const std::uint64_t v = sc.next_version(file, 0);
+      verify::Stamp stamp{file, 0, v, c1.id()};
+      c1.write(sc.fd(1, 0), 0, verify::make_stamped_block(bs, stamp),
+               [&sc, stamp, &c1](Status ok) {
+                 if (ok.is_ok()) {
+                   sc.history().on_buffered_write(sc.engine().now(), c1.id(), stamp);
+                   c1.fsync(sc.fd(1, 0), [](Status) {});
+                 }
+               });
+    });
+  });
+
+  // c0's local process keeps reading block 0 from its cache.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&, tick]() {
+    if (c0.accepting()) {
+      const sim::SimTime t0 = sc.engine().now();
+      c0.read(sc.fd(0, 0), 0, bs, [&, t0](Result<Bytes> r) {
+        if (!r.ok() || r.value().size() != bs) return;
+        auto st = verify::decode_stamp(r.value());
+        verify::ReadRec rec;
+        rec.start = t0;
+        rec.end = sc.engine().now();
+        rec.client = c0.id();
+        rec.file = file;
+        rec.block = 0;
+        rec.observed_version = st ? st->version : 0;
+        sc.history().on_read(rec);
+      });
+    }
+    sc.engine().schedule_after(sim::millis(500), [tick]() { (*tick)(); });
+  };
+  (*tick)();
+
+  if (partition_heals_at > 0) {
+    sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(partition_heals_at),
+                            [&]() { sc.control_net().reachability().heal(); });
+  }
+  sc.run_until_s(45.0);
+  auto result = sc.finish();
+  out.violations = result.violations;
+  return out;
+}
+
+TEST(RecoveryModes, LeaseAndFenceIsFullySafe) {
+  auto out = run_policy(RecoveryMode::kLeaseAndFence);
+  EXPECT_TRUE(out.waiter_granted);
+  EXPECT_EQ(out.violations.total(), 0u);
+  // Availability price: roughly tau(1+eps) plus retry detection.
+  EXPECT_GT(out.grant_delay_s, 8.0);
+  EXPECT_LT(out.grant_delay_s, 14.0);
+}
+
+TEST(RecoveryModes, LeaseOnlyIsSafeForPartitions) {
+  // Without slow-computer effects, the lease alone carries the guarantee;
+  // fencing is belt-and-braces (paper section 6).
+  auto out = run_policy(RecoveryMode::kLeaseOnly);
+  EXPECT_TRUE(out.waiter_granted);
+  EXPECT_EQ(out.violations.total(), 0u);
+}
+
+TEST(RecoveryModes, FenceOnlyStrandsDirtyDataAndServesStaleReads) {
+  auto out = run_policy(RecoveryMode::kFenceOnly);
+  EXPECT_TRUE(out.waiter_granted);
+  // Fast recovery...
+  EXPECT_LT(out.grant_delay_s, 5.0);
+  // ...but both guarantees break (section 2.1):
+  EXPECT_GT(out.violations.stale_reads, 0u);   // victim reads its stale cache
+  EXPECT_GT(out.violations.lost_updates, 0u);  // block 1's dirty data stranded
+}
+
+TEST(RecoveryModes, NaiveStealAllowsInconsistency) {
+  auto out = run_policy(RecoveryMode::kNaiveSteal);
+  EXPECT_TRUE(out.waiter_granted);
+  // No fence, no lease: the victim's cache is stale and/or its late flush
+  // can collide with the new holder.
+  EXPECT_GT(out.violations.total(), 0u);
+}
+
+TEST(RecoveryModes, NoRecoveryBlocksForever) {
+  auto out = run_policy(RecoveryMode::kNoRecovery);
+  EXPECT_FALSE(out.waiter_granted);  // "unavailable indefinitely" (section 2)
+  EXPECT_EQ(out.violations.write_order, 0u);
+}
+
+// Section 6: "To address slow computers, we use fencing in addition to the
+// lease protocol... The fence prevents late commands, from a slow computer,
+// from accessing the disk after locks are stolen."
+TEST(RecoveryModes, SlowClientLateWriteStoppedOnlyByFence) {
+  auto run_slow = [](RecoveryMode mode) {
+    ScenarioConfig cfg;
+    cfg.workload.num_clients = 2;
+    cfg.workload.num_files = 1;
+    cfg.workload.file_blocks = 2;
+    cfg.workload.run_seconds = 60.0;
+    cfg.lease.tau = sim::local_seconds(5);
+    cfg.recovery = mode;
+    Scenario sc(cfg);
+    sc.setup();
+    sc.run_until_s(1.0);
+    const std::uint32_t bs = cfg.block_size;
+    const FileId file = sc.file_id(0);
+    auto& c0 = sc.client(0);
+
+    c0.lock(sc.fd(0, 0), protocol::LockMode::kExclusive, [&](Status) {
+      const std::uint64_t v = sc.next_version(file, 0);
+      verify::Stamp st{file, 0, v, c0.id()};
+      c0.write(sc.fd(0, 0), 0, verify::make_stamped_block(bs, st), [&sc, st, &c0](Status ok) {
+        if (ok.is_ok()) sc.history().on_buffered_write(sc.engine().now(), c0.id(), st);
+      });
+    });
+    sc.run_until_s(1.5);
+
+    // Isolate c0 AND make its SAN path crawl: its phase-4 flush will land
+    // ~25s later — long after its lease expired and the lock moved on.
+    sc.control_net().reachability().sever_pair(c0.id(), sc.server_node());
+    sc.apply_failure(workload::FailureEvent{1.5, workload::FailureKind::kSlowSan, 0, 25.0});
+
+    sc.engine().schedule_at(sim::SimTime{} + sim::seconds_d(2.0), [&]() {
+      sc.client(1).lock(sc.fd(1, 0), protocol::LockMode::kExclusive, [&](Status st) {
+        if (!st.is_ok()) return;
+        const std::uint64_t v = sc.next_version(file, 0);
+        verify::Stamp stamp{file, 0, v, sc.client(1).id()};
+        sc.client(1).write(sc.fd(1, 0), 0, verify::make_stamped_block(bs, stamp),
+                           [&sc, stamp](Status ok) {
+                             if (ok.is_ok()) {
+                               sc.history().on_buffered_write(sc.engine().now(),
+                                                              sc.client(1).id(), stamp);
+                               sc.client(1).fsync(sc.fd(1, 0), [](Status) {});
+                             }
+                           });
+      });
+    });
+
+    sc.run_until_s(45.0);
+    return verify::ConsistencyChecker::summarize(
+        verify::ConsistencyChecker(sc.history()).check_all());
+  };
+
+  // Lease alone cannot stop the crawling write: it lands over the new
+  // holder's data.
+  auto lease_only = run_slow(RecoveryMode::kLeaseOnly);
+  EXPECT_GT(lease_only.write_order, 0u);
+
+  // With the fence, the late command bounces off the disk.
+  auto lease_fence = run_slow(RecoveryMode::kLeaseAndFence);
+  EXPECT_EQ(lease_fence.write_order, 0u);
+  EXPECT_EQ(lease_fence.stale_reads, 0u);
+}
+
+TEST(RecoveryModes, HealedPartitionStillConvergesSafely) {
+  // The partition heals mid-timeout; the NACK path finishes the job.
+  auto out = run_policy(RecoveryMode::kLeaseAndFence, /*heals at*/ 6.0);
+  EXPECT_TRUE(out.waiter_granted);
+  EXPECT_EQ(out.violations.total(), 0u);
+}
+
+}  // namespace
+}  // namespace stank

@@ -1,0 +1,42 @@
+#include "metrics/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::metrics {
+namespace {
+
+TEST(Counters, DefaultZero) {
+  Counters c;
+  EXPECT_EQ(c.total_frames(), 0u);
+  EXPECT_EQ(c.lease_ops, 0u);
+  EXPECT_EQ(c.lease_only_msgs, 0u);
+}
+
+TEST(Counters, TotalFramesSumsAllKinds) {
+  Counters c;
+  c.requests_sent = 1;
+  c.acks_sent = 2;
+  c.nacks_sent = 3;
+  c.server_msgs_sent = 4;
+  c.client_acks_sent = 5;
+  c.retransmissions = 100;  // not a frame kind of its own
+  EXPECT_EQ(c.total_frames(), 15u);
+}
+
+TEST(Counters, AccumulateAddsFieldwise) {
+  Counters a, b;
+  a.requests_sent = 1;
+  a.lease_ops = 2;
+  a.lock_steals = 3;
+  b.requests_sent = 10;
+  b.lease_ops = 20;
+  b.server_data_bytes = 99;
+  a += b;
+  EXPECT_EQ(a.requests_sent, 11u);
+  EXPECT_EQ(a.lease_ops, 22u);
+  EXPECT_EQ(a.lock_steals, 3u);
+  EXPECT_EQ(a.server_data_bytes, 99u);
+}
+
+}  // namespace
+}  // namespace stank::metrics

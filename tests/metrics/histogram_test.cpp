@@ -1,0 +1,77 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZeroEverywhere) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantilesNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 90.0);
+}
+
+TEST(Histogram, UnsortedInsertOrderIrrelevant) {
+  Histogram a, b;
+  for (double v : {5.0, 1.0, 3.0}) a.add(v);
+  for (double v : {1.0, 3.0, 5.0}) b.add(v);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(Histogram, AddAfterQuantileInvalidatesCache) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, Stddev) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.add(v);
+  EXPECT_NEAR(h.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Histogram, MergeAndClear) {
+  Histogram a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(HistogramDeathTest, QuantileOutOfRangeAborts) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_DEATH((void)h.quantile(1.5), "");
+}
+
+}  // namespace
+}  // namespace stank::metrics

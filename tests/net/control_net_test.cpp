@@ -1,0 +1,113 @@
+#include "net/control_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stank::net {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  ControlNet net;
+  std::vector<std::pair<NodeId, Bytes>> received_at_2;
+
+  explicit Fixture(NetConfig cfg = {}) : net(engine, sim::Rng(1), cfg) {
+    net.attach(NodeId{2}, [this](NodeId from, const Bytes& b) {
+      received_at_2.emplace_back(from, b);
+    });
+  }
+};
+
+TEST(ControlNet, DeliversAfterLatency) {
+  Fixture f(NetConfig{sim::millis(1), sim::Duration{0}, 0.0});
+  f.net.send(NodeId{1}, NodeId{2}, Bytes{42});
+  f.engine.run_until(sim::SimTime{} + sim::micros(999));
+  EXPECT_TRUE(f.received_at_2.empty());
+  f.engine.run_until(sim::SimTime{} + sim::millis(1));
+  ASSERT_EQ(f.received_at_2.size(), 1u);
+  EXPECT_EQ(f.received_at_2[0].first, NodeId{1});
+  EXPECT_EQ(f.received_at_2[0].second, Bytes{42});
+}
+
+TEST(ControlNet, PartitionDropsSilently) {
+  Fixture f;
+  f.net.reachability().sever(NodeId{1}, NodeId{2});
+  f.net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  f.engine.run();
+  EXPECT_TRUE(f.received_at_2.empty());
+  EXPECT_EQ(f.net.stats().dropped_partition, 1u);
+}
+
+TEST(ControlNet, AsymmetricPartitionOneWayOnly) {
+  Fixture f;
+  std::vector<Bytes> at_1;
+  f.net.attach(NodeId{1}, [&](NodeId, const Bytes& b) { at_1.push_back(b); });
+  f.net.reachability().sever(NodeId{1}, NodeId{2});
+  f.net.send(NodeId{1}, NodeId{2}, Bytes{1});  // dropped
+  f.net.send(NodeId{2}, NodeId{1}, Bytes{2});  // delivered
+  f.engine.run();
+  EXPECT_TRUE(f.received_at_2.empty());
+  ASSERT_EQ(at_1.size(), 1u);
+}
+
+TEST(ControlNet, MidFlightPartitionEatsPacket) {
+  Fixture f(NetConfig{sim::millis(10), sim::Duration{0}, 0.0});
+  f.net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  // Partition forms while the datagram is in flight.
+  f.engine.schedule_after(sim::millis(5),
+                          [&]() { f.net.reachability().sever(NodeId{1}, NodeId{2}); });
+  f.engine.run();
+  EXPECT_TRUE(f.received_at_2.empty());
+}
+
+TEST(ControlNet, DetachedReceiverLosesTraffic) {
+  Fixture f;
+  f.net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  f.net.detach(NodeId{2});
+  f.engine.run();
+  EXPECT_TRUE(f.received_at_2.empty());
+  EXPECT_EQ(f.net.stats().dropped_detached, 1u);
+}
+
+TEST(ControlNet, RandomLossRateRoughlyHonored) {
+  Fixture f(NetConfig{sim::micros(10), sim::Duration{0}, 0.25});
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    f.net.send(NodeId{1}, NodeId{2}, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  f.engine.run();
+  const double rate = 1.0 - static_cast<double>(f.received_at_2.size()) / n;
+  EXPECT_NEAR(rate, 0.25, 0.04);
+  EXPECT_EQ(f.net.stats().dropped_random + f.net.stats().delivered, static_cast<std::uint64_t>(n));
+}
+
+TEST(ControlNet, JitterVariesLatencyWithinBounds) {
+  Fixture f(NetConfig{sim::millis(1), sim::millis(1), 0.0});
+  std::vector<std::int64_t> arrivals;
+  f.net.attach(NodeId{2}, [&](NodeId, const Bytes&) { arrivals.push_back(f.engine.now().ns); });
+  for (int i = 0; i < 100; ++i) {
+    f.net.send(NodeId{1}, NodeId{2}, Bytes{1});
+  }
+  f.engine.run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (auto a : arrivals) {
+    EXPECT_GE(a, 1'000'000);
+    EXPECT_LE(a, 2'000'000);
+  }
+  // Not all identical (jitter actually applied).
+  EXPECT_NE(*std::min_element(arrivals.begin(), arrivals.end()),
+            *std::max_element(arrivals.begin(), arrivals.end()));
+}
+
+TEST(ControlNet, StatsCountBytes) {
+  Fixture f;
+  f.net.send(NodeId{1}, NodeId{2}, Bytes(10, 0));
+  f.net.send(NodeId{1}, NodeId{2}, Bytes(5, 0));
+  f.engine.run();
+  EXPECT_EQ(f.net.stats().sent, 2u);
+  EXPECT_EQ(f.net.stats().bytes, 15u);
+}
+
+}  // namespace
+}  // namespace stank::net

@@ -1,0 +1,77 @@
+#include "net/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strong_id.hpp"
+
+namespace stank::net {
+namespace {
+
+TEST(Reachability, FullyConnectedByDefault) {
+  Reachability<NodeId> r;
+  EXPECT_TRUE(r.can_reach(NodeId{1}, NodeId{2}));
+  EXPECT_TRUE(r.fully_connected());
+}
+
+TEST(Reachability, DirectedSever) {
+  Reachability<NodeId> r;
+  r.sever(NodeId{1}, NodeId{2});
+  EXPECT_FALSE(r.can_reach(NodeId{1}, NodeId{2}));
+  // The reverse direction stays up: this is the paper's asymmetric partition.
+  EXPECT_TRUE(r.can_reach(NodeId{2}, NodeId{1}));
+}
+
+TEST(Reachability, SeverPairCutsBothWays) {
+  Reachability<NodeId> r;
+  r.sever_pair(NodeId{1}, NodeId{2});
+  EXPECT_FALSE(r.can_reach(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(r.can_reach(NodeId{2}, NodeId{1}));
+  r.restore_pair(NodeId{1}, NodeId{2});
+  EXPECT_TRUE(r.fully_connected());
+}
+
+TEST(Reachability, GroupPartition) {
+  Reachability<NodeId> r;
+  r.partition({{NodeId{1}, NodeId{2}}, {NodeId{3}}});
+  EXPECT_TRUE(r.can_reach(NodeId{1}, NodeId{2}));
+  EXPECT_FALSE(r.can_reach(NodeId{1}, NodeId{3}));
+  EXPECT_FALSE(r.can_reach(NodeId{3}, NodeId{2}));
+}
+
+TEST(Reachability, IsolateNode) {
+  Reachability<NodeId> r;
+  r.isolate(NodeId{5}, {NodeId{1}, NodeId{2}});
+  EXPECT_FALSE(r.can_reach(NodeId{5}, NodeId{1}));
+  EXPECT_FALSE(r.can_reach(NodeId{1}, NodeId{5}));
+  EXPECT_TRUE(r.can_reach(NodeId{1}, NodeId{2}));
+}
+
+TEST(Reachability, HealRestoresEverything) {
+  Reachability<NodeId> r;
+  r.sever_pair(NodeId{1}, NodeId{2});
+  r.sever(NodeId{3}, NodeId{4});
+  EXPECT_EQ(r.severed_edges(), 3u);
+  r.heal();
+  EXPECT_TRUE(r.fully_connected());
+}
+
+TEST(Reachability, HeterogeneousIdTypes) {
+  Reachability<NodeId, DiskId> r;
+  r.sever(NodeId{1}, DiskId{1});
+  EXPECT_FALSE(r.can_reach(NodeId{1}, DiskId{1}));
+  EXPECT_TRUE(r.can_reach(NodeId{2}, DiskId{1}));
+  r.restore(NodeId{1}, DiskId{1});
+  EXPECT_TRUE(r.fully_connected());
+}
+
+TEST(Reachability, RedundantSeverIsIdempotent) {
+  Reachability<NodeId> r;
+  r.sever(NodeId{1}, NodeId{2});
+  r.sever(NodeId{1}, NodeId{2});
+  EXPECT_EQ(r.severed_edges(), 1u);
+  r.restore(NodeId{1}, NodeId{2});
+  EXPECT_TRUE(r.fully_connected());
+}
+
+}  // namespace
+}  // namespace stank::net

@@ -1,0 +1,85 @@
+// Randomized operation sequences against the lock manager: invariants must
+// hold after every step, and a model of "who may hold what" must agree.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "server/lock_manager.hpp"
+#include "sim/rng.hpp"
+
+namespace stank::server {
+namespace {
+
+using protocol::LockMode;
+
+class LockManagerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LockManagerFuzz, InvariantsHoldUnderRandomOps) {
+  sim::Rng rng(GetParam());
+  LockManager lm;
+  const int kClients = 5;
+  const int kFiles = 4;
+
+  auto client = [&](int i) { return NodeId{static_cast<std::uint32_t>(100 + i)}; };
+  auto file = [&](int i) { return FileId{static_cast<std::uint32_t>(1 + i)}; };
+
+  for (int step = 0; step < 5000; ++step) {
+    const NodeId c = client(static_cast<int>(rng.uniform_int(0, kClients - 1)));
+    const FileId f = file(static_cast<int>(rng.uniform_int(0, kFiles - 1)));
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        (void)lm.acquire(c, f, LockMode::kShared);
+        break;
+      case 1:
+        (void)lm.acquire(c, f, LockMode::kExclusive);
+        break;
+      case 2:
+        (void)lm.set_mode(c, f, LockMode::kNone);
+        break;
+      case 3:
+        (void)lm.set_mode(c, f, LockMode::kShared);
+        break;
+      default:
+        if (rng.bernoulli(0.3)) {
+          (void)lm.steal_all(c);
+        } else {
+          (void)lm.cancel_waiter(c, f);
+        }
+        break;
+    }
+    ASSERT_TRUE(lm.invariants_hold()) << "seed " << GetParam() << " step " << step;
+  }
+}
+
+TEST_P(LockManagerFuzz, GrantsAreAlwaysCompatibleWithHolders) {
+  sim::Rng rng(GetParam() ^ 0xABCDEF);
+  LockManager lm;
+  auto client = [&](int i) { return NodeId{static_cast<std::uint32_t>(100 + i)}; };
+  const FileId f{1};
+
+  for (int step = 0; step < 3000; ++step) {
+    const NodeId c = client(static_cast<int>(rng.uniform_int(0, 3)));
+    LockManager::Update upd;
+    if (rng.bernoulli(0.5)) {
+      (void)lm.acquire(c, f, rng.bernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive);
+    } else {
+      upd = lm.set_mode(c, f, rng.bernoulli(0.5) ? LockMode::kNone : LockMode::kShared);
+    }
+    // Every grant handed out must be compatible with every current holder.
+    for (const auto& g : upd.grants) {
+      for (const auto& [holder, mode] : lm.holders(f)) {
+        if (holder != g.client) {
+          ASSERT_TRUE(protocol::compatible(g.mode, mode))
+              << "granted " << protocol::to_string(g.mode) << " while " << holder << " holds "
+              << protocol::to_string(mode);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 12345u));
+
+}  // namespace
+}  // namespace stank::server

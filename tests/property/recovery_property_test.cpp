@@ -1,0 +1,90 @@
+// Property sweep over server failures: whatever the crash timing, the
+// downtime, and the workload seed, the protocol must stay sequentially
+// consistent — and with short downtimes the clients' caches must survive
+// via lock reassertion.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/scenario.hpp"
+
+namespace stank {
+namespace {
+
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+// (seed, crash time seconds, downtime seconds)
+using Param = std::tuple<std::uint64_t, double, double>;
+
+class ServerCrashSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ServerCrashSweep, AlwaysSequentiallyConsistent) {
+  const auto [seed, crash_at, downtime] = GetParam();
+
+  ScenarioConfig cfg;
+  cfg.workload.num_clients = 4;
+  cfg.workload.num_files = 6;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.read_fraction = 0.55;
+  cfg.workload.mean_interarrival_s = 0.04;
+  cfg.workload.run_seconds = 40.0;
+  cfg.workload.seed = seed;
+  cfg.lease.tau = sim::local_seconds(6);
+  cfg.failures.add(crash_at, workload::FailureKind::kServerCrash, 0);
+  cfg.failures.add(crash_at + downtime, workload::FailureKind::kServerRestart, 0);
+
+  Scenario sc(cfg);
+  auto r = sc.run();
+  EXPECT_EQ(r.violations.write_order, 0u);
+  EXPECT_EQ(r.violations.stale_reads, 0u);
+  EXPECT_EQ(r.violations.lost_updates, 0u);
+  EXPECT_GT(r.reads_ok + r.writes_ok, 100u);
+  // Everyone is back in business by the end.
+  for (std::size_t c = 0; c < sc.num_clients(); ++c) {
+    EXPECT_TRUE(sc.client(c).registered()) << "client " << c;
+  }
+}
+
+std::string crash_param_name(const ::testing::TestParamInfo<Param>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) + "_crash" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) + "ds_down" +
+         std::to_string(static_cast<int>(std::get<2>(info.param) * 10)) + "ds";
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashTimingGrid, ServerCrashSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(5.0, 15.0, 25.0),
+                                            ::testing::Values(0.2, 2.0, 8.0)),
+                         crash_param_name);
+
+// Combined server crash + client-side failures in the same run.
+class CombinedFailureSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombinedFailureSweep, ServerAndClientFailuresTogether) {
+  const std::uint64_t seed = GetParam();
+  ScenarioConfig cfg;
+  cfg.workload.num_clients = 5;
+  cfg.workload.num_files = 8;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 50.0;
+  cfg.workload.seed = seed;
+  cfg.lease.tau = sim::local_seconds(6);
+  // A client partition overlapping a server failure.
+  cfg.failures.add(10.0, workload::FailureKind::kCtrlIsolate, 1);
+  cfg.failures.add(14.0, workload::FailureKind::kServerCrash, 0);
+  cfg.failures.add(15.5, workload::FailureKind::kServerRestart, 0);
+  cfg.failures.add(30.0, workload::FailureKind::kCtrlHeal, 1);
+  cfg.failures.add(35.0, workload::FailureKind::kCrash, 2);
+  cfg.failures.add(40.0, workload::FailureKind::kRestart, 2);
+
+  Scenario sc(cfg);
+  auto r = sc.run();
+  EXPECT_EQ(r.violations.total(), 0u);
+  EXPECT_GT(r.reads_ok + r.writes_ok, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedFailureSweep, ::testing::Values(1u, 7u, 42u, 99u));
+
+}  // namespace
+}  // namespace stank

@@ -1,0 +1,90 @@
+// Property sweep: randomized workloads with randomized in-scope failures
+// must stay sequentially consistent under the paper's protocol, for every
+// seed and every lease strategy.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/scenario.hpp"
+
+namespace stank {
+namespace {
+
+using workload::FailurePlan;
+using workload::Scenario;
+using workload::ScenarioConfig;
+
+using Param = std::tuple<std::uint64_t, core::LeaseStrategy>;
+
+class WorkloadSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WorkloadSweep, RandomFailuresStaySequentiallyConsistent) {
+  const auto [seed, strategy] = GetParam();
+
+  ScenarioConfig cfg;
+  cfg.workload.num_clients = 5;
+  cfg.workload.num_files = 8;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.read_fraction = 0.55;
+  cfg.workload.mean_interarrival_s = 0.04;
+  cfg.workload.run_seconds = 40.0;
+  cfg.workload.seed = seed;
+  cfg.lease.tau = sim::local_seconds(6);
+  cfg.lease.epsilon = 1e-3;
+  cfg.strategy = strategy;
+  cfg.control_net.drop_probability = 0.002;  // a little background loss too
+
+  sim::Rng frng(seed * 7919 + 13);
+  cfg.failures = FailurePlan::random(frng, cfg.workload, 4);
+
+  Scenario sc(cfg);
+  auto r = sc.run();
+  EXPECT_EQ(r.violations.write_order, 0u) << "unsynchronized writers raced";
+  EXPECT_EQ(r.violations.stale_reads, 0u) << "a process read stale data";
+  EXPECT_EQ(r.violations.lost_updates, 0u) << "acknowledged data vanished";
+  EXPECT_GT(r.reads_ok + r.writes_ok, 100u) << "workload barely ran";
+}
+
+std::string workload_param_name(const ::testing::TestParamInfo<Param>& info) {
+  const std::uint64_t seed = std::get<0>(info.param);
+  const core::LeaseStrategy strategy = std::get<1>(info.param);
+  std::string name =
+      strategy == core::LeaseStrategy::kStorageTank ? "stank" : "frangipani";
+  name += "_seed" + std::to_string(seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStrategies, WorkloadSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(core::LeaseStrategy::kStorageTank,
+                                         core::LeaseStrategy::kFrangipani)),
+    workload_param_name);
+
+// Background packet loss alone (no partitions) must not break anything nor
+// trigger spurious lease expiries at sensible loss rates.
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, RandomLossIsHarmless) {
+  ScenarioConfig cfg;
+  cfg.workload.num_clients = 3;
+  cfg.workload.num_files = 4;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 30.0;
+  cfg.lease.tau = sim::local_seconds(6);
+  cfg.control_net.drop_probability = GetParam();
+  Scenario sc(cfg);
+  auto r = sc.run();
+  EXPECT_EQ(r.violations.total(), 0u);
+  EXPECT_GT(r.reads_ok + r.writes_ok, 50u);
+}
+
+std::string loss_param_name(const ::testing::TestParamInfo<double>& info) {
+  return "loss" + std::to_string(static_cast<int>(info.param * 1000)) + "permille";
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep, ::testing::Values(0.001, 0.01, 0.05),
+                         loss_param_name);
+
+}  // namespace
+}  // namespace stank

@@ -1,0 +1,103 @@
+#include "protocol/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::protocol {
+namespace {
+
+const std::vector<Extent> kTwoExtents = {
+    Extent{DiskId{1}, 100, 4},  // file blocks 0..3 -> disk 1 blocks 100..103
+    Extent{DiskId{2}, 50, 2},   // file blocks 4..5 -> disk 2 blocks 50..51
+};
+
+TEST(Layout, LocateWithinFirstExtent) {
+  DiskId d;
+  storage::BlockAddr a;
+  ASSERT_TRUE(locate_block(kTwoExtents, 2, d, a));
+  EXPECT_EQ(d, DiskId{1});
+  EXPECT_EQ(a, 102u);
+}
+
+TEST(Layout, LocateCrossesExtentBoundary) {
+  DiskId d;
+  storage::BlockAddr a;
+  ASSERT_TRUE(locate_block(kTwoExtents, 4, d, a));
+  EXPECT_EQ(d, DiskId{2});
+  EXPECT_EQ(a, 50u);
+  ASSERT_TRUE(locate_block(kTwoExtents, 5, d, a));
+  EXPECT_EQ(a, 51u);
+}
+
+TEST(Layout, LocateBeyondEndFails) {
+  DiskId d;
+  storage::BlockAddr a;
+  EXPECT_FALSE(locate_block(kTwoExtents, 6, d, a));
+  EXPECT_FALSE(locate_block({}, 0, d, a));
+}
+
+TEST(Layout, SliceAlignedSingleBlock) {
+  bool ok = false;
+  auto slices = slice_range(kTwoExtents, 64, 64, 64, ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].file_block, 1u);
+  EXPECT_EQ(slices[0].addr, 101u);
+  EXPECT_EQ(slices[0].offset_in_block, 0u);
+  EXPECT_EQ(slices[0].len, 64u);
+  EXPECT_EQ(slices[0].buf_offset, 0u);
+}
+
+TEST(Layout, SliceUnalignedSpanningBlocks) {
+  bool ok = false;
+  // 100 bytes starting at offset 30 with 64-byte blocks: 34 + 64 + 2.
+  auto slices = slice_range(kTwoExtents, 64, 30, 100, ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0].offset_in_block, 30u);
+  EXPECT_EQ(slices[0].len, 34u);
+  EXPECT_EQ(slices[1].len, 64u);
+  EXPECT_EQ(slices[1].buf_offset, 34u);
+  EXPECT_EQ(slices[2].len, 2u);
+  EXPECT_EQ(slices[2].buf_offset, 98u);
+}
+
+TEST(Layout, SliceAcrossDisks) {
+  bool ok = false;
+  // Blocks 3 and 4 live on different disks.
+  auto slices = slice_range(kTwoExtents, 64, 3 * 64, 128, ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].disk, DiskId{1});
+  EXPECT_EQ(slices[1].disk, DiskId{2});
+}
+
+TEST(Layout, SlicePastEndReportsFailure) {
+  bool ok = true;
+  auto slices = slice_range(kTwoExtents, 64, 5 * 64, 128, ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(slices.empty());
+}
+
+TEST(Layout, SliceLengthsSum) {
+  bool ok = false;
+  auto slices = slice_range(kTwoExtents, 64, 17, 300, ok);
+  ASSERT_TRUE(ok);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_buf = 0;
+  for (const auto& s : slices) {
+    EXPECT_EQ(s.buf_offset, expected_buf);
+    expected_buf += s.len;
+    sum += s.len;
+  }
+  EXPECT_EQ(sum, 300u);
+}
+
+TEST(Layout, ZeroLengthRangeYieldsNothing) {
+  bool ok = false;
+  auto slices = slice_range(kTwoExtents, 64, 10, 0, ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(slices.empty());
+}
+
+}  // namespace
+}  // namespace stank::protocol

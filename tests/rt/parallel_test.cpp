@@ -1,0 +1,53 @@
+#include "rt/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace stank::rt {
+namespace {
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ZeroTasksIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  int count = 0;
+  parallel_for(10, [&](std::size_t) { ++count; }, /*threads=*/1);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ParallelMap, CollectsInIndexOrder) {
+  auto out = parallel_map<std::size_t>(100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelFor, ResultsDeterministicRegardlessOfThreads) {
+  auto run = [](unsigned threads) {
+    std::vector<int> v(64, 0);
+    parallel_for(v.size(), [&](std::size_t i) { v[i] = static_cast<int>(i) * 3; }, threads);
+    return std::accumulate(v.begin(), v.end(), 0);
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(4), run(16));
+}
+
+TEST(ParallelFor, MoreTasksThanThreads) {
+  std::atomic<int> count{0};
+  parallel_for(10000, [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); }, 3);
+  EXPECT_EQ(count.load(), 10000);
+}
+
+}  // namespace
+}  // namespace stank::rt

@@ -1,0 +1,128 @@
+#include "server/block_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace stank::server {
+namespace {
+
+TEST(BlockAllocator, SimpleAllocate) {
+  BlockAllocator a(DiskId{1}, 100);
+  auto r = a.allocate(10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].start, 0u);
+  EXPECT_EQ(r.value()[0].count, 10u);
+  EXPECT_EQ(a.free_blocks(), 90u);
+  EXPECT_TRUE(a.invariants_hold());
+}
+
+TEST(BlockAllocator, ZeroAllocationIsEmpty) {
+  BlockAllocator a(DiskId{1}, 100);
+  auto r = a.allocate(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+  EXPECT_EQ(a.free_blocks(), 100u);
+}
+
+TEST(BlockAllocator, ExhaustionReturnsNoSpaceAtomically) {
+  BlockAllocator a(DiskId{1}, 100);
+  ASSERT_TRUE(a.allocate(90).ok());
+  auto r = a.allocate(11);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kNoSpace);
+  EXPECT_EQ(a.free_blocks(), 10u);  // nothing partially taken
+  EXPECT_TRUE(a.allocate(10).ok());
+  EXPECT_EQ(a.free_blocks(), 0u);
+}
+
+TEST(BlockAllocator, ReleaseCoalescesAdjacentRuns) {
+  BlockAllocator a(DiskId{1}, 100);
+  auto r1 = a.allocate(10);
+  auto r2 = a.allocate(10);
+  auto r3 = a.allocate(10);
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  a.release(r1.value());
+  a.release(r3.value());
+  // r3 [20,30) coalesces with the tail [30,100): runs are [0,10) and [20,100).
+  EXPECT_EQ(a.free_runs(), 2u);
+  a.release(r2.value());
+  EXPECT_EQ(a.free_runs(), 1u);  // fully coalesced back to one run
+  EXPECT_EQ(a.free_blocks(), 100u);
+  EXPECT_TRUE(a.invariants_hold());
+}
+
+TEST(BlockAllocator, FragmentedAllocationSplitsAcrossRuns) {
+  BlockAllocator a(DiskId{1}, 30);
+  auto r1 = a.allocate(10);  // [0,10)
+  auto r2 = a.allocate(10);  // [10,20)
+  ASSERT_TRUE(a.allocate(10).ok());  // [20,30)
+  a.release(r1.value());
+  a.release(r2.value());
+  // Free: [0,20). Wait—those coalesce. Make real fragmentation:
+  BlockAllocator b(DiskId{1}, 30);
+  auto x1 = b.allocate(10);
+  auto x2 = b.allocate(10);
+  auto x3 = b.allocate(10);
+  ASSERT_TRUE(x1.ok() && x2.ok() && x3.ok());
+  b.release(x1.value());
+  b.release(x3.value());  // free: [0,10) and [20,30), hole at [10,20)
+  auto big = b.allocate(15);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big.value().size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& e : big.value()) total += e.count;
+  EXPECT_EQ(total, 15u);
+  EXPECT_TRUE(b.invariants_hold());
+}
+
+TEST(BlockAllocator, PartialExtentRelease) {
+  BlockAllocator a(DiskId{1}, 100);
+  auto r = a.allocate(20);
+  ASSERT_TRUE(r.ok());
+  // Release only the tail half.
+  protocol::Extent tail{DiskId{1}, 10, 10};
+  a.release({tail});
+  EXPECT_EQ(a.free_blocks(), 90u);
+  EXPECT_TRUE(a.invariants_hold());
+}
+
+TEST(BlockAllocatorDeathTest, DoubleFreeDetected) {
+  BlockAllocator a(DiskId{1}, 100);
+  auto r = a.allocate(10);
+  ASSERT_TRUE(r.ok());
+  a.release(r.value());
+  EXPECT_DEATH(a.release(r.value()), "double free");
+}
+
+TEST(BlockAllocatorDeathTest, ForeignDiskExtentRejected) {
+  BlockAllocator a(DiskId{1}, 100);
+  EXPECT_DEATH(a.release({protocol::Extent{DiskId{2}, 0, 5}}), "different disk");
+}
+
+TEST(BlockAllocator, RandomAllocFreeKeepsInvariants) {
+  sim::Rng rng(77);
+  BlockAllocator a(DiskId{1}, 4096);
+  std::vector<std::vector<protocol::Extent>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      auto r = a.allocate(static_cast<std::uint64_t>(rng.uniform_int(1, 64)));
+      if (r.ok()) {
+        live.push_back(std::move(r).value());
+      }
+    } else {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      a.release(live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_TRUE(a.invariants_hold()) << "at step " << step;
+  }
+  for (const auto& e : live) a.release(e);
+  EXPECT_EQ(a.free_blocks(), 4096u);
+  EXPECT_EQ(a.free_runs(), 1u);
+}
+
+}  // namespace
+}  // namespace stank::server

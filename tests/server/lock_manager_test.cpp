@@ -1,0 +1,282 @@
+#include "server/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::server {
+namespace {
+
+using protocol::LockMode;
+
+const NodeId kA{100}, kB{101}, kC{102};
+const FileId kF{1}, kG{2};
+
+TEST(LockManager, SharedGrantsCoexist) {
+  LockManager lm;
+  EXPECT_EQ(lm.acquire(kA, kF, LockMode::kShared).outcome,
+            LockManager::AcquireOutcome::kGranted);
+  EXPECT_EQ(lm.acquire(kB, kF, LockMode::kShared).outcome,
+            LockManager::AcquireOutcome::kGranted);
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kShared);
+  EXPECT_EQ(lm.mode_of(kB, kF), LockMode::kShared);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, ExclusiveExcludes) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  auto res = lm.acquire(kB, kF, LockMode::kShared);
+  EXPECT_EQ(res.outcome, LockManager::AcquireOutcome::kQueued);
+  ASSERT_EQ(res.demands.size(), 1u);
+  EXPECT_EQ(res.demands[0].holder, kA);
+  EXPECT_EQ(res.demands[0].file, kF);
+  // A shared waiter lets the holder keep shared.
+  EXPECT_EQ(res.demands[0].max_mode, LockMode::kShared);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, ExclusiveWaiterDemandsNone) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kShared);
+  auto res = lm.acquire(kC, kF, LockMode::kExclusive);
+  EXPECT_EQ(res.outcome, LockManager::AcquireOutcome::kQueued);
+  ASSERT_EQ(res.demands.size(), 2u);
+  for (const auto& d : res.demands) {
+    EXPECT_EQ(d.max_mode, LockMode::kNone);
+  }
+}
+
+TEST(LockManager, AlreadyHeldAtOrAboveRequested) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  EXPECT_EQ(lm.acquire(kA, kF, LockMode::kShared).outcome,
+            LockManager::AcquireOutcome::kAlreadyHeld);
+  EXPECT_EQ(lm.acquire(kA, kF, LockMode::kExclusive).outcome,
+            LockManager::AcquireOutcome::kAlreadyHeld);
+}
+
+TEST(LockManager, ReleaseGrantsWaiter) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kExclusive);
+  auto upd = lm.set_mode(kA, kF, LockMode::kNone);
+  ASSERT_EQ(upd.grants.size(), 1u);
+  EXPECT_EQ(upd.grants[0].client, kB);
+  EXPECT_EQ(upd.grants[0].mode, LockMode::kExclusive);
+  EXPECT_EQ(lm.mode_of(kB, kF), LockMode::kExclusive);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, DowngradeToSharedAdmitsSharedWaiters) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kShared);
+  lm.acquire(kC, kF, LockMode::kShared);
+  auto upd = lm.set_mode(kA, kF, LockMode::kShared);
+  EXPECT_EQ(upd.grants.size(), 2u);
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kShared);
+  EXPECT_EQ(lm.mode_of(kB, kF), LockMode::kShared);
+  EXPECT_EQ(lm.mode_of(kC, kF), LockMode::kShared);
+}
+
+TEST(LockManager, StrictFifoPreventsWriterStarvation) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kExclusive);  // queued
+  // A later shared request must queue BEHIND the exclusive waiter even
+  // though it is compatible with the current holder.
+  auto res = lm.acquire(kC, kF, LockMode::kShared);
+  EXPECT_EQ(res.outcome, LockManager::AcquireOutcome::kQueued);
+  // A releases: B gets X first; C still waits.
+  auto upd = lm.set_mode(kA, kF, LockMode::kNone);
+  ASSERT_EQ(upd.grants.size(), 1u);
+  EXPECT_EQ(upd.grants[0].client, kB);
+  EXPECT_EQ(lm.mode_of(kC, kF), LockMode::kNone);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, UpgradeSoleHolderGrantedImmediately) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  EXPECT_EQ(lm.acquire(kA, kF, LockMode::kExclusive).outcome,
+            LockManager::AcquireOutcome::kGranted);
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kExclusive);
+}
+
+TEST(LockManager, UpgradeWithPeersQueuesAndDemands) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kShared);
+  auto res = lm.acquire(kA, kF, LockMode::kExclusive);
+  EXPECT_EQ(res.outcome, LockManager::AcquireOutcome::kQueued);
+  ASSERT_EQ(res.demands.size(), 1u);
+  EXPECT_EQ(res.demands[0].holder, kB);
+  // B releases: A's upgrade completes.
+  auto upd = lm.set_mode(kB, kF, LockMode::kNone);
+  ASSERT_EQ(upd.grants.size(), 1u);
+  EXPECT_EQ(upd.grants[0].client, kA);
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kExclusive);
+}
+
+TEST(LockManager, CrossUpgradeResolvesWithoutDeadlock) {
+  // Both S holders request X: the demands ask each to drop; compliance
+  // serializes them through the FIFO queue.
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kShared);
+  auto ra = lm.acquire(kA, kF, LockMode::kExclusive);
+  auto rb = lm.acquire(kB, kF, LockMode::kExclusive);
+  EXPECT_EQ(ra.outcome, LockManager::AcquireOutcome::kQueued);
+  EXPECT_EQ(rb.outcome, LockManager::AcquireOutcome::kQueued);
+  // B complies with A's demand (drops S).
+  auto upd1 = lm.set_mode(kB, kF, LockMode::kNone);
+  ASSERT_EQ(upd1.grants.size(), 1u);
+  EXPECT_EQ(upd1.grants[0].client, kA);
+  EXPECT_EQ(upd1.grants[0].mode, LockMode::kExclusive);
+  // The new head waiter (B:X) now demands A down.
+  ASSERT_FALSE(upd1.demands.empty());
+  EXPECT_EQ(upd1.demands[0].holder, kA);
+  // A complies: B gets X.
+  auto upd2 = lm.set_mode(kA, kF, LockMode::kNone);
+  ASSERT_EQ(upd2.grants.size(), 1u);
+  EXPECT_EQ(upd2.grants[0].client, kB);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, DuplicateDemandsNotRepeated) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  auto r1 = lm.acquire(kB, kF, LockMode::kExclusive);
+  EXPECT_EQ(r1.demands.size(), 1u);
+  // A second conflicting request does not re-demand the same holder.
+  auto r2 = lm.acquire(kC, kF, LockMode::kExclusive);
+  EXPECT_TRUE(r2.demands.empty());
+}
+
+TEST(LockManager, DeeperDemandIssuedWhenNeeded) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  auto r1 = lm.acquire(kB, kF, LockMode::kShared);  // demand: down to S
+  ASSERT_EQ(r1.demands.size(), 1u);
+  EXPECT_EQ(r1.demands[0].max_mode, LockMode::kShared);
+  // A complies to S; B granted. Now C wants X: A and B must go to None.
+  auto upd = lm.set_mode(kA, kF, LockMode::kShared);
+  ASSERT_EQ(upd.grants.size(), 1u);
+  auto r2 = lm.acquire(kC, kF, LockMode::kExclusive);
+  EXPECT_EQ(r2.demands.size(), 2u);
+  for (const auto& d : r2.demands) {
+    EXPECT_EQ(d.max_mode, LockMode::kNone);
+  }
+}
+
+TEST(LockManager, WaiterDeduplicatedAtStrongestMode) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kExclusive);  // upgrade the queued request
+  EXPECT_EQ(lm.waiter_count(kF), 1u);
+  auto upd = lm.set_mode(kA, kF, LockMode::kNone);
+  ASSERT_EQ(upd.grants.size(), 1u);
+  EXPECT_EQ(upd.grants[0].mode, LockMode::kExclusive);
+}
+
+TEST(LockManager, CancelWaiterRemovesFromQueue) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kExclusive);
+  auto cupd = lm.cancel_waiter(kB, kF);
+  EXPECT_TRUE(cupd.grants.empty());
+  EXPECT_EQ(lm.waiter_count(kF), 0u);
+  auto upd = lm.set_mode(kA, kF, LockMode::kNone);
+  EXPECT_TRUE(upd.grants.empty());
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, StealReleasesEverythingOfClient) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kA, kG, LockMode::kShared);
+  lm.acquire(kB, kF, LockMode::kExclusive);  // waits on kA
+  auto res = lm.steal_all(kA);
+  EXPECT_EQ(res.affected.size(), 2u);
+  ASSERT_EQ(res.update.grants.size(), 1u);
+  EXPECT_EQ(res.update.grants[0].client, kB);
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kNone);
+  EXPECT_EQ(lm.mode_of(kA, kG), LockMode::kNone);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, StealRemovesQueuedRequestsToo) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kExclusive);  // B waits
+  auto res = lm.steal_all(kB);
+  EXPECT_EQ(res.affected.size(), 1u);
+  EXPECT_TRUE(res.update.grants.empty());
+  EXPECT_EQ(lm.waiter_count(kF), 0u);
+}
+
+TEST(LockManager, StealOfUnknownClientIsEmpty) {
+  LockManager lm;
+  auto res = lm.steal_all(kC);
+  EXPECT_TRUE(res.affected.empty());
+  EXPECT_TRUE(res.update.grants.empty());
+}
+
+TEST(LockManager, FilesOfListsHeldFiles) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.acquire(kA, kG, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kShared);
+  auto files = lm.files_of(kA);
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], kF);
+  EXPECT_EQ(files[1], kG);
+}
+
+TEST(LockManager, DemandedModeAccessor) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  EXPECT_FALSE(lm.demanded_mode(kA, kF).has_value());
+  lm.acquire(kB, kF, LockMode::kShared);
+  ASSERT_TRUE(lm.demanded_mode(kA, kF).has_value());
+  EXPECT_EQ(*lm.demanded_mode(kA, kF), LockMode::kShared);
+  // Compliance clears it.
+  lm.set_mode(kA, kF, LockMode::kShared);
+  EXPECT_FALSE(lm.demanded_mode(kA, kF).has_value());
+}
+
+TEST(LockManager, UpgradeViaSetModeIgnored) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  lm.set_mode(kA, kF, LockMode::kExclusive);  // not an upgrade path
+  EXPECT_EQ(lm.mode_of(kA, kF), LockMode::kShared);
+}
+
+TEST(LockManager, SetModeOnNonHolderStillPumps) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kExclusive);
+  lm.acquire(kB, kF, LockMode::kShared);
+  lm.steal_all(kA);
+  // A's late DemandDone arrives after the steal: must not corrupt state.
+  auto upd = lm.set_mode(kA, kF, LockMode::kNone);
+  EXPECT_TRUE(upd.grants.empty());
+  EXPECT_EQ(lm.mode_of(kB, kF), LockMode::kShared);
+  EXPECT_TRUE(lm.invariants_hold());
+}
+
+TEST(LockManager, GcEmptiesTable) {
+  LockManager lm;
+  lm.acquire(kA, kF, LockMode::kShared);
+  EXPECT_EQ(lm.held_files(), 1u);
+  lm.set_mode(kA, kF, LockMode::kNone);
+  EXPECT_EQ(lm.held_files(), 0u);
+}
+
+TEST(LockManagerDeathTest, AcquireNoneAborts) {
+  LockManager lm;
+  EXPECT_DEATH(lm.acquire(kA, kF, LockMode::kNone), "release");
+}
+
+}  // namespace
+}  // namespace stank::server

@@ -1,0 +1,79 @@
+#include "server/metadata.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::server {
+namespace {
+
+TEST(Metadata, CreateAndLookup) {
+  Metadata md;
+  auto r = md.open("/a/b", true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(md.lookup("/a/b"), r.value());
+  EXPECT_EQ(md.file_count(), 1u);
+}
+
+TEST(Metadata, OpenWithoutCreateFailsForMissing) {
+  Metadata md;
+  auto r = md.open("/missing", false);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), ErrorCode::kNotFound);
+}
+
+TEST(Metadata, OpenIsIdempotentForExisting) {
+  Metadata md;
+  auto a = md.open("/f", true);
+  auto b = md.open("/f", true);
+  auto c = md.open("/f", false);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a.value(), c.value());
+  EXPECT_EQ(md.file_count(), 1u);
+}
+
+TEST(Metadata, DistinctPathsDistinctIds) {
+  Metadata md;
+  auto a = md.open("/x", true);
+  auto b = md.open("/y", true);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Metadata, FindReturnsInode) {
+  Metadata md;
+  auto id = md.open("/f", true).value();
+  Inode* inode = md.find(id);
+  ASSERT_NE(inode, nullptr);
+  EXPECT_EQ(inode->id, id);
+  EXPECT_EQ(inode->attr.size, 0u);
+  EXPECT_EQ(md.find(FileId{9999}), nullptr);
+}
+
+TEST(Metadata, RemoveDropsFile) {
+  Metadata md;
+  auto id = md.open("/f", true).value();
+  EXPECT_TRUE(md.remove("/f").is_ok());
+  EXPECT_EQ(md.find(id), nullptr);
+  EXPECT_FALSE(md.lookup("/f").has_value());
+  EXPECT_EQ(md.remove("/f").error(), ErrorCode::kNotFound);
+}
+
+TEST(Metadata, TouchBumpsVersionAndMtime) {
+  Metadata md;
+  auto id = md.open("/f", true).value();
+  Inode* inode = md.find(id);
+  const auto v0 = inode->attr.meta_version;
+  md.touch(*inode, 12345);
+  EXPECT_EQ(inode->attr.meta_version, v0 + 1);
+  EXPECT_EQ(inode->attr.mtime_ns, 12345u);
+}
+
+TEST(Metadata, AllocatedBlocksSumsExtents) {
+  Inode inode;
+  EXPECT_EQ(inode.allocated_blocks(), 0u);
+  inode.extents.push_back(protocol::Extent{DiskId{1}, 0, 10});
+  inode.extents.push_back(protocol::Extent{DiskId{1}, 50, 6});
+  EXPECT_EQ(inode.allocated_blocks(), 16u);
+}
+
+}  // namespace
+}  // namespace stank::server

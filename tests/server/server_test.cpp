@@ -1,0 +1,433 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "protocol/codec.hpp"
+
+namespace stank::server {
+namespace {
+
+using protocol::Frame;
+using protocol::FrameKind;
+using protocol::LockMode;
+
+// Drives the real Server through the datagram layer with a scripted client.
+struct Fixture {
+  sim::Engine engine;
+  net::ControlNet net;
+  storage::SanFabric san;
+  std::unique_ptr<Server> server;
+  std::vector<Frame> rx;  // everything the fake client received
+  std::uint64_t next_msg{1};
+  std::uint32_t epoch{0};
+  bool auto_ack_server_msgs{true};
+
+  explicit Fixture(ServerConfig cfg = make_cfg()) : net(engine, sim::Rng(1), {}),
+                                                    san(engine, sim::Rng(2), {}) {
+    san.add_disk(DiskId{1}, 1024, 64);
+    server = std::make_unique<Server>(engine, net, san, sim::LocalClock(1.0), cfg);
+    server->start();
+    attach_client(NodeId{100});
+  }
+
+  static ServerConfig make_cfg() {
+    ServerConfig cfg;
+    cfg.id = NodeId{1};
+    cfg.lease.tau = sim::local_seconds(5);
+    cfg.lease.epsilon = 0.01;
+    cfg.block_size = 64;
+    cfg.data_disks = {DiskId{1}};
+    cfg.demand_timeout = sim::local_seconds(3);
+    return cfg;
+  }
+
+  void attach_client(NodeId id) {
+    net.attach(id, [this, id](NodeId from, const Bytes& dg) {
+      auto f = protocol::decode(dg);
+      ASSERT_TRUE(f.has_value());
+      rx.push_back(*f);
+      if (f->kind == FrameKind::kServerMsg && auto_ack_server_msgs) {
+        Frame ack;
+        ack.kind = FrameKind::kClientAck;
+        ack.sender = id;
+        ack.msg_id = f->msg_id;
+        ack.epoch = f->epoch;
+        net.send(id, from, protocol::encode(ack));
+      }
+    });
+  }
+
+  // Sends a request and runs the sim until its reply arrives (or 2s pass).
+  std::optional<Frame> call(protocol::RequestBody body, NodeId from = NodeId{100},
+                            std::optional<std::uint32_t> use_epoch = std::nullopt) {
+    Frame f;
+    f.kind = FrameKind::kRequest;
+    f.sender = from;
+    f.msg_id = MsgId{next_msg++};
+    f.epoch = use_epoch.value_or(epoch);
+    f.body = std::move(body);
+    const MsgId id = f.msg_id;
+    net.send(from, NodeId{1}, protocol::encode(f));
+    const auto deadline = engine.now() + sim::seconds(2);
+    while (engine.now() < deadline) {
+      for (const auto& r : rx) {
+        if ((r.kind == FrameKind::kAck || r.kind == FrameKind::kNack) && r.msg_id == id) {
+          return r;
+        }
+      }
+      if (!engine.step()) break;
+    }
+    for (const auto& r : rx) {
+      if ((r.kind == FrameKind::kAck || r.kind == FrameKind::kNack) && r.msg_id == id) {
+        return r;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void do_register(NodeId from = NodeId{100}) {
+    auto r = call(protocol::RegisterReq{}, from);
+    ASSERT_TRUE(r.has_value());
+    ASSERT_EQ(r->kind, FrameKind::kAck);
+    epoch = std::get<protocol::RegisterReply>(std::get<protocol::ReplyBody>(r->body)).epoch;
+  }
+
+  void run_for(double s) { engine.run_until(engine.now() + sim::seconds_d(s)); }
+};
+
+TEST(Server, RejectsUnregisteredClients) {
+  Fixture f;
+  auto r = f.call(protocol::KeepAliveReq{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kNack);
+}
+
+TEST(Server, RegisterAssignsEpoch) {
+  Fixture f;
+  f.do_register();
+  EXPECT_EQ(f.epoch, 1u);
+  EXPECT_TRUE(f.server->session_valid(NodeId{100}));
+  auto r = f.call(protocol::KeepAliveReq{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kAck);
+}
+
+TEST(Server, StaleEpochNacked) {
+  Fixture f;
+  f.do_register();
+  f.do_register();  // epoch 2
+  auto r = f.call(protocol::KeepAliveReq{}, NodeId{100}, 1u);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kNack);
+}
+
+TEST(Server, OpenCreatesFile) {
+  Fixture f;
+  f.do_register();
+  auto r = f.call(protocol::OpenReq{"/new", true});
+  ASSERT_TRUE(r.has_value());
+  const auto& rep = std::get<protocol::OpenReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.attr.size, 0u);
+  auto r2 = f.call(protocol::OpenReq{"/new", false});
+  const auto& rep2 = std::get<protocol::OpenReply>(std::get<protocol::ReplyBody>(r2->body));
+  EXPECT_EQ(rep2.file, rep.file);
+}
+
+TEST(Server, OpenMissingWithoutCreateErrs) {
+  Fixture f;
+  f.do_register();
+  auto r = f.call(protocol::OpenReq{"/nope", false});
+  const auto& err = std::get<protocol::ErrReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(err.code, ErrorCode::kNotFound);
+}
+
+TEST(Server, SetSizeAllocatesExtents) {
+  Fixture f;
+  f.do_register();
+  auto open = f.call(protocol::OpenReq{"/f", true});
+  const auto file =
+      std::get<protocol::OpenReply>(std::get<protocol::ReplyBody>(open->body)).file;
+  auto r = f.call(protocol::SetSizeReq{file, 640, false});  // 10 blocks of 64
+  const auto& rep = std::get<protocol::AttrReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.attr.size, 640u);
+  std::uint64_t blocks = 0;
+  for (const auto& e : rep.extents) blocks += e.count;
+  EXPECT_EQ(blocks, 10u);
+}
+
+TEST(Server, GrowOnlySetSizeIgnoresShrink) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 640).value();
+  auto r = f.call(protocol::SetSizeReq{file, 64, false});
+  const auto& rep = std::get<protocol::AttrReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.attr.size, 640u);  // unchanged
+}
+
+TEST(Server, TruncateShrinksAndFreesBlocks) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 640).value();
+  auto r = f.call(protocol::SetSizeReq{file, 64, true});
+  const auto& rep = std::get<protocol::AttrReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.attr.size, 64u);
+  std::uint64_t blocks = 0;
+  for (const auto& e : rep.extents) blocks += e.count;
+  EXPECT_EQ(blocks, 1u);
+}
+
+TEST(Server, SetSizeBeyondDiskErrsNoSpace) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 0).value();
+  auto r = f.call(protocol::SetSizeReq{file, 1024 * 64 + 1, false});
+  const auto& err = std::get<protocol::ErrReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(err.code, ErrorCode::kNoSpace);
+}
+
+TEST(Server, LockGrantImmediate) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
+  const auto& rep = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_TRUE(rep.granted);
+  EXPECT_EQ(rep.mode, LockMode::kExclusive);
+  EXPECT_GT(rep.gen, 0u);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+}
+
+TEST(Server, ConflictingLockQueuedAndDemandIssued) {
+  Fixture f;
+  f.attach_client(NodeId{101});
+  f.do_register(NodeId{100});
+  const auto epoch100 = f.epoch;
+  f.do_register(NodeId{101});
+  const auto epoch101 = f.epoch;
+
+  auto file = f.server->preallocate("/f", 64).value();
+  f.epoch = epoch100;
+  auto r1 = f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{100});
+  ASSERT_TRUE(std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r1->body)).granted);
+
+  f.epoch = epoch101;
+  auto r2 = f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{101});
+  EXPECT_FALSE(std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r2->body)).granted);
+  f.run_for(0.01);
+
+  // A demand went to client 100.
+  bool saw_demand = false;
+  std::uint32_t demand_gen = 0;
+  for (const auto& fr : f.rx) {
+    if (fr.kind == FrameKind::kServerMsg) {
+      if (const auto* d =
+              std::get_if<protocol::LockDemand>(&std::get<protocol::ServerBody>(fr.body))) {
+        saw_demand = true;
+        demand_gen = d->gen;
+        EXPECT_EQ(d->max_mode, LockMode::kNone);
+      }
+    }
+  }
+  ASSERT_TRUE(saw_demand);
+
+  // 100 complies; 101 receives the grant.
+  f.epoch = epoch100;
+  f.call(protocol::DemandDoneReq{file, LockMode::kNone, demand_gen}, NodeId{100});
+  f.run_for(0.01);
+  bool saw_grant = false;
+  for (const auto& fr : f.rx) {
+    if (fr.kind == FrameKind::kServerMsg) {
+      if (const auto* g =
+              std::get_if<protocol::LockGrant>(&std::get<protocol::ServerBody>(fr.body))) {
+        saw_grant = true;
+        EXPECT_EQ(g->mode, LockMode::kExclusive);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_grant);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{101}, file), LockMode::kExclusive);
+}
+
+TEST(Server, StaleGenDemandDoneIgnored) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
+  const auto gen = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body)).gen;
+  // Compliance with a bogus (older) generation must not release the lock.
+  f.call(protocol::DemandDoneReq{file, LockMode::kNone, gen - 1});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+}
+
+TEST(Server, StaleGenUnlockIgnored) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
+  const auto gen = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body)).gen;
+  f.call(protocol::UnlockReq{file, LockMode::kNone, gen + 5});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+  f.call(protocol::UnlockReq{file, LockMode::kNone, gen});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
+}
+
+TEST(Server, UndeliverableDemandStartsLeaseTimeoutThenStealsAndFences) {
+  Fixture f;
+  f.attach_client(NodeId{101});
+  f.do_register(NodeId{100});
+  const auto e100 = f.epoch;
+  f.do_register(NodeId{101});
+  const auto e101 = f.epoch;
+  auto file = f.server->preallocate("/f", 64).value();
+  f.epoch = e100;
+  f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{100});
+
+  // 100 drops off the control network.
+  f.net.reachability().sever_pair(NodeId{100}, NodeId{1});
+  f.epoch = e101;
+  f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{101});
+
+  // Retries exhaust (~2s), then tau(1+eps) = 5.05s.
+  f.run_for(3.0);
+  EXPECT_TRUE(f.server->authority().is_suspect(NodeId{100}));
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);  // honored!
+  f.run_for(6.0);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{101}, file), LockMode::kExclusive);
+  EXPECT_TRUE(f.san.disk(DiskId{1}).is_fenced(NodeId{100}));
+  EXPECT_FALSE(f.server->session_valid(NodeId{100}));
+  EXPECT_EQ(f.server->counters().lock_steals, 1u);
+  EXPECT_EQ(f.server->counters().fences_issued, 1u);
+}
+
+TEST(Server, ReregisterAfterStealUnfences) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  f.call(protocol::LockReq{file, LockMode::kExclusive});
+  f.server->inject_delivery_failure(NodeId{100});
+  f.run_for(6.0);
+  EXPECT_TRUE(f.san.disk(DiskId{1}).is_fenced(NodeId{100}));
+
+  auto r = f.call(protocol::RegisterReq{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kAck);
+  const auto new_epoch =
+      std::get<protocol::RegisterReply>(std::get<protocol::ReplyBody>(r->body)).epoch;
+  EXPECT_EQ(new_epoch, 2u);
+  f.run_for(0.01);
+  EXPECT_FALSE(f.san.disk(DiskId{1}).is_fenced(NodeId{100}));
+}
+
+TEST(Server, RegisterNackedWhileTimerRuns) {
+  Fixture f;
+  f.do_register();
+  f.server->inject_delivery_failure(NodeId{100});
+  auto r = f.call(protocol::RegisterReq{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->kind, FrameKind::kNack);  // conservative protocol
+}
+
+TEST(Server, NaiveStealActsImmediately) {
+  auto cfg = Fixture::make_cfg();
+  cfg.recovery = RecoveryMode::kNaiveSteal;
+  Fixture f(cfg);
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  f.call(protocol::LockReq{file, LockMode::kExclusive});
+  f.server->inject_delivery_failure(NodeId{100});
+  f.run_for(0.01);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
+  EXPECT_FALSE(f.san.disk(DiskId{1}).is_fenced(NodeId{100}));  // no fence
+}
+
+TEST(Server, NoRecoveryHonorsLocksForever) {
+  auto cfg = Fixture::make_cfg();
+  cfg.recovery = RecoveryMode::kNoRecovery;
+  Fixture f(cfg);
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  f.call(protocol::LockReq{file, LockMode::kExclusive});
+  f.server->inject_delivery_failure(NodeId{100});
+  f.run_for(60.0);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+  EXPECT_EQ(f.server->counters().lock_steals, 0u);
+}
+
+TEST(Server, DataShippingReadsAndWrites) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 0).value();
+  Bytes payload(100, 0x5A);
+  auto w = f.call(protocol::WriteDataReq{file, 10, payload});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(std::holds_alternative<protocol::OkReply>(std::get<protocol::ReplyBody>(w->body)));
+
+  auto r = f.call(protocol::ReadDataReq{file, 10, 100});
+  const auto& rep = std::get<protocol::DataReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.data, payload);
+  EXPECT_EQ(f.server->counters().server_data_bytes, 200u);
+}
+
+TEST(Server, DataShippingReadClampsAtEof) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 0).value();
+  f.call(protocol::WriteDataReq{file, 0, Bytes(50, 1)});
+  auto r = f.call(protocol::ReadDataReq{file, 40, 100});
+  const auto& rep = std::get<protocol::DataReply>(std::get<protocol::ReplyBody>(r->body));
+  EXPECT_EQ(rep.data.size(), 10u);
+}
+
+TEST(Server, KeepAliveIsNotATransaction) {
+  Fixture f;
+  f.do_register();
+  const auto before = f.server->counters().transactions;
+  f.call(protocol::KeepAliveReq{});
+  EXPECT_EQ(f.server->counters().transactions, before);
+}
+
+TEST(Server, StorageTankServerKeepsZeroLeaseState) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  f.call(protocol::LockReq{file, LockMode::kExclusive});
+  for (int i = 0; i < 20; ++i) {
+    f.call(protocol::KeepAliveReq{});
+    f.call(protocol::GetAttrReq{file});
+  }
+  EXPECT_EQ(f.server->lease_state_bytes(), 0u);
+  EXPECT_EQ(f.server->counters().lease_ops, 0u);
+}
+
+TEST(Server, FrangipaniServerTracksHeartbeats) {
+  auto cfg = Fixture::make_cfg();
+  cfg.strategy = LeaseStrategy::kFrangipani;
+  Fixture f(cfg);
+  f.do_register();
+  EXPECT_GT(f.server->lease_state_bytes(), 0u);  // one table entry already
+  const auto ops_before = f.server->counters().lease_ops;
+  f.call(protocol::KeepAliveReq{});
+  EXPECT_GT(f.server->counters().lease_ops, ops_before);
+}
+
+TEST(Server, VLeaseServerTracksPerObjectLeases) {
+  auto cfg = Fixture::make_cfg();
+  cfg.strategy = LeaseStrategy::kVLeases;
+  Fixture f(cfg);
+  f.do_register();
+  auto fa = f.server->preallocate("/a", 64).value();
+  auto fb = f.server->preallocate("/b", 64).value();
+  f.call(protocol::LockReq{fa, LockMode::kShared});
+  const auto one = f.server->lease_state_bytes();
+  EXPECT_GT(one, 0u);
+  f.call(protocol::LockReq{fb, LockMode::kShared});
+  EXPECT_GT(f.server->lease_state_bytes(), one);
+  f.call(protocol::RenewObjReq{fa});
+  EXPECT_GT(f.server->counters().lease_ops, 0u);
+}
+
+}  // namespace
+}  // namespace stank::server

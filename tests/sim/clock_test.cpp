@@ -1,0 +1,102 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stank::sim {
+namespace {
+
+TEST(LocalClock, UnitRateIsIdentity) {
+  LocalClock c(1.0);
+  EXPECT_EQ(c.local_now(SimTime{1'000'000}).ns, 1'000'000);
+  EXPECT_EQ(c.to_global(LocalDuration{500}).ns, 500);
+}
+
+TEST(LocalClock, FastClockCountsMore) {
+  LocalClock c(1.01);  // runs 1% fast
+  EXPECT_EQ(c.local_now(SimTime{1'000'000}).ns, 1'010'000);
+  // A local duration elapses in less global time on a fast clock.
+  EXPECT_EQ(c.to_global(LocalDuration{1'010'000}).ns, 1'000'000);
+}
+
+TEST(LocalClock, SlowClockCountsLess) {
+  LocalClock c(0.99);
+  EXPECT_EQ(c.local_now(SimTime{1'000'000}).ns, 990'000);
+  EXPECT_GT(c.to_global(LocalDuration{1'000'000}).ns, 1'000'000);
+}
+
+TEST(LocalClock, EpochOffsetApplies) {
+  LocalClock c(1.0, LocalTime{12345});
+  EXPECT_EQ(c.local_now(SimTime{0}).ns, 12345);
+}
+
+TEST(LocalClock, RoundTripConversionIsNearIdentity) {
+  LocalClock c(1.0001);
+  for (std::int64_t d : {1'000LL, 777'777LL, 123'456'789LL}) {
+    const auto back = c.to_local(c.to_global(LocalDuration{d}));
+    EXPECT_NEAR(static_cast<double>(back.ns), static_cast<double>(d), 1.0);
+  }
+}
+
+TEST(LocalClock, RateSynchronizationBound) {
+  const double eps = 0.01;
+  LocalClock a(1.004);
+  LocalClock b(0.996);
+  EXPECT_TRUE(a.rate_synchronized_with(b, eps));
+  EXPECT_TRUE(b.rate_synchronized_with(a, eps));
+
+  LocalClock fast(1.02);
+  EXPECT_FALSE(fast.rate_synchronized_with(b, eps));
+}
+
+TEST(NodeClock, SchedulesInLocalUnits) {
+  Engine e;
+  // A clock running at half speed: local 1s == global 2s.
+  NodeClock nc(e, LocalClock(0.5));
+  std::int64_t fired_at = -1;
+  nc.schedule_after(local_seconds(1), [&]() { fired_at = e.now().ns; });
+  e.run();
+  EXPECT_EQ(fired_at, 2'000'000'000);
+}
+
+TEST(NodeClock, NowTracksEngine) {
+  Engine e;
+  NodeClock nc(e, LocalClock(2.0));
+  e.schedule_at(SimTime{1'000}, []() {});
+  e.run();
+  EXPECT_EQ(nc.now().ns, 2'000);
+}
+
+TEST(NodeClock, CancelWorks) {
+  Engine e;
+  NodeClock nc(e, LocalClock(1.0));
+  bool ran = false;
+  TimerId id = nc.schedule_after(local_millis(5), [&]() { ran = true; });
+  EXPECT_TRUE(nc.pending(id));
+  nc.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SkewedRate, AdversarialExtremes) {
+  const double eps = 0.02;
+  EXPECT_DOUBLE_EQ(skewed_rate(eps, 0.5, +1), 1.02);
+  EXPECT_DOUBLE_EQ(skewed_rate(eps, 0.5, -1), 1.0 / 1.02);
+}
+
+TEST(SkewedRate, RandomDrawStaysInBand) {
+  const double eps = 0.05;
+  for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double r = skewed_rate(eps, u);
+    EXPECT_GE(r, 1.0 / (1.0 + eps) - 1e-12);
+    EXPECT_LE(r, 1.0 + eps + 1e-12);
+  }
+}
+
+TEST(LocalClockDeathTest, NonPositiveRateAborts) {
+  EXPECT_DEATH(LocalClock(0.0), "advance");
+}
+
+}  // namespace
+}  // namespace stank::sim

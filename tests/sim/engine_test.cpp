@@ -1,0 +1,128 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stank::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime{30}, [&]() { order.push_back(3); });
+  e.schedule_at(SimTime{10}, [&]() { order.push_back(1); });
+  e.schedule_at(SimTime{20}, [&]() { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now().ns, 30);
+}
+
+TEST(Engine, SameTimeFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(SimTime{100}, [&, i]() { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Engine, EventsMayScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) {
+      e.schedule_after(Duration{1}, recurse);
+    }
+  };
+  e.schedule_at(SimTime{0}, recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now().ns, 4);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  TimerId id = e.schedule_at(SimTime{10}, [&]() { ran = true; });
+  EXPECT_TRUE(e.pending(id));
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.pending(id));
+  EXPECT_FALSE(e.cancel(id));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilStopsAtHorizonInclusive) {
+  Engine e;
+  std::vector<int> hits;
+  e.schedule_at(SimTime{10}, [&]() { hits.push_back(10); });
+  e.schedule_at(SimTime{20}, [&]() { hits.push_back(20); });
+  e.schedule_at(SimTime{21}, [&]() { hits.push_back(21); });
+  e.run_until(SimTime{20});
+  EXPECT_EQ(hits, (std::vector<int>{10, 20}));
+  EXPECT_EQ(e.now().ns, 20);
+  e.run_until(SimTime{30});
+  EXPECT_EQ(hits, (std::vector<int>{10, 20, 21}));
+  EXPECT_EQ(e.now().ns, 30);  // advances to the horizon even when idle
+}
+
+TEST(Engine, StopInterruptsRun) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(SimTime{i}, [&]() {
+      if (++count == 3) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(SimTime{1}, []() {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CountsExecutedAndPending) {
+  Engine e;
+  e.schedule_at(SimTime{1}, []() {});
+  e.schedule_at(SimTime{2}, []() {});
+  EXPECT_EQ(e.events_pending(), 2u);
+  e.run();
+  EXPECT_EQ(e.events_executed(), 2u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, CancelledEventsDoNotBlockRunUntil) {
+  Engine e;
+  TimerId id = e.schedule_at(SimTime{5}, []() {});
+  e.cancel(id);
+  e.run_until(SimTime{10});
+  EXPECT_EQ(e.now().ns, 10);
+}
+
+TEST(EngineDeathTest, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule_at(SimTime{10}, []() {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(SimTime{5}, []() {}), "past");
+}
+
+TEST(Engine, SelfCancellationInsideEventIsSafe) {
+  Engine e;
+  // An event cancelling a later event that was already popped as a tombstone.
+  TimerId victim{};
+  victim = e.schedule_at(SimTime{10}, []() { FAIL() << "should have been cancelled"; });
+  e.schedule_at(SimTime{5}, [&]() { e.cancel(victim); });
+  e.run();
+}
+
+}  // namespace
+}  // namespace stank::sim

@@ -1,0 +1,136 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace stank::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng root(7);
+  Rng a = root.fork(1);
+  Rng b = root.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(5);
+  std::map<std::int64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    ++seen[v];
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+  for (const auto& [v, n] : seen) {
+    EXPECT_GT(n, 1500) << "value " << v << " badly underrepresented";
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.uniform_int(7, 7), 7);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng r(17);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[r.zipf(4, 0.0)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, ZipfSkewFavorsLowRanks) {
+  Rng r(19);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[r.zipf(16, 1.0)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 4 * counts[15]);
+}
+
+TEST(Rng, ZipfAlwaysInRange) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.zipf(7, 0.9), 7u);
+  }
+  // Interleave with another (n, s) to exercise the cache invalidation.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.zipf(3, 0.1), 3u);
+    EXPECT_LT(r.zipf(7, 0.9), 7u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+}
+
+}  // namespace
+}  // namespace stank::sim

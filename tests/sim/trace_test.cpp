@@ -1,0 +1,72 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stank::sim {
+namespace {
+
+TEST(TraceLog, RecordsInOrder) {
+  TraceLog log;
+  log.record(SimTime{1}, NodeId{1}, "a", "first");
+  log.record(SimTime{2}, NodeId{2}, "b", "second");
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0].detail, "first");
+  EXPECT_EQ(log.events()[1].detail, "second");
+}
+
+TEST(TraceLog, FiltersByCategory) {
+  TraceLog log;
+  log.record(SimTime{1}, NodeId{1}, "lease", "x");
+  log.record(SimTime{2}, NodeId{1}, "lock", "y");
+  log.record(SimTime{3}, NodeId{1}, "lease", "z");
+  auto lease = log.by_category("lease");
+  ASSERT_EQ(lease.size(), 2u);
+  EXPECT_EQ(lease[0].detail, "x");
+  EXPECT_EQ(lease[1].detail, "z");
+}
+
+TEST(TraceLog, FiltersByNode) {
+  TraceLog log;
+  log.record(SimTime{1}, NodeId{1}, "a", "x");
+  log.record(SimTime{2}, NodeId{2}, "a", "y");
+  EXPECT_EQ(log.by_node(NodeId{2}).size(), 1u);
+}
+
+TEST(TraceLog, FindSubstring) {
+  TraceLog log;
+  log.record(SimTime{5}, NodeId{1}, "lock", "stole 3 locks from client n7");
+  EXPECT_NE(log.find("lock", "stole"), nullptr);
+  EXPECT_EQ(log.find("lock", "granted"), nullptr);
+  EXPECT_EQ(log.find("lease", "stole"), nullptr);
+  EXPECT_EQ(log.find("lock", "stole")->at.ns, 5);
+}
+
+TEST(TraceLog, CountMatches) {
+  TraceLog log;
+  log.record(SimTime{1}, NodeId{1}, "lease", "NACK received");
+  log.record(SimTime{2}, NodeId{1}, "lease", "NACK received");
+  log.record(SimTime{3}, NodeId{1}, "lease", "expired");
+  EXPECT_EQ(log.count("lease", "NACK"), 2u);
+}
+
+TEST(TraceLog, ClearEmpties) {
+  TraceLog log;
+  log.record(SimTime{1}, NodeId{1}, "a", "x");
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(TraceLog, PrintContainsFields) {
+  TraceLog log;
+  log.record(SimTime{1'500'000'000}, NodeId{9}, "fence", "fencing client 9");
+  std::ostringstream os;
+  log.print(os);
+  EXPECT_NE(os.str().find("n9"), std::string::npos);
+  EXPECT_NE(os.str().find("[fence]"), std::string::npos);
+  EXPECT_NE(os.str().find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stank::sim

@@ -1,0 +1,148 @@
+#include "storage/virtual_disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::storage {
+namespace {
+
+IoRequest write_req(NodeId who, BlockAddr addr, std::uint32_t count, std::uint8_t fill,
+                    std::uint32_t bs = 64) {
+  IoRequest r;
+  r.initiator = who;
+  r.disk = DiskId{1};
+  r.op = IoOp::kWrite;
+  r.addr = addr;
+  r.count = count;
+  r.data = Bytes(static_cast<std::size_t>(count) * bs, fill);
+  return r;
+}
+
+IoRequest read_req(NodeId who, BlockAddr addr, std::uint32_t count) {
+  IoRequest r;
+  r.initiator = who;
+  r.disk = DiskId{1};
+  r.op = IoOp::kRead;
+  r.addr = addr;
+  r.count = count;
+  return r;
+}
+
+TEST(VirtualDisk, WriteThenReadRoundTrips) {
+  VirtualDisk d(DiskId{1}, 128, 64);
+  auto wr = d.execute(write_req(NodeId{1}, 10, 2, 0xAA));
+  ASSERT_TRUE(wr.status.is_ok());
+  auto rd = d.execute(read_req(NodeId{1}, 10, 2));
+  ASSERT_TRUE(rd.status.is_ok());
+  EXPECT_EQ(rd.data, Bytes(128, 0xAA));
+}
+
+TEST(VirtualDisk, UnwrittenBlocksReadAsZero) {
+  VirtualDisk d(DiskId{1}, 128, 64);
+  auto rd = d.execute(read_req(NodeId{1}, 5, 1));
+  ASSERT_TRUE(rd.status.is_ok());
+  EXPECT_EQ(rd.data, Bytes(64, 0));
+}
+
+TEST(VirtualDisk, PartialOverlapReads) {
+  VirtualDisk d(DiskId{1}, 128, 64);
+  (void)d.execute(write_req(NodeId{1}, 3, 1, 0x11));
+  auto rd = d.execute(read_req(NodeId{1}, 2, 3));  // blocks 2,3,4 — only 3 written
+  ASSERT_TRUE(rd.status.is_ok());
+  EXPECT_EQ(rd.data[0], 0);
+  EXPECT_EQ(rd.data[64], 0x11);
+  EXPECT_EQ(rd.data[128], 0);
+}
+
+TEST(VirtualDisk, BoundsChecked) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  EXPECT_EQ(d.execute(read_req(NodeId{1}, 15, 2)).status.error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(d.execute(read_req(NodeId{1}, 16, 1)).status.error(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(d.execute(read_req(NodeId{1}, 0, 0)).status.error(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(d.execute(read_req(NodeId{1}, 15, 1)).status.is_ok());
+}
+
+TEST(VirtualDisk, WrongSizedWriteRejected) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  IoRequest r = write_req(NodeId{1}, 0, 2, 0xFF);
+  r.data.resize(100);  // not 2 * 64
+  EXPECT_EQ(d.execute(r).status.error(), ErrorCode::kInvalidArgument);
+}
+
+TEST(VirtualDisk, FencingRejectsOnlyTheFencedInitiator) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  d.fence(NodeId{7});
+  EXPECT_TRUE(d.is_fenced(NodeId{7}));
+  EXPECT_EQ(d.execute(write_req(NodeId{7}, 0, 1, 0x01)).status.error(), ErrorCode::kFenced);
+  EXPECT_EQ(d.execute(read_req(NodeId{7}, 0, 1)).status.error(), ErrorCode::kFenced);
+  EXPECT_TRUE(d.execute(write_req(NodeId{8}, 0, 1, 0x02)).status.is_ok());
+  EXPECT_EQ(d.fenced_rejections(), 2u);
+}
+
+TEST(VirtualDisk, UnfenceRestoresAccess) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  d.fence(NodeId{7});
+  d.unfence(NodeId{7});
+  EXPECT_FALSE(d.is_fenced(NodeId{7}));
+  EXPECT_TRUE(d.execute(write_req(NodeId{7}, 0, 1, 0x01)).status.is_ok());
+}
+
+TEST(VirtualDisk, KeyedUnfenceLocksOutOldRegistrations) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  // Commands under the initial registration (key 1).
+  IoRequest w = write_req(NodeId{7}, 0, 1, 0x01);
+  w.io_key = 1;
+  EXPECT_TRUE(d.execute(w).status.is_ok());
+
+  d.fence(NodeId{7});
+  EXPECT_EQ(d.execute(w).status.error(), ErrorCode::kFenced);
+
+  // Re-registration installs key 2: only key-2 commands are honored.
+  d.unfence(NodeId{7}, 2);
+  EXPECT_FALSE(d.is_fenced(NodeId{7}));
+  EXPECT_EQ(d.execute(w).status.error(), ErrorCode::kFenced);  // late pre-fence command
+  IoRequest w2 = write_req(NodeId{7}, 1, 1, 0x02);
+  w2.io_key = 2;
+  EXPECT_TRUE(d.execute(w2).status.is_ok());
+}
+
+TEST(VirtualDisk, UnkeyedUnfenceRestoresAcceptAny) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  d.fence(NodeId{7});
+  d.unfence(NodeId{7});  // key 0: accept anything again
+  IoRequest w = write_req(NodeId{7}, 0, 1, 0x01);
+  w.io_key = 42;
+  EXPECT_TRUE(d.execute(w).status.is_ok());
+}
+
+TEST(VirtualDisk, KeysArePerInitiator) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  d.fence(NodeId{7});
+  d.unfence(NodeId{7}, 5);
+  // Another initiator is unaffected.
+  IoRequest w = write_req(NodeId{8}, 0, 1, 0x01);
+  w.io_key = 0;
+  EXPECT_TRUE(d.execute(w).status.is_ok());
+}
+
+TEST(VirtualDisk, PeekSeesLatestContentWithoutCountingAsRead) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  (void)d.execute(write_req(NodeId{1}, 4, 1, 0x55));
+  const auto reads_before = d.reads_served();
+  EXPECT_EQ(d.peek(4), Bytes(64, 0x55));
+  EXPECT_TRUE(d.peek(5).empty());
+  EXPECT_TRUE(d.ever_written(4));
+  EXPECT_FALSE(d.ever_written(5));
+  EXPECT_EQ(d.reads_served(), reads_before);
+}
+
+TEST(VirtualDisk, CountsServedOps) {
+  VirtualDisk d(DiskId{1}, 16, 64);
+  (void)d.execute(write_req(NodeId{1}, 0, 1, 1));
+  (void)d.execute(read_req(NodeId{1}, 0, 1));
+  (void)d.execute(read_req(NodeId{1}, 0, 1));
+  EXPECT_EQ(d.writes_served(), 1u);
+  EXPECT_EQ(d.reads_served(), 2u);
+}
+
+}  // namespace
+}  // namespace stank::storage

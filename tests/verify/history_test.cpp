@@ -1,0 +1,114 @@
+#include "verify/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::verify {
+namespace {
+
+storage::IoRequest stamped_write(NodeId who, storage::BlockAddr addr, FileId file,
+                                 std::uint64_t block, std::uint64_t version,
+                                 std::uint32_t count = 1, std::uint32_t bs = 64) {
+  storage::IoRequest r;
+  r.initiator = who;
+  r.disk = DiskId{1};
+  r.op = storage::IoOp::kWrite;
+  r.addr = addr;
+  r.count = count;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Bytes b = make_stamped_block(bs, Stamp{file, block + i, version, who});
+    r.data.insert(r.data.end(), b.begin(), b.end());
+  }
+  return r;
+}
+
+TEST(History, RecordsStampedDiskWrites) {
+  HistoryRecorder h;
+  auto req = stamped_write(NodeId{100}, 10, FileId{1}, 3, 7);
+  h.on_disk_io(req, storage::IoResult{Status::ok(), {}}, sim::SimTime{100}, 64);
+  ASSERT_EQ(h.disk_writes().size(), 1u);
+  EXPECT_EQ(h.disk_writes()[0].stamp.version, 7u);
+  EXPECT_EQ(h.disk_writes()[0].addr, 10u);
+  EXPECT_EQ(h.disk_writes()[0].at.ns, 100);
+}
+
+TEST(History, IgnoresReadsFailuresAndUnstamped) {
+  HistoryRecorder h;
+  auto w = stamped_write(NodeId{100}, 0, FileId{1}, 0, 1);
+  // Failed write: not recorded.
+  h.on_disk_io(w, storage::IoResult{Status{ErrorCode::kFenced}, {}}, sim::SimTime{1}, 64);
+  // Read: not recorded.
+  auto r = w;
+  r.op = storage::IoOp::kRead;
+  h.on_disk_io(r, storage::IoResult{Status::ok(), w.data}, sim::SimTime{2}, 64);
+  // Unstamped write: not recorded.
+  storage::IoRequest plain = w;
+  plain.data.assign(64, 0xEE);
+  h.on_disk_io(plain, storage::IoResult{Status::ok(), {}}, sim::SimTime{3}, 64);
+  EXPECT_TRUE(h.disk_writes().empty());
+}
+
+TEST(History, MultiBlockWriteRecordsEachBlock) {
+  HistoryRecorder h;
+  auto req = stamped_write(NodeId{100}, 20, FileId{2}, 5, 3, /*count=*/3);
+  h.on_disk_io(req, storage::IoResult{Status::ok(), {}}, sim::SimTime{9}, 64);
+  ASSERT_EQ(h.disk_writes().size(), 3u);
+  EXPECT_EQ(h.disk_writes()[1].addr, 21u);
+  EXPECT_EQ(h.disk_writes()[1].stamp.block, 6u);
+}
+
+TEST(History, DiskVersionAtTime) {
+  HistoryRecorder h;
+  auto w1 = stamped_write(NodeId{100}, 0, FileId{1}, 0, 1);
+  auto w2 = stamped_write(NodeId{101}, 0, FileId{1}, 0, 2);
+  h.on_disk_io(w1, storage::IoResult{Status::ok(), {}}, sim::SimTime{10}, 64);
+  h.on_disk_io(w2, storage::IoResult{Status::ok(), {}}, sim::SimTime{20}, 64);
+  const HistoryRecorder::BlockKey key{FileId{1}, 0};
+  EXPECT_EQ(h.disk_version_at(key, sim::SimTime{5}), 0u);
+  EXPECT_EQ(h.disk_version_at(key, sim::SimTime{10}), 1u);
+  EXPECT_EQ(h.disk_version_at(key, sim::SimTime{15}), 1u);
+  EXPECT_EQ(h.disk_version_at(key, sim::SimTime{25}), 2u);
+}
+
+TEST(History, BufferedWritesReadsAndCrashes) {
+  HistoryRecorder h;
+  h.on_buffered_write(sim::SimTime{1}, NodeId{100}, Stamp{FileId{1}, 0, 1, NodeId{100}});
+  ReadRec rec;
+  rec.start = sim::SimTime{2};
+  rec.end = sim::SimTime{3};
+  rec.client = NodeId{101};
+  rec.file = FileId{1};
+  rec.block = 0;
+  rec.observed_version = 1;
+  h.on_read(rec);
+  h.on_crash(NodeId{100});
+  EXPECT_EQ(h.buffered_writes().size(), 1u);
+  EXPECT_EQ(h.reads().size(), 1u);
+  EXPECT_TRUE(h.crashed().contains(NodeId{100}));
+}
+
+TEST(History, AllBlocksUnionsSources) {
+  HistoryRecorder h;
+  h.on_buffered_write(sim::SimTime{1}, NodeId{100}, Stamp{FileId{1}, 0, 1, NodeId{100}});
+  auto w = stamped_write(NodeId{100}, 0, FileId{2}, 5, 1);
+  h.on_disk_io(w, storage::IoResult{Status::ok(), {}}, sim::SimTime{2}, 64);
+  ReadRec rec;
+  rec.client = NodeId{101};
+  rec.file = FileId{3};
+  rec.block = 9;
+  h.on_read(rec);
+  auto keys = h.all_blocks();
+  EXPECT_EQ(keys.size(), 3u);
+  EXPECT_TRUE(keys.contains({FileId{1}, 0}));
+  EXPECT_TRUE(keys.contains({FileId{2}, 5}));
+  EXPECT_TRUE(keys.contains({FileId{3}, 9}));
+}
+
+TEST(History, ClearEmpties) {
+  HistoryRecorder h;
+  h.on_crash(NodeId{1});
+  h.clear();
+  EXPECT_TRUE(h.crashed().empty());
+}
+
+}  // namespace
+}  // namespace stank::verify

@@ -1,0 +1,48 @@
+#include "verify/stamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stank::verify {
+namespace {
+
+TEST(Stamp, RoundTrip) {
+  Stamp s{FileId{7}, 42, 9001, NodeId{103}};
+  Bytes b = make_stamped_block(128, s);
+  ASSERT_EQ(b.size(), 128u);
+  auto d = decode_stamp(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, s);
+}
+
+TEST(Stamp, MinimalBlockSize) {
+  Stamp s{FileId{1}, 0, 1, NodeId{100}};
+  Bytes b = make_stamped_block(static_cast<std::uint32_t>(kStampBytes), s);
+  EXPECT_EQ(b.size(), kStampBytes);
+  EXPECT_EQ(decode_stamp(b), s);
+}
+
+TEST(Stamp, UnstampedBlockDecodesToNothing) {
+  EXPECT_FALSE(decode_stamp(Bytes(64, 0)).has_value());
+  EXPECT_FALSE(decode_stamp(Bytes(64, 0xFF)).has_value());
+  EXPECT_FALSE(decode_stamp(Bytes{}).has_value());
+  EXPECT_FALSE(decode_stamp(Bytes(4, 0x4B)).has_value());  // too short
+}
+
+TEST(Stamp, FillerIsDeterministic) {
+  Stamp s{FileId{1}, 3, 5, NodeId{100}};
+  EXPECT_EQ(make_stamped_block(256, s), make_stamped_block(256, s));
+  // Different versions produce different blocks even beyond the header.
+  Stamp s2 = s;
+  s2.version = 6;
+  EXPECT_NE(make_stamped_block(256, s), make_stamped_block(256, s2));
+}
+
+TEST(Stamp, CorruptedMagicRejected) {
+  Stamp s{FileId{1}, 0, 1, NodeId{100}};
+  Bytes b = make_stamped_block(64, s);
+  b[0] ^= 0xFF;
+  EXPECT_FALSE(decode_stamp(b).has_value());
+}
+
+}  // namespace
+}  // namespace stank::verify

@@ -1,0 +1,100 @@
+#include "workload/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace stank::workload {
+namespace {
+
+TEST(FailurePlan, NoneIsEmpty) { EXPECT_TRUE(FailurePlan::none().events.empty()); }
+
+TEST(FailurePlan, CtrlPartitionWithHeal) {
+  auto p = FailurePlan::ctrl_partition(2, 10.0, 20.0);
+  ASSERT_EQ(p.events.size(), 2u);
+  EXPECT_EQ(p.events[0].kind, FailureKind::kCtrlIsolate);
+  EXPECT_EQ(p.events[0].client_idx, 2u);
+  EXPECT_DOUBLE_EQ(p.events[0].at_s, 10.0);
+  EXPECT_EQ(p.events[1].kind, FailureKind::kCtrlHeal);
+}
+
+TEST(FailurePlan, PermanentPartitionHasNoHeal) {
+  auto p = FailurePlan::ctrl_partition(0, 5.0);
+  EXPECT_EQ(p.events.size(), 1u);
+}
+
+TEST(FailurePlan, AddChains) {
+  FailurePlan p;
+  p.add(1.0, FailureKind::kCrash, 0).add(2.0, FailureKind::kRestart, 0);
+  EXPECT_EQ(p.events.size(), 2u);
+}
+
+TEST(FailurePlan, RandomIsSortedAndPaired) {
+  sim::Rng rng(5);
+  WorkloadSpec spec;
+  spec.num_clients = 4;
+  spec.run_seconds = 100.0;
+  auto p = FailurePlan::random(rng, spec, 10);
+  EXPECT_EQ(p.events.size(), 20u);  // every injection has a matching recovery
+  EXPECT_TRUE(std::is_sorted(p.events.begin(), p.events.end(),
+                             [](const FailureEvent& a, const FailureEvent& b) {
+                               return a.at_s < b.at_s;
+                             }));
+  for (const auto& e : p.events) {
+    EXPECT_LT(e.client_idx, 4u);
+    EXPECT_GE(e.at_s, 0.0);
+    EXPECT_LE(e.at_s, 95.0);
+  }
+}
+
+TEST(FailurePlan, RandomDeterministicPerSeed) {
+  WorkloadSpec spec;
+  sim::Rng a(7), b(7);
+  auto pa = FailurePlan::random(a, spec, 5);
+  auto pb = FailurePlan::random(b, spec, 5);
+  ASSERT_EQ(pa.events.size(), pb.events.size());
+  for (std::size_t i = 0; i < pa.events.size(); ++i) {
+    EXPECT_EQ(pa.events[i].kind, pb.events[i].kind);
+    EXPECT_DOUBLE_EQ(pa.events[i].at_s, pb.events[i].at_s);
+  }
+}
+
+TEST(FailurePlan, MixExcludesSanCutsByDefault) {
+  sim::Rng rng(11);
+  WorkloadSpec spec;
+  auto p = FailurePlan::random(rng, spec, 50);
+  for (const auto& e : p.events) {
+    EXPECT_NE(e.kind, FailureKind::kSanIsolate);
+    EXPECT_NE(e.kind, FailureKind::kSanHeal);
+  }
+}
+
+TEST(FailurePlan, MixCanBeRestricted) {
+  sim::Rng rng(11);
+  WorkloadSpec spec;
+  FailurePlan::RandomMix mix;
+  mix.ctrl_partitions = false;
+  mix.asymmetric_partitions = false;
+  mix.crashes = true;
+  auto p = FailurePlan::random(rng, spec, 20, mix);
+  for (const auto& e : p.events) {
+    EXPECT_TRUE(e.kind == FailureKind::kCrash || e.kind == FailureKind::kRestart);
+  }
+}
+
+TEST(FailurePlan, EmptyMixYieldsNothing) {
+  sim::Rng rng(1);
+  WorkloadSpec spec;
+  FailurePlan::RandomMix mix;
+  mix.ctrl_partitions = mix.asymmetric_partitions = mix.crashes = false;
+  EXPECT_TRUE(FailurePlan::random(rng, spec, 10, mix).events.empty());
+}
+
+TEST(FailureKind, AllKindsNamed) {
+  for (int i = 0; i <= static_cast<int>(FailureKind::kSlowSan); ++i) {
+    EXPECT_STRNE(to_string(static_cast<FailureKind>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace stank::workload
