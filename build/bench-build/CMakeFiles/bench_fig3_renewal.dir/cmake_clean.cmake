@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_renewal"
+  "../bench/bench_fig3_renewal.pdb"
+  "CMakeFiles/bench_fig3_renewal.dir/bench_fig3_renewal.cpp.o"
+  "CMakeFiles/bench_fig3_renewal.dir/bench_fig3_renewal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

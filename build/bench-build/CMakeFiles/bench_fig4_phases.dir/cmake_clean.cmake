@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_phases"
+  "../bench/bench_fig4_phases.pdb"
+  "CMakeFiles/bench_fig4_phases.dir/bench_fig4_phases.cpp.o"
+  "CMakeFiles/bench_fig4_phases.dir/bench_fig4_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_nack"
+  "../bench/bench_fig5_nack.pdb"
+  "CMakeFiles/bench_fig5_nack.dir/bench_fig5_nack.cpp.o"
+  "CMakeFiles/bench_fig5_nack.dir/bench_fig5_nack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_msg_overhead"
+  "../bench/bench_t1_msg_overhead.pdb"
+  "CMakeFiles/bench_t1_msg_overhead.dir/bench_t1_msg_overhead.cpp.o"
+  "CMakeFiles/bench_t1_msg_overhead.dir/bench_t1_msg_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_msg_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t4_safety"
+  "../bench/bench_t4_safety.pdb"
+  "CMakeFiles/bench_t4_safety.dir/bench_t4_safety.cpp.o"
+  "CMakeFiles/bench_t4_safety.dir/bench_t4_safety.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t5_server_txn"
+  "../bench/bench_t5_server_txn.pdb"
+  "CMakeFiles/bench_t5_server_txn.dir/bench_t5_server_txn.cpp.o"
+  "CMakeFiles/bench_t5_server_txn.dir/bench_t5_server_txn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_server_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

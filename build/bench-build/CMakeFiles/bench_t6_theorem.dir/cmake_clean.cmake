@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t6_theorem"
+  "../bench/bench_t6_theorem.pdb"
+  "CMakeFiles/bench_t6_theorem.dir/bench_t6_theorem.cpp.o"
+  "CMakeFiles/bench_t6_theorem.dir/bench_t6_theorem.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_theorem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

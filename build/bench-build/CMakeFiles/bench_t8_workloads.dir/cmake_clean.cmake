@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t8_workloads"
+  "../bench/bench_t8_workloads.pdb"
+  "CMakeFiles/bench_t8_workloads.dir/bench_t8_workloads.cpp.o"
+  "CMakeFiles/bench_t8_workloads.dir/bench_t8_workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fencing_vs_lease.dir/fencing_vs_lease.cpp.o"
+  "CMakeFiles/fencing_vs_lease.dir/fencing_vs_lease.cpp.o.d"
+  "fencing_vs_lease"
+  "fencing_vs_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fencing_vs_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_client_workload.dir/multi_client_workload.cpp.o"
+  "CMakeFiles/multi_client_workload.dir/multi_client_workload.cpp.o.d"
+  "multi_client_workload"
+  "multi_client_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_client_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_recovery.dir/partition_recovery.cpp.o"
+  "CMakeFiles/partition_recovery.dir/partition_recovery.cpp.o.d"
+  "partition_recovery"
+  "partition_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

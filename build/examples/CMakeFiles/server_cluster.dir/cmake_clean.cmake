@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_cluster.dir/server_cluster.cpp.o"
+  "CMakeFiles/server_cluster.dir/server_cluster.cpp.o.d"
+  "server_cluster"
+  "server_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

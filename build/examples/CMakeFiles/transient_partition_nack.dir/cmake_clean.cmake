@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_partition_nack.dir/transient_partition_nack.cpp.o"
+  "CMakeFiles/transient_partition_nack.dir/transient_partition_nack.cpp.o.d"
+  "transient_partition_nack"
+  "transient_partition_nack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_partition_nack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

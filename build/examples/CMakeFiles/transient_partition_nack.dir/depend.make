@@ -1,0 +1,2 @@
+# Empty dependencies file for transient_partition_nack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_baselines.dir/heartbeat.cpp.o"
+  "CMakeFiles/stank_baselines.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/stank_baselines.dir/v_lease.cpp.o"
+  "CMakeFiles/stank_baselines.dir/v_lease.cpp.o.d"
+  "libstank_baselines.a"
+  "libstank_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

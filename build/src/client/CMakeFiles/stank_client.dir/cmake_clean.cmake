@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_client.dir/cache.cpp.o"
+  "CMakeFiles/stank_client.dir/cache.cpp.o.d"
+  "CMakeFiles/stank_client.dir/client.cpp.o"
+  "CMakeFiles/stank_client.dir/client.cpp.o.d"
+  "CMakeFiles/stank_client.dir/machine.cpp.o"
+  "CMakeFiles/stank_client.dir/machine.cpp.o.d"
+  "libstank_client.a"
+  "libstank_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_common.dir/bytes.cpp.o"
+  "CMakeFiles/stank_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/stank_common.dir/log.cpp.o"
+  "CMakeFiles/stank_common.dir/log.cpp.o.d"
+  "CMakeFiles/stank_common.dir/table.cpp.o"
+  "CMakeFiles/stank_common.dir/table.cpp.o.d"
+  "libstank_common.a"
+  "libstank_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

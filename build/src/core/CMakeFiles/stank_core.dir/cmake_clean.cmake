@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_core.dir/client_lease_agent.cpp.o"
+  "CMakeFiles/stank_core.dir/client_lease_agent.cpp.o.d"
+  "CMakeFiles/stank_core.dir/server_lease_authority.cpp.o"
+  "CMakeFiles/stank_core.dir/server_lease_authority.cpp.o.d"
+  "libstank_core.a"
+  "libstank_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

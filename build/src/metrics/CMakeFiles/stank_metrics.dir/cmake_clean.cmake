@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/stank_metrics.dir/histogram.cpp.o.d"
+  "libstank_metrics.a"
+  "libstank_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_net.dir/control_net.cpp.o"
+  "CMakeFiles/stank_net.dir/control_net.cpp.o.d"
+  "libstank_net.a"
+  "libstank_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

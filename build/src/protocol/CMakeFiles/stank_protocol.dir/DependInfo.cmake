@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/client_transport.cpp" "src/protocol/CMakeFiles/stank_protocol.dir/client_transport.cpp.o" "gcc" "src/protocol/CMakeFiles/stank_protocol.dir/client_transport.cpp.o.d"
+  "/root/repo/src/protocol/codec.cpp" "src/protocol/CMakeFiles/stank_protocol.dir/codec.cpp.o" "gcc" "src/protocol/CMakeFiles/stank_protocol.dir/codec.cpp.o.d"
+  "/root/repo/src/protocol/server_transport.cpp" "src/protocol/CMakeFiles/stank_protocol.dir/server_transport.cpp.o" "gcc" "src/protocol/CMakeFiles/stank_protocol.dir/server_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stank_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/stank_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

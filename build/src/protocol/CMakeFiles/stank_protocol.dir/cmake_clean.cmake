@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_protocol.dir/client_transport.cpp.o"
+  "CMakeFiles/stank_protocol.dir/client_transport.cpp.o.d"
+  "CMakeFiles/stank_protocol.dir/codec.cpp.o"
+  "CMakeFiles/stank_protocol.dir/codec.cpp.o.d"
+  "CMakeFiles/stank_protocol.dir/server_transport.cpp.o"
+  "CMakeFiles/stank_protocol.dir/server_transport.cpp.o.d"
+  "libstank_protocol.a"
+  "libstank_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

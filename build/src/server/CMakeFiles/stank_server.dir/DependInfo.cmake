@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/block_alloc.cpp" "src/server/CMakeFiles/stank_server.dir/block_alloc.cpp.o" "gcc" "src/server/CMakeFiles/stank_server.dir/block_alloc.cpp.o.d"
+  "/root/repo/src/server/lock_manager.cpp" "src/server/CMakeFiles/stank_server.dir/lock_manager.cpp.o" "gcc" "src/server/CMakeFiles/stank_server.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/server/metadata.cpp" "src/server/CMakeFiles/stank_server.dir/metadata.cpp.o" "gcc" "src/server/CMakeFiles/stank_server.dir/metadata.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/server/CMakeFiles/stank_server.dir/server.cpp.o" "gcc" "src/server/CMakeFiles/stank_server.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stank_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stank_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/stank_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/stank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stank_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

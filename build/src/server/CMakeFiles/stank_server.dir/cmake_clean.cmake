@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_server.dir/block_alloc.cpp.o"
+  "CMakeFiles/stank_server.dir/block_alloc.cpp.o.d"
+  "CMakeFiles/stank_server.dir/lock_manager.cpp.o"
+  "CMakeFiles/stank_server.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/stank_server.dir/metadata.cpp.o"
+  "CMakeFiles/stank_server.dir/metadata.cpp.o.d"
+  "CMakeFiles/stank_server.dir/server.cpp.o"
+  "CMakeFiles/stank_server.dir/server.cpp.o.d"
+  "libstank_server.a"
+  "libstank_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

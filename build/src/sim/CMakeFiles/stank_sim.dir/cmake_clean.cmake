@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_sim.dir/engine.cpp.o"
+  "CMakeFiles/stank_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/stank_sim.dir/rng.cpp.o"
+  "CMakeFiles/stank_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/stank_sim.dir/trace.cpp.o"
+  "CMakeFiles/stank_sim.dir/trace.cpp.o.d"
+  "libstank_sim.a"
+  "libstank_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

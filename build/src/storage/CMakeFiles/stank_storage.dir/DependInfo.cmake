@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/san.cpp" "src/storage/CMakeFiles/stank_storage.dir/san.cpp.o" "gcc" "src/storage/CMakeFiles/stank_storage.dir/san.cpp.o.d"
+  "/root/repo/src/storage/virtual_disk.cpp" "src/storage/CMakeFiles/stank_storage.dir/virtual_disk.cpp.o" "gcc" "src/storage/CMakeFiles/stank_storage.dir/virtual_disk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stank_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stank_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

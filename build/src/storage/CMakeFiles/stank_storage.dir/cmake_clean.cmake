@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_storage.dir/san.cpp.o"
+  "CMakeFiles/stank_storage.dir/san.cpp.o.d"
+  "CMakeFiles/stank_storage.dir/virtual_disk.cpp.o"
+  "CMakeFiles/stank_storage.dir/virtual_disk.cpp.o.d"
+  "libstank_storage.a"
+  "libstank_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

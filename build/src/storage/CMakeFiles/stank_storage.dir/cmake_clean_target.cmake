@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstank_storage.a"
+)

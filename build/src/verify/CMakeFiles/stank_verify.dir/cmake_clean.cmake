@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_verify.dir/checker.cpp.o"
+  "CMakeFiles/stank_verify.dir/checker.cpp.o.d"
+  "CMakeFiles/stank_verify.dir/history.cpp.o"
+  "CMakeFiles/stank_verify.dir/history.cpp.o.d"
+  "libstank_verify.a"
+  "libstank_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

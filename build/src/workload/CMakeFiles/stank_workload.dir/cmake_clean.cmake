@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stank_workload.dir/failures.cpp.o"
+  "CMakeFiles/stank_workload.dir/failures.cpp.o.d"
+  "CMakeFiles/stank_workload.dir/scenario.cpp.o"
+  "CMakeFiles/stank_workload.dir/scenario.cpp.o.d"
+  "libstank_workload.a"
+  "libstank_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stank_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

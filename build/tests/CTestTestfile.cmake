@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metrics")
+subdirs("rt")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("protocol")
+subdirs("core")
+subdirs("server")
+subdirs("client")
+subdirs("baselines")
+subdirs("verify")
+subdirs("workload")
+subdirs("integration")
+subdirs("property")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v_lease_test.dir/v_lease_test.cpp.o"
+  "CMakeFiles/v_lease_test.dir/v_lease_test.cpp.o.d"
+  "v_lease_test"
+  "v_lease_test.pdb"
+  "v_lease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

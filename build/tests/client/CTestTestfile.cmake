@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/client
+# Build directory: /root/repo/build/tests/client
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/client/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/client/client_test[1]_include.cmake")
+include("/root/repo/build/tests/client/machine_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_id_test.dir/strong_id_test.cpp.o"
+  "CMakeFiles/strong_id_test.dir/strong_id_test.cpp.o.d"
+  "strong_id_test"
+  "strong_id_test.pdb"
+  "strong_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_lease_agent_test.dir/client_lease_agent_test.cpp.o"
+  "CMakeFiles/client_lease_agent_test.dir/client_lease_agent_test.cpp.o.d"
+  "client_lease_agent_test"
+  "client_lease_agent_test.pdb"
+  "client_lease_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_lease_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

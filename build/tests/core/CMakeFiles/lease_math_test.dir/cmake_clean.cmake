@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_math_test.dir/lease_math_test.cpp.o"
+  "CMakeFiles/lease_math_test.dir/lease_math_test.cpp.o.d"
+  "lease_math_test"
+  "lease_math_test.pdb"
+  "lease_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

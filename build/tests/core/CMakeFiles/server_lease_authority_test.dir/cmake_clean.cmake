@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_lease_authority_test.dir/server_lease_authority_test.cpp.o"
+  "CMakeFiles/server_lease_authority_test.dir/server_lease_authority_test.cpp.o.d"
+  "server_lease_authority_test"
+  "server_lease_authority_test.pdb"
+  "server_lease_authority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_lease_authority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/lease_math_test[1]_include.cmake")
+include("/root/repo/build/tests/core/client_lease_agent_test[1]_include.cmake")
+include("/root/repo/build/tests/core/server_lease_authority_test[1]_include.cmake")

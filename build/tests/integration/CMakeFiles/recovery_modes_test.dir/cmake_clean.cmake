@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_modes_test.dir/recovery_modes_test.cpp.o"
+  "CMakeFiles/recovery_modes_test.dir/recovery_modes_test.cpp.o.d"
+  "recovery_modes_test"
+  "recovery_modes_test.pdb"
+  "recovery_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

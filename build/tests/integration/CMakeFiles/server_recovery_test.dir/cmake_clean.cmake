@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_recovery_test.dir/server_recovery_test.cpp.o"
+  "CMakeFiles/server_recovery_test.dir/server_recovery_test.cpp.o.d"
+  "server_recovery_test"
+  "server_recovery_test.pdb"
+  "server_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

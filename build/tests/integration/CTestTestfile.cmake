@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/lease_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/recovery_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/server_recovery_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_net_test.dir/control_net_test.cpp.o"
+  "CMakeFiles/control_net_test.dir/control_net_test.cpp.o.d"
+  "control_net_test"
+  "control_net_test.pdb"
+  "control_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

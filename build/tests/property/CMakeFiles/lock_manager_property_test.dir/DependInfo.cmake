@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/lock_manager_property_test.cpp" "tests/property/CMakeFiles/lock_manager_property_test.dir/lock_manager_property_test.cpp.o" "gcc" "tests/property/CMakeFiles/lock_manager_property_test.dir/lock_manager_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/stank_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/stank_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/stank_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stank_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/stank_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/stank_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/stank_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/stank_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/stank_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stank_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/stank_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stank_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_property_test.dir/theorem_property_test.cpp.o"
+  "CMakeFiles/theorem_property_test.dir/theorem_property_test.cpp.o.d"
+  "theorem_property_test"
+  "theorem_property_test.pdb"
+  "theorem_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

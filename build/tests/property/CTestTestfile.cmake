@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/property
+# Build directory: /root/repo/build/tests/property
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/property/theorem_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/workload_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/lock_manager_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/recovery_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_transport_test.dir/client_transport_test.cpp.o"
+  "CMakeFiles/client_transport_test.dir/client_transport_test.cpp.o.d"
+  "client_transport_test"
+  "client_transport_test.pdb"
+  "client_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_transport_test.dir/server_transport_test.cpp.o"
+  "CMakeFiles/server_transport_test.dir/server_transport_test.cpp.o.d"
+  "server_transport_test"
+  "server_transport_test.pdb"
+  "server_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/protocol
+# Build directory: /root/repo/build/tests/protocol
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/protocol/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/client_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol/server_transport_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_alloc_test.dir/block_alloc_test.cpp.o"
+  "CMakeFiles/block_alloc_test.dir/block_alloc_test.cpp.o.d"
+  "block_alloc_test"
+  "block_alloc_test.pdb"
+  "block_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

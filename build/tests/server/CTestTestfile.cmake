@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/server
+# Build directory: /root/repo/build/tests/server
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/server/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/server/block_alloc_test[1]_include.cmake")
+include("/root/repo/build/tests/server/metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/server/server_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/time_test[1]_include.cmake")

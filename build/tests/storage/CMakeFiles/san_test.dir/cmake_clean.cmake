@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/san_test.dir/san_test.cpp.o"
+  "CMakeFiles/san_test.dir/san_test.cpp.o.d"
+  "san_test"
+  "san_test.pdb"
+  "san_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/san_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

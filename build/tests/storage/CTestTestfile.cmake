@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/storage
+# Build directory: /root/repo/build/tests/storage
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage/virtual_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/storage/san_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_test.dir/stamp_test.cpp.o"
+  "CMakeFiles/stamp_test.dir/stamp_test.cpp.o.d"
+  "stamp_test"
+  "stamp_test.pdb"
+  "stamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
