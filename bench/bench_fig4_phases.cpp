@@ -9,6 +9,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/client_lease_agent.hpp"
 #include "workload/scenario.hpp"
@@ -83,6 +84,7 @@ PhaseTimes run_activity(double interarrival_s, bool partitioned, double phase2_f
 }  // namespace
 
 int main() {
+  bench::Reporter reporter("fig4_phases");
   std::printf("F4: time in each lease phase vs client activity (paper Figure 4)\n\n");
 
   {

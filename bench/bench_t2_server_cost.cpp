@@ -7,8 +7,11 @@
 // failure-free columns; its state exists only between a delivery failure and
 // the corresponding re-registration.
 #include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
+#include "rt/parallel.hpp"
 #include "workload/scenario.hpp"
 
 using namespace stank;
@@ -48,26 +51,36 @@ ServerCost run(core::LeaseStrategy strategy, std::uint32_t clients, std::uint32_
 }  // namespace
 
 int main() {
+  bench::Reporter reporter("t2_server_cost");
   std::printf("T2: lease bookkeeping at the locking authority (60s, tau=8s)\n\n");
+
+  const std::vector<core::LeaseStrategy> strategies = {core::LeaseStrategy::kStorageTank,
+                                                       core::LeaseStrategy::kVLeases,
+                                                       core::LeaseStrategy::kFrangipani};
 
   {
     Table tbl({"strategy", "clients", "objects", "lease ops", "peak state (B)",
                "state at end (B)"});
     tbl.title("Failure-free operation");
-    for (auto strategy : {core::LeaseStrategy::kStorageTank, core::LeaseStrategy::kVLeases,
-                          core::LeaseStrategy::kFrangipani}) {
-      for (std::uint32_t clients : {4u, 16u}) {
-        for (std::uint32_t files : {8u, 64u}) {
-          auto c = run(strategy, clients, files, false);
-          tbl.row()
-              .cell(to_string(strategy))
-              .cell(clients)
-              .cell(files)
-              .cell(c.lease_ops)
-              .cell(c.peak_bytes)
-              .cell(c.final_bytes);
-        }
-      }
+    const std::vector<std::uint32_t> client_counts = {4, 16};
+    const std::vector<std::uint32_t> file_counts = {8, 64};
+    const std::size_t per_strategy = client_counts.size() * file_counts.size();
+    // Independent simulations: sweep in parallel, print in index order.
+    std::vector<ServerCost> cells(strategies.size() * per_strategy);
+    rt::parallel_for(cells.size(), [&](std::size_t idx) {
+      cells[idx] = run(strategies[idx / per_strategy],
+                       client_counts[(idx % per_strategy) / file_counts.size()],
+                       file_counts[idx % file_counts.size()], false);
+    });
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      const auto& c = cells[idx];
+      tbl.row()
+          .cell(to_string(strategies[idx / per_strategy]))
+          .cell(client_counts[(idx % per_strategy) / file_counts.size()])
+          .cell(file_counts[idx % file_counts.size()])
+          .cell(c.lease_ops)
+          .cell(c.peak_bytes)
+          .cell(c.final_bytes);
     }
     tbl.print(std::cout);
     std::printf("\n");
@@ -76,10 +89,12 @@ int main() {
   {
     Table tbl({"strategy", "lease ops", "peak state (B)", "state at end (B)"});
     tbl.title("With a burst of partitions and crashes (4 random failures)");
-    for (auto strategy : {core::LeaseStrategy::kStorageTank, core::LeaseStrategy::kVLeases,
-                          core::LeaseStrategy::kFrangipani}) {
-      auto c = run(strategy, 8, 16, true);
-      tbl.row().cell(to_string(strategy)).cell(c.lease_ops).cell(c.peak_bytes).cell(c.final_bytes);
+    std::vector<ServerCost> cells(strategies.size());
+    rt::parallel_for(cells.size(),
+                     [&](std::size_t idx) { cells[idx] = run(strategies[idx], 8, 16, true); });
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      const auto& c = cells[idx];
+      tbl.row().cell(to_string(strategies[idx])).cell(c.lease_ops).cell(c.peak_bytes).cell(c.final_bytes);
     }
     tbl.print(std::cout);
   }

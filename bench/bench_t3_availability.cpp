@@ -3,7 +3,9 @@
 // no-lease alternative (unavailable indefinitely, section 2) and the
 // early-reregister ablation.
 #include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "core/lease_math.hpp"
 #include "rt/parallel.hpp"
@@ -68,23 +70,31 @@ Availability run(double tau_s, double eps, int skew_mode,
 }  // namespace
 
 int main() {
+  bench::Reporter reporter("t3_availability");
   std::printf("T3: availability — time to redistribute an unreachable client's lock\n\n");
 
   {
     Table tbl({"tau (s)", "eps", "detect (s)", "lease wait (s)", "bound tau(1+eps)^2",
                "total wait (s)"});
     tbl.title("Lease+fence, random clocks in band; waiter requests 1s into the partition");
-    for (double tau : {1.0, 5.0, 10.0, 30.0}) {
-      for (double eps : {1e-4, 1e-2}) {
-        auto a = run(tau, eps, 0);
-        tbl.row()
-            .cell(tau, 0)
-            .cell(eps, 4)
-            .cell(a.detect_s, 2)
-            .cell(a.wait_s, 2)
-            .cell(core::worst_case_steal_delay(sim::local_seconds_d(tau), eps).seconds(), 2)
-            .cell(a.total_s, 2);
-      }
+    const std::vector<double> taus = {1.0, 5.0, 10.0, 30.0};
+    const std::vector<double> epss = {1e-4, 1e-2};
+    // Independent simulations: sweep in parallel, print in index order.
+    std::vector<Availability> cells(taus.size() * epss.size());
+    rt::parallel_for(cells.size(), [&](std::size_t idx) {
+      cells[idx] = run(taus[idx / epss.size()], epss[idx % epss.size()], 0);
+    });
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      const double tau = taus[idx / epss.size()];
+      const double eps = epss[idx % epss.size()];
+      const auto& a = cells[idx];
+      tbl.row()
+          .cell(tau, 0)
+          .cell(eps, 4)
+          .cell(a.detect_s, 2)
+          .cell(a.wait_s, 2)
+          .cell(core::worst_case_steal_delay(sim::local_seconds_d(tau), eps).seconds(), 2)
+          .cell(a.total_s, 2);
     }
     tbl.print(std::cout);
     std::printf("\n");
@@ -93,8 +103,13 @@ int main() {
   {
     Table tbl({"clock placement", "lease wait (s)", "total wait (s)"});
     tbl.title("tau=10s, eps=5e-2: clock skew extremes move the wait within the bound");
-    for (int skew : {0, +1, -1}) {
-      auto a = run(10.0, 5e-2, skew);
+    const std::vector<int> skews = {0, +1, -1};
+    std::vector<Availability> cells(skews.size());
+    rt::parallel_for(cells.size(),
+                     [&](std::size_t idx) { cells[idx] = run(10.0, 5e-2, skews[idx]); });
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      const int skew = skews[idx];
+      const auto& a = cells[idx];
       tbl.row()
           .cell(skew == 0 ? "random" : (skew > 0 ? "server slow / clients fast"
                                                  : "server fast / clients slow"))
@@ -112,12 +127,17 @@ int main() {
       const char* name;
       server::RecoveryMode mode;
     };
-    for (const Row& r : {Row{"lease+fence (paper)", server::RecoveryMode::kLeaseAndFence},
-                         Row{"fence-only (unsafe!)", server::RecoveryMode::kFenceOnly},
-                         Row{"no recovery", server::RecoveryMode::kNoRecovery}}) {
-      auto a = run(10.0, 1e-4, 0, r.mode);
+    const std::vector<Row> rows = {
+        Row{"lease+fence (paper)", server::RecoveryMode::kLeaseAndFence},
+        Row{"fence-only (unsafe!)", server::RecoveryMode::kFenceOnly},
+        Row{"no recovery", server::RecoveryMode::kNoRecovery}};
+    std::vector<Availability> cells(rows.size());
+    rt::parallel_for(cells.size(),
+                     [&](std::size_t idx) { cells[idx] = run(10.0, 1e-4, 0, rows[idx].mode); });
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+      const auto& a = cells[idx];
       tbl.row()
-          .cell(r.name)
+          .cell(rows[idx].name)
           .cell(a.granted ? "yes" : "NEVER")
           .cell(a.granted ? a.total_s : -1.0, 2);
     }

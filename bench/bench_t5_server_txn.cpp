@@ -7,8 +7,11 @@
 // (all data through the server) at growing client counts, reporting server
 // transaction rate, server data throughput, and client op latency.
 #include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
+#include "rt/parallel.hpp"
 #include "workload/scenario.hpp"
 
 using namespace stank;
@@ -53,25 +56,33 @@ T5Row run(client::DataPath path, std::uint32_t clients) {
 }  // namespace
 
 int main() {
+  bench::Reporter reporter("t5_server_txn");
   std::printf("T5: server role — transactions vs data shipping (30s, 4KiB blocks)\n\n");
 
   Table tbl({"data path", "clients", "client ops", "server txn/s", "server data (MB)",
              "client->SAN data (MB)", "op p50 (ms)", "op p99 (ms)"});
   tbl.title("Storage Tank (direct SAN I/O) vs traditional (server-shipped data)");
-  for (auto path : {client::DataPath::kDirectSan, client::DataPath::kServerShipped}) {
-    for (std::uint32_t clients : {1u, 4u, 16u}) {
-      auto r = run(path, clients);
-      tbl.row()
-          .cell(path == client::DataPath::kDirectSan ? "direct SAN (Storage Tank)"
-                                                     : "server-shipped (traditional)")
-          .cell(clients)
-          .cell(r.ops)
-          .cell(r.txn_per_s, 1)
-          .cell(r.server_mb, 2)
-          .cell(r.san_client_mb, 2)
-          .cell(r.p50_ms, 3)
-          .cell(r.p99_ms, 3);
-    }
+  const std::vector<client::DataPath> paths = {client::DataPath::kDirectSan,
+                                               client::DataPath::kServerShipped};
+  const std::vector<std::uint32_t> client_counts = {1, 4, 16};
+  // Independent simulations: sweep in parallel, print in index order.
+  std::vector<T5Row> cells(paths.size() * client_counts.size());
+  rt::parallel_for(cells.size(), [&](std::size_t idx) {
+    cells[idx] = run(paths[idx / client_counts.size()], client_counts[idx % client_counts.size()]);
+  });
+  for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+    const auto& r = cells[idx];
+    tbl.row()
+        .cell(paths[idx / client_counts.size()] == client::DataPath::kDirectSan
+                  ? "direct SAN (Storage Tank)"
+                  : "server-shipped (traditional)")
+        .cell(client_counts[idx % client_counts.size()])
+        .cell(r.ops)
+        .cell(r.txn_per_s, 1)
+        .cell(r.server_mb, 2)
+        .cell(r.san_client_mb, 2)
+        .cell(r.p50_ms, 3)
+        .cell(r.p99_ms, 3);
   }
   tbl.print(std::cout);
 

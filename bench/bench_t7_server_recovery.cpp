@@ -10,8 +10,11 @@
 //     The safe bound is tau(1+eps) — the longest any pre-crash lease can
 //     outlive the crash.
 #include <iostream>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
+#include "rt/parallel.hpp"
 #include "verify/stamp.hpp"
 #include "workload/scenario.hpp"
 
@@ -106,6 +109,7 @@ T7Row run(double grace_s) {
 }  // namespace
 
 int main() {
+  bench::Reporter reporter("t7_server_recovery");
   std::printf("T7 (extension): server crash + client-driven lock reassertion (section 6)\n\n");
 
   Table tbl({"grace period", "healthy cache survived", "write races", "stale reads",
@@ -115,11 +119,15 @@ int main() {
     const char* name;
     double grace_s;
   };
-  for (const Cfg& c : {Cfg{"0.5s (too short!)", 0.5}, Cfg{"4s (half tau)", 4.0},
-                       Cfg{"tau(1+eps) [default]", 0.0}}) {
-    auto row = run(c.grace_s);
+  const std::vector<Cfg> cfgs = {Cfg{"0.5s (too short!)", 0.5}, Cfg{"4s (half tau)", 4.0},
+                                 Cfg{"tau(1+eps) [default]", 0.0}};
+  // Independent simulations: sweep in parallel, print in index order.
+  std::vector<T7Row> cells(cfgs.size());
+  rt::parallel_for(cells.size(), [&](std::size_t idx) { cells[idx] = run(cfgs[idx].grace_s); });
+  for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+    const auto& row = cells[idx];
     tbl.row()
-        .cell(c.name)
+        .cell(cfgs[idx].name)
         .cell(row.cache_survived ? "yes" : "NO")
         .cell(row.violations.write_order)
         .cell(row.violations.stale_reads)

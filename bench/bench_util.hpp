@@ -1,0 +1,81 @@
+// Shared bench reporting.
+//
+// Every bench binary constructs one Reporter at the top of main(). On exit it
+// appends a single JSON line to the file named by $STANK_BENCH_JSON (if set):
+// wall time, simulated events executed, datagrams sent, derived rates, and
+// any named metrics the bench recorded. bench/run_all sets the variable, runs
+// every bench, and folds the lines into BENCH_core.json — the perf
+// trajectory later PRs measure themselves against.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/control_net.hpp"
+#include "sim/engine.hpp"
+
+namespace stank::bench {
+
+class Reporter {
+ public:
+  explicit Reporter(std::string name)
+      : name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()),
+        events0_(sim::Engine::global_events_executed()),
+        datagrams0_(net::ControlNet::global_datagrams_sent()) {}
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  // Records a named rate metric (e.g. one per micro-workload).
+  void metric(std::string name, double per_sec, double ns_per_op) {
+    metrics_.push_back({std::move(name), per_sec, ns_per_op});
+  }
+
+  ~Reporter() {
+    const char* path = std::getenv("STANK_BENCH_JSON");
+    if (path == nullptr) return;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    const std::uint64_t events = sim::Engine::global_events_executed() - events0_;
+    const std::uint64_t datagrams = net::ControlNet::global_datagrams_sent() - datagrams0_;
+    std::fprintf(f,
+                 "{\"bench\":\"%s\",\"wall_s\":%.3f,\"sim_events\":%llu,"
+                 "\"events_per_sec\":%.6g,\"datagrams\":%llu,\"datagrams_per_sec\":%.6g",
+                 name_.c_str(), wall, static_cast<unsigned long long>(events),
+                 wall > 0 ? static_cast<double>(events) / wall : 0.0,
+                 static_cast<unsigned long long>(datagrams),
+                 wall > 0 ? static_cast<double>(datagrams) / wall : 0.0);
+    if (!metrics_.empty()) {
+      std::fprintf(f, ",\"metrics\":[");
+      for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        std::fprintf(f, "%s{\"name\":\"%s\",\"per_sec\":%.6g,\"ns_per_op\":%.6g}",
+                     i ? "," : "", metrics_[i].name.c_str(), metrics_[i].per_sec,
+                     metrics_[i].ns_per_op);
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double per_sec;
+    double ns_per_op;
+  };
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t events0_;
+  std::uint64_t datagrams0_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace stank::bench

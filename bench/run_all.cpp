@@ -1,0 +1,141 @@
+// Runs every bench binary in this directory and writes BENCH_core.json.
+//
+// Each bench appends a JSON report line (wall time, simulated events executed,
+// datagrams sent, derived rates — see bench_util.hpp) to the file named by
+// $STANK_BENCH_JSON. This driver points that variable at a scratch file, runs
+// the benches one at a time (their sweeps parallelize internally via
+// rt::parallel_for, so serializing the binaries keeps the machine saturated
+// without oversubscribing it), and folds the lines into one JSON document —
+// the perf trajectory future PRs measure themselves against.
+//
+// Usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow]
+//   --out FILE        where to write the aggregate (default BENCH_core.json)
+//   --only SUBSTRING  run only benches whose name contains SUBSTRING
+//   --skip-slow       skip the google-benchmark micro suite (bench_m1_micro)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct BenchRun {
+  std::string name;
+  int exit_code{0};
+  double wall_s{0};
+  std::vector<std::string> report_lines;  // raw JSON objects from the bench
+};
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_core.json";
+  std::string only;
+  bool skip_slow = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--only" && i + 1 < argc) {
+      only = argv[++i];
+    } else if (arg == "--skip-slow") {
+      skip_slow = true;
+    } else {
+      std::fprintf(stderr, "usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow]\n");
+      return 2;
+    }
+  }
+
+  // The protocol experiments first (the paper's tables and figures), then the
+  // micro suites that calibrate the simulator itself.
+  std::vector<std::string> benches = {
+      "bench_fig2_partition", "bench_fig3_renewal", "bench_fig4_phases", "bench_fig5_nack",
+      "bench_t1_msg_overhead", "bench_t2_server_cost", "bench_t3_availability",
+      "bench_t4_safety", "bench_t5_server_txn", "bench_t6_theorem",
+      "bench_t7_server_recovery", "bench_t8_workloads", "bench_m2_engine",
+  };
+  if (!skip_slow) {
+    benches.push_back("bench_m1_micro");
+  }
+
+  const fs::path self_dir = fs::absolute(fs::path(argv[0])).parent_path();
+  const fs::path log_dir = "bench_logs";
+  fs::create_directories(log_dir);
+  const fs::path scratch = log_dir / "report_lines.tmp";
+  setenv("STANK_BENCH_JSON", scratch.string().c_str(), 1);
+
+  std::vector<BenchRun> runs;
+  for (const auto& name : benches) {
+    if (!only.empty() && name.find(only) == std::string::npos) continue;
+    const fs::path bin = self_dir / name;
+    if (!fs::exists(bin)) {
+      std::fprintf(stderr, "run_all: missing %s (build the bench targets first)\n",
+                   bin.string().c_str());
+      return 1;
+    }
+    std::error_code ec;
+    fs::remove(scratch, ec);
+
+    const fs::path log = log_dir / (name + ".log");
+    const std::string cmd = shell_quote(bin.string()) + " > " + shell_quote(log.string()) + " 2>&1";
+    std::printf("run_all: %s ... ", name.c_str());
+    std::fflush(stdout);
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = std::system(cmd.c_str());
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("%s (%.1fs)\n", rc == 0 ? "ok" : "FAILED", wall);
+
+    BenchRun run;
+    run.name = name;
+    run.exit_code = rc;
+    run.wall_s = wall;
+    std::ifstream in(scratch);
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) run.report_lines.push_back(line);
+    }
+    runs.push_back(std::move(run));
+  }
+
+  std::ostringstream doc;
+  doc << "{\n  \"schema\": \"stank-bench-core-v1\",\n  \"benches\": [\n";
+  int failures = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    failures += r.exit_code != 0;
+    doc << "    {\"name\": \"" << r.name << "\", \"exit\": " << r.exit_code
+        << ", \"wall_s\": " << r.wall_s;
+    if (!r.report_lines.empty()) {
+      // The bench's own report (events/sec etc.) — already a JSON object.
+      doc << ", \"report\": " << r.report_lines.front();
+    }
+    doc << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  doc << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << doc.str();
+  out.close();
+  std::printf("run_all: wrote %s (%zu benches, %d failures)\n", out_path.c_str(), runs.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,13 +1,24 @@
 #include "net/control_net.hpp"
 
+#include <atomic>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace stank::net {
 
+namespace {
+std::atomic<std::uint64_t> g_datagrams_sent{0};
+}  // namespace
+
 ControlNet::ControlNet(sim::Engine& engine, sim::Rng rng, NetConfig cfg)
     : engine_(&engine), rng_(rng), cfg_(cfg) {}
+
+ControlNet::~ControlNet() { g_datagrams_sent.fetch_add(stats_.sent, std::memory_order_relaxed); }
+
+std::uint64_t ControlNet::global_datagrams_sent() {
+  return g_datagrams_sent.load(std::memory_order_relaxed);
+}
 
 void ControlNet::attach(NodeId node, Handler handler) {
   STANK_ASSERT(handler != nullptr);
@@ -34,7 +45,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
     delay += sim::Duration{rng_.uniform_int(0, cfg_.jitter.ns)};
   }
 
-  engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() {
+  engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() mutable {
     // Partition formed while in flight?
     if (!reach_.can_reach(from, to)) {
       ++stats_.dropped_partition;
@@ -46,7 +57,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
       return;
     }
     ++stats_.delivered;
-    it->second(from, dg);
+    it->second(from, std::move(dg));
   });
 }
 

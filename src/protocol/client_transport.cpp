@@ -75,8 +75,15 @@ void ClientTransport::transmit(MsgId id) {
     ++counters_->lease_only_msgs;
   }
   ++p.transmissions;
-  net_->send(self_, server_, encode(f));
+  send_frame(server_, f);
   arm_retry(id);
+}
+
+void ClientTransport::send_frame(NodeId to, const Frame& f) {
+  // Encode into the reusable scratch buffer (exact-size reserve), then move
+  // the bytes into the net: one allocation per datagram, zero copies.
+  encode_into(f, encode_buf_);
+  net_->send(self_, to, std::move(encode_buf_));
 }
 
 void ClientTransport::arm_retry(MsgId id) {
@@ -188,7 +195,7 @@ void ClientTransport::note_server_msg(const Frame& f) {
   ack.msg_id = f.msg_id;
   ack.epoch = f.epoch;
   ++counters_->client_acks_sent;
-  net_->send(self_, server_, encode(ack));
+  send_frame(server_, ack);
 
   if (seen_server_msgs_.contains(f.msg_id)) {
     return;  // duplicate: ACKed again but not re-delivered

@@ -78,6 +78,7 @@ class ClientTransport {
 
   void transmit(MsgId id);
   void arm_retry(MsgId id);
+  void send_frame(NodeId to, const Frame& f);
   void handle_datagram(NodeId from, const Bytes& datagram);
   void note_server_msg(const Frame& f);
 
@@ -87,6 +88,7 @@ class ClientTransport {
   NodeId server_;
   metrics::Counters* counters_;
   TransportConfig cfg_;
+  Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   std::uint32_t epoch_{0};
   std::uint64_t next_msg_{1};
   bool started_{false};

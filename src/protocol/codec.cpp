@@ -36,7 +36,8 @@ enum class SrvTag : std::uint8_t {
   kLockGrant,
 };
 
-void put_attr(ByteWriter& w, const FileAttr& a) {
+template <typename W>
+void put_attr(W& w, const FileAttr& a) {
   w.u64(a.size);
   w.u64(a.mtime_ns);
   w.u32(a.meta_version);
@@ -50,7 +51,8 @@ FileAttr get_attr(ByteReader& r) {
   return a;
 }
 
-void put_extents(ByteWriter& w, const std::vector<Extent>& ex) {
+template <typename W>
+void put_extents(W& w, const std::vector<Extent>& ex) {
   w.u32(static_cast<std::uint32_t>(ex.size()));
   for (const auto& e : ex) {
     w.u32(e.disk.value());
@@ -77,7 +79,8 @@ std::vector<Extent> get_extents(ByteReader& r) {
   return ex;
 }
 
-void encode_request(ByteWriter& w, const RequestBody& body) {
+template <typename W>
+void encode_request(W& w, const RequestBody& body) {
   std::visit(
       [&](const auto& b) {
         using T = std::decay_t<decltype(b)>;
@@ -206,7 +209,8 @@ std::optional<RequestBody> decode_request(ByteReader& r) {
   return std::nullopt;
 }
 
-void encode_reply(ByteWriter& w, const ReplyBody& body) {
+template <typename W>
+void encode_reply(W& w, const ReplyBody& body) {
   std::visit(
       [&](const auto& b) {
         using T = std::decay_t<decltype(b)>;
@@ -280,7 +284,8 @@ std::optional<ReplyBody> decode_reply(ByteReader& r) {
   return std::nullopt;
 }
 
-void encode_server(ByteWriter& w, const ServerBody& body) {
+template <typename W>
+void encode_server(W& w, const ServerBody& body) {
   std::visit(
       [&](const auto& b) {
         using T = std::decay_t<decltype(b)>;
@@ -320,6 +325,47 @@ std::optional<ServerBody> decode_server(ByteReader& r) {
   return std::nullopt;
 }
 
+// Writer that only measures: drives the same encode_* templates as
+// ByteWriter so encoded_size() can never drift from the real encoding.
+class SizeCounter {
+ public:
+  void u8(std::uint8_t) { n_ += 1; }
+  void u16(std::uint16_t) { n_ += 2; }
+  void u32(std::uint32_t) { n_ += 4; }
+  void u64(std::uint64_t) { n_ += 8; }
+  void i64(std::int64_t) { n_ += 8; }
+  void f64(double) { n_ += 8; }
+  void boolean(bool) { n_ += 1; }
+  void str(std::string_view s) { n_ += 4 + s.size(); }
+  void raw(std::span<const std::uint8_t> data) { n_ += 4 + data.size(); }
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_{0};
+};
+
+template <typename W>
+void encode_frame(W& w, const Frame& frame) {
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  w.u32(frame.sender.value());
+  w.u64(frame.msg_id.value());
+  w.u32(frame.epoch);
+  switch (frame.kind) {
+    case FrameKind::kRequest:
+      encode_request(w, std::get<RequestBody>(frame.body));
+      break;
+    case FrameKind::kAck:
+      encode_reply(w, std::get<ReplyBody>(frame.body));
+      break;
+    case FrameKind::kServerMsg:
+      encode_server(w, std::get<ServerBody>(frame.body));
+      break;
+    case FrameKind::kNack:
+    case FrameKind::kClientAck:
+      break;  // no body
+  }
+}
+
 bool valid_mode(LockMode m) {
   return m == LockMode::kNone || m == LockMode::kShared || m == LockMode::kExclusive;
 }
@@ -344,27 +390,23 @@ bool body_modes_valid(const Frame& f) {
 
 }  // namespace
 
+std::size_t encoded_size(const Frame& frame) {
+  SizeCounter c;
+  encode_frame(c, frame);
+  return c.size();
+}
+
+void encode_into(const Frame& frame, Bytes& out) {
+  out.clear();
+  out.reserve(encoded_size(frame));
+  ByteWriter w(out);
+  encode_frame(w, frame);
+}
+
 Bytes encode(const Frame& frame) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(frame.kind));
-  w.u32(frame.sender.value());
-  w.u64(frame.msg_id.value());
-  w.u32(frame.epoch);
-  switch (frame.kind) {
-    case FrameKind::kRequest:
-      encode_request(w, std::get<RequestBody>(frame.body));
-      break;
-    case FrameKind::kAck:
-      encode_reply(w, std::get<ReplyBody>(frame.body));
-      break;
-    case FrameKind::kServerMsg:
-      encode_server(w, std::get<ServerBody>(frame.body));
-      break;
-    case FrameKind::kNack:
-    case FrameKind::kClientAck:
-      break;  // no body
-  }
-  return w.take();
+  Bytes out;
+  encode_into(frame, out);
+  return out;
 }
 
 std::optional<Frame> decode(const Bytes& datagram) {

@@ -6,12 +6,22 @@
 // undefined behaviour.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "common/bytes.hpp"
 #include "protocol/messages.hpp"
 
 namespace stank::protocol {
+
+// Exact wire size of the encoded frame, computed by a counting writer that
+// walks the same encode path as encode_into — they cannot drift apart.
+[[nodiscard]] std::size_t encoded_size(const Frame& frame);
+
+// Encodes into a caller-owned buffer: clears it, reserves the exact frame
+// size (one allocation, no growth reallocs), and writes. Transports keep a
+// scratch buffer and move it into the net, so a send costs one allocation.
+void encode_into(const Frame& frame, Bytes& out);
 
 [[nodiscard]] Bytes encode(const Frame& frame);
 [[nodiscard]] std::optional<Frame> decode(const Bytes& datagram);

@@ -140,7 +140,14 @@ void ServerTransport::send_reply_frame(NodeId client, const Frame& f) {
   } else {
     ++counters_->nacks_sent;
   }
-  net_->send(self_, client, encode(f));
+  send_frame(client, f);
+}
+
+void ServerTransport::send_frame(NodeId to, const Frame& f) {
+  // Encode into the reusable scratch buffer (exact-size reserve), then move
+  // the bytes into the net: one allocation per datagram, zero copies.
+  encode_into(f, encode_buf_);
+  net_->send(self_, to, std::move(encode_buf_));
 }
 
 void ServerTransport::send_server_msg(NodeId client, std::uint32_t epoch, ServerBody body,
@@ -169,7 +176,7 @@ void ServerTransport::transmit_server_msg(MsgId id) {
     ++counters_->retransmissions;
   }
   ++m.transmissions;
-  net_->send(self_, m.client, encode(m.frame));
+  send_frame(m.client, m.frame);
 
   m.timer = clock_->schedule_after(cfg_.retransmit_timeout, [this, id]() {
     auto it2 = out_msgs_.find(id);

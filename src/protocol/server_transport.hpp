@@ -93,6 +93,7 @@ class ServerTransport {
   void handle_request(const Frame& f);
   void respond(NodeId client, MsgId id, std::uint32_t epoch, bool positive, ReplyBody body);
   void send_reply_frame(NodeId client, const Frame& f);
+  void send_frame(NodeId to, const Frame& f);
   void transmit_server_msg(MsgId id);
   Session& session(NodeId client, std::uint32_t epoch);
 
@@ -101,6 +102,7 @@ class ServerTransport {
   NodeId self_;
   metrics::Counters* counters_;
   TransportConfig cfg_;
+  Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   bool started_{false};
   std::uint64_t next_msg_{1};
 

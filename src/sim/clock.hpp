@@ -66,7 +66,7 @@ class NodeClock {
   [[nodiscard]] LocalTime now() const { return clock_.local_now(engine_->now()); }
 
   // Schedules fn after a delay measured on THIS node's clock.
-  TimerId schedule_after(LocalDuration d, std::function<void()> fn) {
+  TimerId schedule_after(LocalDuration d, EventFn fn) {
     return engine_->schedule_after(clock_.to_global(d), std::move(fn));
   }
 

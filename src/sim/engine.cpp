@@ -1,58 +1,166 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace stank::sim {
 
-TimerId Engine::schedule_at(SimTime t, std::function<void()> fn) {
-  STANK_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  STANK_ASSERT(fn != nullptr);
-  const TimerId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+namespace {
+std::atomic<std::uint64_t> g_events_executed{0};
+}  // namespace
+
+Engine::~Engine() { g_events_executed.fetch_add(executed_, std::memory_order_relaxed); }
+
+std::uint64_t Engine::global_events_executed() {
+  return g_events_executed.load(std::memory_order_relaxed);
 }
 
-bool Engine::cancel(TimerId id) { return callbacks_.erase(id) > 0; }
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slot(idx).next_free;
+    return idx;
+  }
+  STANK_ASSERT_MSG(num_slots_ < kNoSlot, "timer slot pool exhausted");
+  if ((num_slots_ & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return num_slots_++;
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  Slot& s = slot(idx);
+  s.fn.reset();
+  ++s.gen;  // invalidates every outstanding TimerId / heap entry for the slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+  --live_;
+}
+
+void Engine::heap_push(const Entry& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!entry_before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Engine::heap_sift_down(std::size_t hole, const Entry& e) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], e)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = e;
+}
+
+void Engine::heap_pop_top() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_sift_down(0, last);
+  }
+}
+
+TimerId Engine::schedule_at(SimTime t, EventFn fn) {
+  STANK_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  STANK_ASSERT(fn != nullptr);
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slot(idx);
+  s.fn = std::move(fn);
+  ++live_;
+  heap_push(Entry{t, next_seq_++, idx, s.gen});
+  return make_id(idx, s.gen);
+}
+
+bool Engine::cancel(TimerId id) {
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= num_slots_ || slot(idx).gen != gen_of(id)) {
+    return false;  // already ran, already cancelled, or never existed
+  }
+  release_slot(idx);
+  ++tombstones_;  // its heap entry is now dead; discarded lazily
+  if (tombstones_ * 2 > heap_.size() && heap_.size() > 64) {
+    compact();
+  }
+  return true;
+}
+
+void Engine::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  // Heapify bottom-up: O(n), and correct because every subtree below the
+  // last parent is already a heap of one.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+      const Entry e = heap_[i];
+      heap_sift_down(i, e);
+    }
+  }
+  tombstones_ = 0;
+}
+
+void Engine::discard_dead_top() {
+  if (tombstones_ == 0) {
+    return;  // nothing cancelled since the last compact: top must be live
+  }
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    heap_pop_top();
+    --tombstones_;
+  }
+}
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled; discard tombstone
-      continue;
-    }
-    queue_.pop();
-    STANK_ASSERT(e.at >= now_);
-    now_ = e.at;
-    // Move the callback out before invoking: the callback may schedule new
-    // events, which can rehash callbacks_.
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    ++executed_;
-    STANK_ASSERT_MSG(executed_ <= event_limit_, "event limit exceeded: runaway simulation?");
-    fn();
-    return true;
+  discard_dead_top();
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  const Entry e = heap_.front();
+  heap_pop_top();
+  STANK_ASSERT(e.at >= now_);
+  now_ = e.at;
+  Slot& s = slot(e.slot);
+  // Invalidate the id before invoking so a self-cancel inside the callback is
+  // a no-op, then run the callback IN PLACE: chunked slot storage is
+  // pointer-stable, so events scheduled by the callback cannot move it. The
+  // slot only joins the free list afterwards, so it cannot be reused from
+  // under the running closure either.
+  ++s.gen;
+  --live_;
+  ++executed_;
+  STANK_ASSERT_MSG(executed_ <= event_limit_, "event limit exceeded: runaway simulation?");
+  s.fn.consume();
+  s.next_free = free_head_;
+  free_head_ = e.slot;
+  return true;
 }
 
 void Engine::run_until(SimTime horizon) {
   stop_requested_ = false;
   while (!stop_requested_) {
-    // Peek past tombstones to find the next live event time.
-    while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().at > horizon) {
+    discard_dead_top();
+    if (heap_.empty() || heap_.front().at > horizon) {
       break;
     }
     step();
   }
-  if (now_ < horizon) {
+  // An idle engine advances to the horizon; a stopped one stays at the time
+  // of the last executed event.
+  if (!stop_requested_ && now_ < horizon) {
     now_ = horizon;
   }
 }

@@ -139,15 +139,18 @@ void Scenario::open_all_files(std::size_t ci, std::function<void()> done) {
   auto fds = std::make_shared<std::map<std::size_t, client::Fd>>();
   auto step = std::make_shared<std::function<void(std::size_t)>>();
   auto done_shared = std::make_shared<std::function<void()>>(std::move(done));
-  *step = [this, ci, fds, step, done_shared](std::size_t fi) {
+  // The continuation callback holds the strong reference that keeps `step`
+  // alive while an open is in flight; the closure itself only holds a weak
+  // one, so the chain is freed when it ends instead of leaking as a cycle.
+  *step = [this, ci, fds, wstep = std::weak_ptr(step), done_shared](std::size_t fi) {
     if (fi >= cfg_.workload.num_files) {
       drivers_[ci].fds = *fds;
       (*done_shared)();
       return;
     }
     clients_[ci]->open(file_path(fi), /*create=*/false,
-                       [this, ci, fi, fds, step](Result<client::Fd> res) {
-                         if (res.ok()) {
+                       [ci, fi, fds, step = wstep.lock()](Result<client::Fd> res) {
+                         if (res.ok() && step) {
                            (*fds)[fi] = res.value();
                            (*step)(fi + 1);
                          }

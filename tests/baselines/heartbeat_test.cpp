@@ -57,9 +57,9 @@ TEST(HeartbeatScheduler, BeatsUnconditionally) {
   sched.start();
   // ACK each beat immediately.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump]() {
+  *pump = [&, wpump = std::weak_ptr(pump)]() {
     sched.on_ack(clock.now());
-    engine.schedule_after(sim::millis(100), [pump]() { (*pump)(); });
+    engine.schedule_after(sim::millis(100), [p = wpump.lock()]() { if (p) (*p)(); });
   };
   (*pump)();
   engine.run_until(sim::SimTime{} + sim::seconds(30));

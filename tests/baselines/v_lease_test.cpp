@@ -65,12 +65,12 @@ TEST(VLeaseScheduler, RenewsEachObjectIndependently) {
   sched.object_acquired(kG);
   // Acknowledge every renewal promptly.
   auto pump = std::make_shared<std::function<void()>>();
-  *pump = [&, pump]() {
+  *pump = [&, wpump = std::weak_ptr(pump)]() {
     for (FileId f : renewed) {
       sched.renewed(f, clock.now());
     }
     renewed.clear();
-    engine.schedule_after(sim::millis(100), [pump]() { (*pump)(); });
+    engine.schedule_after(sim::millis(100), [p = wpump.lock()]() { if (p) (*p)(); });
   };
   (*pump)();
   engine.run_until(sim::SimTime{} + sim::seconds(30));

@@ -75,7 +75,7 @@ Outcome run_policy(RecoveryMode recovery, double partition_heals_at = -1.0) {
 
   // c0's local process keeps reading block 0 from its cache.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&, tick]() {
+  *tick = [&, wtick = std::weak_ptr(tick)]() {
     if (c0.accepting()) {
       const sim::SimTime t0 = sc.engine().now();
       c0.read(sc.fd(0, 0), 0, bs, [&, t0](Result<Bytes> r) {
@@ -91,7 +91,7 @@ Outcome run_policy(RecoveryMode recovery, double partition_heals_at = -1.0) {
         sc.history().on_read(rec);
       });
     }
-    sc.engine().schedule_after(sim::millis(500), [tick]() { (*tick)(); });
+    sc.engine().schedule_after(sim::millis(500), [p = wtick.lock()]() { if (p) (*p)(); });
   };
   (*tick)();
 

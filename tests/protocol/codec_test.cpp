@@ -54,6 +54,40 @@ TEST(Codec, OpenReqRoundTrip) {
   EXPECT_TRUE(decoded_request<OpenReq>(*d).create);
 }
 
+TEST(Codec, EncodedSizeMatchesActualEncodingExactly) {
+  // The size pass must agree byte-for-byte with the write pass for every
+  // body shape, and the buffer must be allocated exactly once at that size.
+  const Frame frames[] = {
+      mk_request(OpenReq{"/a/path", false}),
+      mk_request(LockReq{FileId{9}, LockMode::kExclusive}),
+      mk_request(UnlockReq{FileId{9}, LockMode::kShared, 7}),
+      mk_request(KeepAliveReq{}),
+      mk_request(WriteDataReq{FileId{3}, 128, Bytes{1, 2, 3, 4, 5}}),
+      mk_reply(ReplyBody{OpenReply{FileId{4}, FileAttr{10, 20, 2},
+                                   {Extent{DiskId{1}, 0, 8}, Extent{DiskId{2}, 8, 8}}}}),
+      mk_reply(ReplyBody{ErrReply{ErrorCode::kLeaseExpired}}),
+      mk_reply(ReplyBody{OkReply{}}, FrameKind::kNack),
+  };
+  for (const Frame& f : frames) {
+    const Bytes via_encode = encode(f);
+    EXPECT_EQ(encoded_size(f), via_encode.size());
+    Bytes out;
+    encode_into(f, out);
+    EXPECT_EQ(out, via_encode);
+    EXPECT_EQ(out.capacity(), encoded_size(f));
+  }
+}
+
+TEST(Codec, EncodeIntoReusesAndClearsTheBuffer) {
+  Bytes buf;
+  encode_into(mk_request(OpenReq{"/first/longer/path", true}), buf);
+  const Bytes first = buf;
+  encode_into(mk_request(KeepAliveReq{}), buf);
+  EXPECT_EQ(buf.size(), encoded_size(mk_request(KeepAliveReq{})));
+  EXPECT_NE(buf, first);
+  ASSERT_TRUE(decode(buf).has_value());
+}
+
 TEST(Codec, LockReqRoundTrip) {
   Frame f = mk_request(LockReq{FileId{9}, LockMode::kExclusive});
   auto d = decode(encode(f));

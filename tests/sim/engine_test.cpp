@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace stank::sim {
@@ -106,6 +108,73 @@ TEST(Engine, CancelledEventsDoNotBlockRunUntil) {
   e.cancel(id);
   e.run_until(SimTime{10});
   EXPECT_EQ(e.now().ns, 10);
+}
+
+TEST(Engine, StopDuringRunUntilLeavesClockAtLastEvent) {
+  // A stopped run must NOT advance the clock to the horizon: the caller is
+  // abandoning the run mid-way, and jumping time forward would let later
+  // schedule_at() calls observe a future they never simulated.
+  Engine e;
+  e.schedule_at(SimTime{10}, [&]() { e.stop(); });
+  e.schedule_at(SimTime{20}, []() {});
+  e.run_until(SimTime{100});
+  EXPECT_EQ(e.now().ns, 10);
+  EXPECT_EQ(e.events_pending(), 1u);
+  // Resuming runs the rest and only then advances to the horizon.
+  e.run_until(SimTime{100});
+  EXPECT_EQ(e.now().ns, 100);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, CancelChurnKeepsQueueMemoryBounded) {
+  // The lease keep-alive pattern: a fixed population of timers, each
+  // cancelled and re-armed long before it fires. Tombstone compaction must
+  // keep the heap O(live timers) no matter how many cancels pass through.
+  constexpr std::size_t kLive = 1'000;
+  constexpr std::uint64_t kIters = 200'000;
+  Engine e;
+  std::vector<TimerId> ids(kLive);
+  std::int64_t t = 1'000'000;
+  for (std::size_t i = 0; i < kLive; ++i) {
+    ids[i] = e.schedule_at(SimTime{t + static_cast<std::int64_t>(i)}, []() {});
+  }
+  std::uint64_t x = 0x243f6a8885a308d3ull;  // deterministic xorshift
+  std::size_t max_depth = 0;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto k = static_cast<std::size_t>(x % kLive);
+    EXPECT_TRUE(e.cancel(ids[k]));
+    ++t;
+    ids[k] = e.schedule_at(SimTime{t + 1'000'000}, []() {});
+    max_depth = std::max(max_depth, e.queue_depth());
+  }
+  // Compaction fires when tombstones exceed half the heap, so the heap can
+  // hold at most ~2x the live timers (plus the small no-compact floor).
+  EXPECT_EQ(e.events_pending(), kLive);
+  EXPECT_LE(max_depth, 2 * kLive + 65);
+  // The queue still drains correctly after heavy churn.
+  for (std::size_t i = 0; i < kLive; ++i) {
+    EXPECT_TRUE(e.pending(ids[i]));
+  }
+  e.run();
+  EXPECT_EQ(e.events_pending(), 0u);
+  EXPECT_EQ(e.queue_depth(), 0u);
+  EXPECT_EQ(e.events_executed(), kLive);
+}
+
+TEST(Engine, CancelReturnsFalseForStaleIdAfterSlotReuse) {
+  Engine e;
+  TimerId a = e.schedule_at(SimTime{1}, []() {});
+  ASSERT_TRUE(e.cancel(a));
+  // The slot is recycled with a new generation; the old id must stay dead.
+  TimerId b = e.schedule_at(SimTime{2}, []() {});
+  EXPECT_FALSE(e.cancel(a));
+  EXPECT_FALSE(e.pending(a));
+  EXPECT_TRUE(e.pending(b));
+  e.run();
+  EXPECT_EQ(e.events_executed(), 1u);
 }
 
 TEST(EngineDeathTest, SchedulingInThePastAborts) {

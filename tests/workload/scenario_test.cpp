@@ -4,6 +4,11 @@ using stank::workload::Pattern;
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
+#include "rt/parallel.hpp"
+
 namespace stank::workload {
 namespace {
 
@@ -30,6 +35,35 @@ TEST(Scenario, FailureFreeRunIsCleanAndPassive) {
   EXPECT_EQ(r.max_lease_state_bytes, 0u);
   EXPECT_EQ(r.server.lock_steals, 0u);
   EXPECT_EQ(r.server.server_data_bytes, 0u);  // no data through the server
+}
+
+TEST(Scenario, SweepAggregatesIdenticalAcrossThreadCounts) {
+  // The bench sweeps fan independent simulations across cores with results
+  // landing in index-addressed vectors; the aggregates must be bit-identical
+  // whether the sweep ran on 1 thread or many.
+  using Agg = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>;
+  auto sweep = [](unsigned threads) {
+    const std::vector<std::uint32_t> client_counts = {2, 3, 4};
+    return rt::parallel_map<Agg>(
+        client_counts.size(),
+        [&](std::size_t i) {
+          ScenarioConfig cfg;
+          cfg.workload.num_clients = client_counts[i];
+          cfg.workload.num_files = 4;
+          cfg.workload.file_blocks = 2;
+          cfg.workload.run_seconds = 5.0;
+          cfg.workload.mean_interarrival_s = 0.05;
+          cfg.lease.tau = sim::local_seconds(4);
+          auto r = Scenario(cfg).run();
+          return Agg{r.reads_ok, r.writes_ok, r.net.sent, r.server.transactions};
+        },
+        threads);
+  };
+  const auto serial = sweep(1);
+  const auto parallel4 = sweep(4);
+  const auto parallel16 = sweep(16);
+  EXPECT_EQ(serial, parallel4);
+  EXPECT_EQ(serial, parallel16);
 }
 
 TEST(Scenario, DeterministicAcrossRuns) {
