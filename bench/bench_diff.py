@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_core.json against the committed baseline.
+
+Usage: bench_diff.py [--baseline FILE] [--fresh FILE] [--threshold PCT]
+
+Prints a per-bench table of events/s deltas and exits non-zero when any
+bench regressed by more than the threshold (default 15%). Benches present
+on only one side are reported but never fail the run (added/removed
+benches are a review concern, not a perf regression).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benches", []):
+        report = b.get("report")
+        if not report or b.get("exit", 0) != 0:
+            continue
+        eps = report.get("events_per_sec")
+        if eps:
+            out[b["name"]] = float(eps)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_core.json")
+    ap.add_argument("--fresh", default="build/BENCH_core.json")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="max allowed regression in percent (default 15)")
+    args = ap.parse_args()
+
+    try:
+        base = load(args.baseline)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
+        return 2
+    try:
+        fresh = load(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read fresh results {args.fresh}: {e}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max((len(n) for n in base | fresh), default=10)
+    print(f"{'bench':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+    for name in sorted(base | fresh):
+        if name not in fresh:
+            print(f"{name:<{width}}  {base[name]:>12.0f}  {'-':>12}  {'gone':>8}")
+            continue
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>12}  {fresh[name]:>12.0f}  {'new':>8}")
+            continue
+        delta = 100.0 * (fresh[name] - base[name]) / base[name]
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base[name]:>12.0f}  {fresh[name]:>12.0f}  {delta:>+7.1f}%{flag}")
+
+    if regressions:
+        print(f"\nbench_diff: {len(regressions)} bench(es) regressed more than "
+              f"{args.threshold:.0f}% in events/s:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: no regression beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,11 @@
 // without oversubscribing it), and folds the lines into one JSON document —
 // the perf trajectory future PRs measure themselves against.
 //
-// Usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow]
+// Usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow] [--quick]
 //   --out FILE        where to write the aggregate (default BENCH_core.json)
 //   --only SUBSTRING  run only benches whose name contains SUBSTRING
 //   --skip-slow       skip the google-benchmark micro suite (bench_m1_micro)
+//   --quick           alias for --skip-slow: the CI smoke configuration
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,10 +58,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--only" && i + 1 < argc) {
       only = argv[++i];
-    } else if (arg == "--skip-slow") {
+    } else if (arg == "--skip-slow" || arg == "--quick") {
       skip_slow = true;
     } else {
-      std::fprintf(stderr, "usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow]\n");
+      std::fprintf(stderr,
+                   "usage: run_all [--out FILE] [--only SUBSTRING] [--skip-slow] [--quick]\n");
       return 2;
     }
   }

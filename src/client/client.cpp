@@ -1,7 +1,6 @@
 #include "client/client.hpp"
 
 #include <algorithm>
-#include <sstream>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -273,8 +272,9 @@ void Client::register_with_server() {
           if (hb_sched_->running()) hb_sched_->stop();
           hb_sched_->start();
         }
-        this->trace("session", "registered epoch " + std::to_string(rep->epoch) +
-                                   " incarnation " + std::to_string(rep->incarnation));
+        this->trace("session", [&] {
+          return sim::cat("registered epoch ", rep->epoch, " incarnation ", rep->incarnation);
+        });
         if (can_reassert) {
           reassert_locks();
         } else if (server_restarted) {
@@ -336,7 +336,8 @@ void Client::reassert_locks() {
             if (const auto* rep = std::get_if<protocol::LockReply>(&ev.body)) {
               if (rep->granted) {
                 fit->second.lock_gen = rep->gen;
-                this->trace("lock", "reasserted " + std::to_string(file_id.value()));
+                this->trace("lock",
+                            [&] { return sim::cat("reasserted ", file_id.value()); });
                 return;
               }
             }
@@ -345,7 +346,8 @@ void Client::reassert_locks() {
           // are gone. Dirty pages here are unprotected — drop them; the
           // checker charges this to the server-crash scenario, exactly the
           // data-loss window reassertion is meant to close.
-          this->trace("lock", "reassert FAILED for " + std::to_string(file_id.value()));
+          this->trace("lock",
+                      [&] { return sim::cat("reassert FAILED for ", file_id.value()); });
           cache_.invalidate_file(file_id);
           fit->second.mode = LockMode::kNone;
         });
@@ -888,8 +890,9 @@ void Client::handle_server_msg(const protocol::ServerBody& body) {
         if constexpr (std::is_same_v<T, protocol::LockDemand>) {
           handle_demand(msg);
         } else if constexpr (std::is_same_v<T, protocol::LockGrant>) {
-          this->trace("lock", "granted (queued) " + std::to_string(msg.file.value()) + " g" +
-                                  std::to_string(msg.gen));
+          this->trace("lock", [&] {
+            return sim::cat("granted (queued) ", msg.file.value(), " g", msg.gen);
+          });
           apply_grant(msg.file, msg.mode, msg.gen);
         }
       },
@@ -898,12 +901,10 @@ void Client::handle_server_msg(const protocol::ServerBody& body) {
 
 void Client::handle_demand(const protocol::LockDemand& d) {
   FileState& fs = state_for(d.file);
-  {
-    std::ostringstream os;
-    os << "demand " << d.file << " max=" << protocol::to_string(d.max_mode) << " g" << d.gen
-       << " held=" << protocol::to_string(fs.mode) << " g" << fs.lock_gen;
-    this->trace("lock", os.str());
-  }
+  this->trace("lock", [&] {
+    return sim::cat("demand ", d.file, " max=", protocol::to_string(d.max_mode), " g", d.gen,
+                    " held=", protocol::to_string(fs.mode), " g", fs.lock_gen);
+  });
   if (d.gen < fs.lock_gen) {
     return;  // demand against a superseded incarnation: a newer grant exists
   }
@@ -959,7 +960,8 @@ void Client::process_demand(FileId file) {
         // Cannot flush (SAN fault / fenced). Keep the lock and retry; the
         // server's demand timeout will engage the lease protocol if this
         // never succeeds.
-        this->trace("lock", "demand flush failed: " + std::string(to_string(st.error())));
+        this->trace("lock",
+                    [&] { return sim::cat("demand flush failed: ", to_string(st.error())); });
         clock_.schedule_after(sim::local_millis(500),
                               [this, file]() { process_demand(file); });
       }
@@ -1398,10 +1400,8 @@ void Client::maybe_revalidate(FileState& fs, std::function<void(Status)> cb) {
       });
 }
 
-void Client::trace(const char* category, const std::string& detail) {
-  if (trace_ != nullptr) {
-    trace_->record(engine_->now(), cfg_.id, category, detail);
-  }
+void Client::record_trace(const char* category, std::string detail) {
+  trace_->record(engine_->now(), cfg_.id, category, std::move(detail));
 }
 
 }  // namespace stank::client

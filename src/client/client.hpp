@@ -25,7 +25,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "baselines/heartbeat.hpp"
@@ -227,7 +229,22 @@ class Client {
   // NFS attribute revalidation.
   void maybe_revalidate(FileState& fs, std::function<void(Status)> cb);
 
-  void trace(const char* category, const std::string& detail);
+  // Lazy, sink-gated tracing: the format callable runs — and its string
+  // machinery allocates — only when a TraceLog is attached. With tracing off
+  // a trace site costs one branch.
+  template <typename F>
+    requires std::is_invocable_v<F&>
+  void trace(const char* category, F&& detail) {
+    if (trace_ != nullptr) {
+      record_trace(category, std::forward<F>(detail)());
+    }
+  }
+  void trace(const char* category, const char* detail) {
+    if (trace_ != nullptr) {
+      record_trace(category, detail);
+    }
+  }
+  void record_trace(const char* category, std::string detail);
 
   sim::Engine* engine_;
   storage::SanFabric* san_;

@@ -1,0 +1,183 @@
+// Inline-capacity vector.
+//
+// Stores up to N elements in the object itself and spills to the heap only
+// beyond that, so the common case — a file with one or two lock holders, a
+// client with a handful of pending demands — allocates nothing. API is the
+// useful subset of std::vector; elements must be movable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <new>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace stank {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+  ~SmallVec() { reset(); }
+
+  SmallVec(const SmallVec& other) { append_copy(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    clear();
+    append_copy(other);
+    return *this;
+  }
+
+  SmallVec(SmallVec&& other) noexcept { take(std::move(other)); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    take(std::move(other));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  [[nodiscard]] bool is_inline() const { return data() == inline_ptr(); }
+
+  [[nodiscard]] T* data() { return data_ ? data_ : inline_ptr(); }
+  [[nodiscard]] const T* data() const { return data_ ? data_ : inline_ptr(); }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] T& front() { return data()[0]; }
+  [[nodiscard]] const T& front() const { return data()[0]; }
+  [[nodiscard]] T& back() { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data()[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(size_ + 1);
+    T* p = new (data() + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    STANK_ASSERT(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  // Erases [first, last), shifting the tail left. Returns `first`.
+  T* erase(T* first, T* last) {
+    T* e = end();
+    STANK_ASSERT(begin() <= first && first <= last && last <= e);
+    T* dst = first;
+    for (T* src = last; src != e; ++src, ++dst) {
+      *dst = std::move(*src);
+    }
+    for (T* p = dst; p != e; ++p) p->~T();
+    size_ -= static_cast<std::size_t>(last - first);
+    return first;
+  }
+  T* erase(T* pos) { return erase(pos, pos + 1); }
+
+  // Order-destroying O(1) erase for sets where position is meaningless.
+  void swap_erase(T* pos) {
+    STANK_ASSERT(begin() <= pos && pos < end());
+    *pos = std::move(back());
+    pop_back();
+  }
+
+  void clear() {
+    for (T* p = begin(); p != end(); ++p) p->~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void resize(std::size_t n) {
+    if (n < size_) {
+      for (T* p = begin() + n; p != end(); ++p) p->~T();
+      size_ = n;
+    } else {
+      reserve(n);
+      while (size_ < n) emplace_back();
+    }
+  }
+
+ private:
+  [[nodiscard]] T* inline_ptr() { return reinterpret_cast<T*>(inline_storage_); }
+  [[nodiscard]] const T* inline_ptr() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void grow(std::size_t min_cap) {
+    std::size_t new_cap = cap_ * 2;
+    if (new_cap < min_cap) new_cap = min_cap;
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T), std::align_val_t{alignof(T)}));
+    T* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (heap + i) T(std::move(src[i]));
+      src[i].~T();
+    }
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = heap;
+    cap_ = new_cap;
+  }
+
+  // Destroys elements and returns to the empty inline state.
+  void reset() {
+    clear();
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = nullptr;
+      cap_ = N;
+    }
+  }
+
+  void take(SmallVec&& other) {
+    if (other.data_ != nullptr) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        new (inline_ptr() + i) T(std::move(other.inline_ptr()[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  void append_copy(const SmallVec& other) {
+    reserve(other.size_);
+    for (const T& v : other) push_back(v);
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_{nullptr};  // nullptr while inline
+  std::size_t size_{0};
+  std::size_t cap_{N};
+};
+
+}  // namespace stank

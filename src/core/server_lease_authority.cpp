@@ -31,7 +31,7 @@ void ServerLeaseAuthority::on_delivery_failure(NodeId client) {
   // the timer fires.
   e.timer = clock_->schedule_after(server_wait(cfg_.tau, cfg_.epsilon),
                                    [this, client]() { fire(client); });
-  entries_.emplace(client, e);
+  entries_.insert(client, e);
   if (hooks_.standing_changed) {
     hooks_.standing_changed(client, ClientStanding::kSuspect);
   }
@@ -39,12 +39,12 @@ void ServerLeaseAuthority::on_delivery_failure(NodeId client) {
 }
 
 void ServerLeaseAuthority::fire(NodeId client) {
-  auto it = entries_.find(client);
-  STANK_ASSERT(it != entries_.end());
-  STANK_ASSERT(it->second.standing == ClientStanding::kSuspect);
+  Entry* e = entries_.find(client);
+  STANK_ASSERT(e != nullptr);
+  STANK_ASSERT(e->standing == ClientStanding::kSuspect);
   ++counters_->lease_ops;
-  it->second.timer = 0;
-  it->second.standing = ClientStanding::kFailed;
+  e->timer = 0;
+  e->standing = ClientStanding::kFailed;
   if (hooks_.standing_changed) {
     hooks_.standing_changed(client, ClientStanding::kFailed);
   }
@@ -59,25 +59,25 @@ bool ServerLeaseAuthority::may_ack(NodeId client) const {
 }
 
 ClientStanding ServerLeaseAuthority::standing(NodeId client) const {
-  auto it = entries_.find(client);
-  return it == entries_.end() ? ClientStanding::kGood : it->second.standing;
+  const Entry* e = entries_.find(client);
+  return e == nullptr ? ClientStanding::kGood : e->standing;
 }
 
 bool ServerLeaseAuthority::try_reregister(NodeId client) {
-  auto it = entries_.find(client);
-  if (it == entries_.end()) {
+  Entry* e = entries_.find(client);
+  if (e == nullptr) {
     return true;  // nothing held against this client
   }
   ++counters_->lease_ops;
-  if (it->second.standing == ClientStanding::kSuspect) {
+  if (e->standing == ClientStanding::kSuspect) {
     if (!cfg_.allow_early_reregister) {
       return false;  // conservative: wait out the full tau(1+eps)
     }
     // Ablation path: the client asserts its lease expired; steal now and
     // accept.
-    clock_->cancel(it->second.timer);
-    it->second.timer = 0;
-    it->second.standing = ClientStanding::kFailed;
+    clock_->cancel(e->timer);
+    e->timer = 0;
+    e->standing = ClientStanding::kFailed;
     if (hooks_.standing_changed) {
       hooks_.standing_changed(client, ClientStanding::kFailed);
     }
@@ -93,9 +93,9 @@ bool ServerLeaseAuthority::try_reregister(NodeId client) {
 }
 
 std::size_t ServerLeaseAuthority::state_bytes() const {
-  // Honest accounting of the per-client lease footprint: map node plus
-  // bucket pointer overhead.
-  return entries_.size() * (sizeof(NodeId) + sizeof(Entry) + 2 * sizeof(void*));
+  // Honest accounting of the per-client lease footprint: one flat-table slot
+  // per tracked client (no bucket pointers to charge).
+  return entries_.size() * (sizeof(NodeId) + sizeof(Entry));
 }
 
 std::size_t ServerLeaseAuthority::suspect_count() const {

@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/strong_id.hpp"
 #include "core/lease_config.hpp"
 #include "core/lease_math.hpp"
@@ -92,7 +92,7 @@ class ServerLeaseAuthority {
   Hooks hooks_;
   // Empty during normal operation — that emptiness IS the paper's claim,
   // and bench T2 asserts it.
-  std::unordered_map<NodeId, Entry> entries_;
+  FlatMap<NodeId, Entry> entries_;
 };
 
 }  // namespace stank::core

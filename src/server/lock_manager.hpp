@@ -8,16 +8,21 @@
 // Lock modes: Shared (cached reads) and Exclusive (write-back caching and
 // direct SAN writes). Waiters queue in FIFO order; conflicting holders are
 // demanded down; a steal removes a client's locks without its cooperation.
+//
+// Layout: the table is a flat ID-keyed hash map of inline lock records — the
+// common case of one or two holders/waiters per file lives entirely in the
+// record, so a steady-state lock operation touches no heap. A per-client
+// reverse index (NodeId -> files held/awaited) makes files_of() and the
+// steal/recovery path O(locks of that client) instead of O(lock table).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <optional>
-#include <set>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_map.hpp"
+#include "common/small_vec.hpp"
 #include "common/strong_id.hpp"
 #include "protocol/messages.hpp"
 
@@ -38,6 +43,10 @@ class LockManager {
     // The strongest mode the holder may retain.
     LockMode max_mode{LockMode::kNone};
   };
+  struct Waiter {
+    NodeId client;
+    LockMode mode{LockMode::kShared};
+  };
 
   enum class AcquireOutcome : std::uint8_t {
     kGranted,      // lock held now (possibly an upgrade)
@@ -57,26 +66,58 @@ class LockManager {
   struct Update {
     std::vector<Grant> grants;
     std::vector<Demand> demands;
+    void clear() {
+      grants.clear();
+      demands.clear();
+    }
   };
 
-  // Requests `mode` on `file` for `client`.
-  AcquireResult acquire(NodeId client, FileId file, LockMode mode);
+  // --- Scratch-buffer API --------------------------------------------------
+  // The steady-state entry points append into caller-owned buffers, so a
+  // handler loop reuses capacity across requests instead of allocating a
+  // fresh vector per message. Buffers are appended to, not cleared.
+
+  // Requests `mode` on `file` for `client`; demands to issue are appended.
+  AcquireOutcome acquire(NodeId client, FileId file, LockMode mode,
+                         std::vector<Demand>& demands);
 
   // Voluntary release/downgrade (also the holder's response to a demand).
-  Update set_mode(NodeId client, FileId file, LockMode mode);
+  void set_mode(NodeId client, FileId file, LockMode mode, Update& out);
 
   // Removes a queued (not yet granted) request, e.g. when its client fails.
   // Removing a blocked head can unblock the queue, so grants may result.
-  Update cancel_waiter(NodeId client, FileId file);
+  void cancel_waiter(NodeId client, FileId file, Update& out);
 
   // Steals every lock and queued request of a client without its
-  // cooperation. Returns the files whose state changed plus the grants and
+  // cooperation. Appends the files whose state changed plus the grants and
   // follow-up demands that became possible.
+  void steal_all(NodeId client, std::vector<FileId>& affected, Update& out);
+
+  // --- Convenience wrappers (tests and cold paths) -------------------------
+  AcquireResult acquire(NodeId client, FileId file, LockMode mode) {
+    AcquireResult res;
+    res.outcome = acquire(client, file, mode, res.demands);
+    return res;
+  }
+  Update set_mode(NodeId client, FileId file, LockMode mode) {
+    Update out;
+    set_mode(client, file, mode, out);
+    return out;
+  }
+  Update cancel_waiter(NodeId client, FileId file) {
+    Update out;
+    cancel_waiter(client, file, out);
+    return out;
+  }
   struct StealResult {
     std::vector<FileId> affected;
     Update update;
   };
-  StealResult steal_all(NodeId client);
+  StealResult steal_all(NodeId client) {
+    StealResult res;
+    steal_all(client, res.affected, res.update);
+    return res;
+  }
 
   [[nodiscard]] LockMode mode_of(NodeId client, FileId file) const;
   // Strongest retained mode currently demanded of this holder, if any
@@ -85,25 +126,44 @@ class LockManager {
   [[nodiscard]] std::vector<std::pair<NodeId, LockMode>> holders(FileId file) const;
   [[nodiscard]] bool has_waiters(FileId file) const;
   [[nodiscard]] std::size_t waiter_count(FileId file) const;
+  // Queued requests in FIFO order (model-based tests).
+  [[nodiscard]] std::vector<Waiter> waiters_of(FileId file) const;
   [[nodiscard]] std::size_t held_files() const { return files_.size(); }
-  // Files on which this client currently holds any lock.
+  // Files on which this client currently holds any lock, sorted by id.
   [[nodiscard]] std::vector<FileId> files_of(NodeId client) const;
 
-  // Invariant check for tests: holders of each file are pairwise compatible
-  // and waiters are only queued while a conflict actually exists.
+  // Invariant check for tests: holders of each file are pairwise compatible,
+  // waiters are only queued while a conflict actually exists, empty records
+  // have been gc'd, and the reverse index agrees with the lock table.
   [[nodiscard]] bool invariants_hold() const;
 
  private:
-  struct Waiter {
-    NodeId client;
-    LockMode mode{LockMode::kShared};
+  struct Holder {
+    NodeId node;
+    LockMode mode{LockMode::kShared};  // kShared or kExclusive
+    // Strongest retained mode already demanded of this holder (valid while
+    // demand_outstanding), to avoid duplicate demands.
+    LockMode demanded{LockMode::kNone};
+    bool demand_outstanding{false};
   };
   struct FileLocks {
-    std::map<NodeId, LockMode> holders;  // mode is kShared or kExclusive
-    std::deque<Waiter> waiters;
-    // Strongest retained mode already demanded of each holder, to avoid
-    // duplicate demands.
-    std::map<NodeId, LockMode> demanded;
+    SmallVec<Holder, 2> holders;
+    SmallVec<Waiter, 2> waiters;
+
+    [[nodiscard]] Holder* find_holder(NodeId node) {
+      for (Holder& h : holders) {
+        if (h.node == node) return &h;
+      }
+      return nullptr;
+    }
+    [[nodiscard]] const Holder* find_holder(NodeId node) const {
+      return const_cast<FileLocks*>(this)->find_holder(node);
+    }
+  };
+  // Reverse index entry: the files this client holds locks on or waits for.
+  struct ClientFiles {
+    SmallVec<FileId, 6> held;
+    SmallVec<FileId, 2> waiting;
   };
 
   // Can `client` hold `mode` given current holders (ignoring itself)?
@@ -111,10 +171,19 @@ class LockManager {
   // Grants every grantable waiter (FIFO, stopping at the first conflict),
   // then computes fresh demands needed by the new queue head.
   void pump_waiters(FileId file, FileLocks& fl, Update& out);
-  void collect_demands(FileId file, FileLocks& fl, Update& out);
+  void collect_demands(FileId file, FileLocks& fl, std::vector<Demand>& out);
+  void remove_holder(FileId file, FileLocks& fl, NodeId node);
   void gc(FileId file);
 
-  std::unordered_map<FileId, FileLocks> files_;
+  // Reverse-index maintenance. add_* assume the entry is absent.
+  void index_add_held(NodeId client, FileId file);
+  void index_remove_held(NodeId client, FileId file);
+  void index_add_waiting(NodeId client, FileId file);
+  void index_remove_waiting(NodeId client, FileId file);
+  void gc_client(NodeId client);
+
+  FlatMap<FileId, FileLocks> files_;
+  FlatMap<NodeId, ClientFiles> clients_;
 };
 
 }  // namespace stank::server

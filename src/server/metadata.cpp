@@ -2,8 +2,8 @@
 
 namespace stank::server {
 
-Result<FileId> Metadata::open(const std::string& path, bool create) {
-  auto it = names_.find(path);
+Result<FileId> Metadata::open(std::string_view path, bool create) {
+  auto it = names_.find(path);  // heterogeneous: no string copy on the hit path
   if (it != names_.end()) {
     return it->second;
   }
@@ -11,24 +11,17 @@ Result<FileId> Metadata::open(const std::string& path, bool create) {
     return ErrorCode::kNotFound;
   }
   const FileId id{next_id_++};
-  names_.emplace(path, id);
-  Inode inode;
+  names_.emplace(std::string(path), id);
+  Inode& inode = inodes_[id];
   inode.id = id;
-  inodes_.emplace(id, std::move(inode));
   return id;
 }
 
-Inode* Metadata::find(FileId id) {
-  auto it = inodes_.find(id);
-  return it == inodes_.end() ? nullptr : &it->second;
-}
+Inode* Metadata::find(FileId id) { return inodes_.find(id); }
 
-const Inode* Metadata::find(FileId id) const {
-  auto it = inodes_.find(id);
-  return it == inodes_.end() ? nullptr : &it->second;
-}
+const Inode* Metadata::find(FileId id) const { return inodes_.find(id); }
 
-Status Metadata::remove(const std::string& path) {
+Status Metadata::remove(std::string_view path) {
   auto it = names_.find(path);
   if (it == names_.end()) {
     return ErrorCode::kNotFound;
@@ -38,7 +31,7 @@ Status Metadata::remove(const std::string& path) {
   return Status::ok();
 }
 
-std::optional<FileId> Metadata::lookup(const std::string& path) const {
+std::optional<FileId> Metadata::lookup(std::string_view path) const {
   auto it = names_.find(path);
   if (it == names_.end()) return std::nullopt;
   return it->second;

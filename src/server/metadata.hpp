@@ -3,13 +3,22 @@
 // Per the paper's architecture (section 1.1), metadata — including "the
 // location of the blocks of each file on shared storage" — lives only at the
 // server; the shared disks hold nothing but file data blocks.
+//
+// Layout: the FileId -> Inode side is a flat ID-keyed table; the name side
+// uses heterogeneous string_view lookup, so resolving an existing path —
+// the hit path of every open() — copies no string and allocates nothing.
+// Inode pointers are invalidated by creating or removing files; handlers
+// must re-find() rather than cache them across mutations.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/result.hpp"
 #include "common/strong_id.hpp"
 #include "protocol/messages.hpp"
@@ -31,23 +40,30 @@ struct Inode {
 class Metadata {
  public:
   // Resolves a path; creates the file if `create` and absent. Returns the
-  // inode, or kNotFound.
-  Result<FileId> open(const std::string& path, bool create);
+  // inode, or kNotFound. The path string is only copied on a create.
+  Result<FileId> open(std::string_view path, bool create);
 
   [[nodiscard]] Inode* find(FileId id);
   [[nodiscard]] const Inode* find(FileId id) const;
-  Status remove(const std::string& path);
+  Status remove(std::string_view path);
 
   [[nodiscard]] std::size_t file_count() const { return inodes_.size(); }
-  [[nodiscard]] std::optional<FileId> lookup(const std::string& path) const;
+  [[nodiscard]] std::optional<FileId> lookup(std::string_view path) const;
 
   // Every mutation bumps the inode's meta version and mtime stamp (weakly
   // consistent metadata per the paper's footnote 1).
   void touch(Inode& inode, std::uint64_t now_ns);
 
  private:
-  std::unordered_map<std::string, FileId> names_;
-  std::unordered_map<FileId, Inode> inodes_;
+  struct PathHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, FileId, PathHash, std::equal_to<>> names_;
+  FlatMap<FileId, Inode> inodes_;
   std::uint32_t next_id_{1};
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <sstream>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -13,6 +12,19 @@
 namespace stank::server {
 
 using protocol::ServerTransport;
+
+namespace {
+
+const char* standing_str(core::ClientStanding s) {
+  switch (s) {
+    case core::ClientStanding::kGood: return "good";
+    case core::ClientStanding::kSuspect: return "suspect";
+    case core::ClientStanding::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Server::Server(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& san,
                sim::LocalClock local_clock, ServerConfig cfg, sim::TraceLog* trace)
@@ -30,27 +42,9 @@ Server::Server(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& sa
   }
 
   switch (cfg_.strategy) {
-    case LeaseStrategy::kStorageTank: {
-      core::ServerLeaseAuthority::Hooks hooks;
-      hooks.steal_locks = [this](NodeId c) {
-        if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
-          fence_client(c, [this, c]() { do_steal(c); });
-        } else {
-          do_steal(c);
-        }
-      };
-      hooks.standing_changed = [this](NodeId c, core::ClientStanding s) {
-        std::ostringstream os;
-        os << "client " << c << " standing="
-           << (s == core::ClientStanding::kGood
-                   ? "good"
-                   : s == core::ClientStanding::kSuspect ? "suspect" : "failed");
-        this->trace("lease", os.str());
-      };
-      authority_ = std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
-                                                                std::move(hooks));
+    case LeaseStrategy::kStorageTank:
+      authority_ = make_authority();
       break;
-    }
     case LeaseStrategy::kVLeases:
       v_table_ = std::make_unique<baselines::VLeaseTable>(cfg_.lease.tau, counters_);
       break;
@@ -58,6 +52,23 @@ Server::Server(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& sa
       hb_table_ = std::make_unique<baselines::HeartbeatTable>(cfg_.lease.tau, counters_);
       break;
   }
+}
+
+std::unique_ptr<core::ServerLeaseAuthority> Server::make_authority() {
+  core::ServerLeaseAuthority::Hooks hooks;
+  hooks.steal_locks = [this](NodeId c) {
+    if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
+      fence_client(c, [this, c]() { do_steal(c); });
+    } else {
+      do_steal(c);
+    }
+  };
+  hooks.standing_changed = [this](NodeId c, core::ClientStanding s) {
+    this->trace("lease",
+                [&] { return sim::cat("client ", c, " standing=", standing_str(s)); });
+  };
+  return std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
+                                                      std::move(hooks));
 }
 
 Server::~Server() {
@@ -85,8 +96,10 @@ void Server::stop() {
   if (!started_) return;
   started_ = false;
   transport_.stop();
-  for (auto& [key, timer] : demand_timers_) {
-    clock_.cancel(timer);
+  for (auto& [holder, timers] : demand_timers_) {
+    for (DemandTimer& dt : timers) {
+      clock_.cancel(dt.timer);
+    }
   }
   demand_timers_.clear();
   for (auto& [node, timer] : recovery_timers_) {
@@ -115,8 +128,8 @@ void Server::handle_request(NodeId client, std::uint32_t epoch,
     return;
   }
 
-  auto sit = sessions_.find(client);
-  if (sit == sessions_.end()) {
+  const Session* session = sessions_.find(client);
+  if (session == nullptr) {
     // No session at all. After a restart that is the normal state for every
     // pre-crash client: tell it to re-register and reassert (section 6)
     // rather than NACKing it into cache invalidation.
@@ -127,7 +140,7 @@ void Server::handle_request(NodeId client, std::uint32_t epoch,
     }
     return;
   }
-  if (!sit->second.valid || sit->second.epoch != epoch) {
+  if (!session->valid || session->epoch != epoch) {
     // Stale epoch within a known session: the client is out of sync.
     r.nack();
     return;
@@ -204,8 +217,8 @@ void Server::handle_register(NodeId client, ServerTransport::Responder r) {
   }
   unfence_client(client);
   ++counters_.transactions;
-  trace("session", "client " + std::to_string(client.value()) + " registered epoch " +
-                       std::to_string(s.epoch));
+  trace("session",
+        [&] { return sim::cat("client ", client.value(), " registered epoch ", s.epoch); });
   r.ack(protocol::RegisterReply{s.epoch, incarnation_});
 }
 
@@ -241,9 +254,10 @@ void Server::handle_lock(NodeId client, const protocol::LockReq& req,
     r.ack(protocol::ErrReply{ErrorCode::kRetryLater});
     return;
   }
-  auto res = locks_.acquire(client, req.file, req.mode);
-  if (res.outcome == LockManager::AcquireOutcome::kQueued) {
-    for (const auto& d : res.demands) {
+  demand_scratch_.clear();
+  const auto outcome = locks_.acquire(client, req.file, req.mode, demand_scratch_);
+  if (outcome == LockManager::AcquireOutcome::kQueued) {
+    for (const auto& d : demand_scratch_) {
       issue_demand(d);
     }
     r.ack(protocol::LockReply{false, req.mode, 0});
@@ -257,12 +271,10 @@ void Server::handle_lock(NodeId client, const protocol::LockReq& req,
   if (v_table_) {
     v_table_->renew(client, req.file, clock_.now());
   }
-  {
-    std::ostringstream os;
-    os << "grant " << req.file << " " << protocol::to_string(req.mode) << " g" << gen << " -> "
-       << client;
-    trace("lock", os.str());
-  }
+  trace("lock", [&] {
+    return sim::cat("grant ", req.file, " ", protocol::to_string(req.mode), " g", gen, " -> ",
+                    client);
+  });
   r.ack(protocol::LockReply{true, req.mode, gen});
 }
 
@@ -276,11 +288,12 @@ void Server::handle_unlock(NodeId client, const protocol::UnlockReq& req,
     r.ack(protocol::OkReply{});
     return;
   }
-  auto upd = locks_.set_mode(client, req.file, req.downgrade_to);
+  update_scratch_.clear();
+  locks_.set_mode(client, req.file, req.downgrade_to, update_scratch_);
   if (v_table_ && req.downgrade_to == protocol::LockMode::kNone) {
     v_table_->drop(client, req.file);
   }
-  apply_update(upd);
+  apply_update(update_scratch_);
   r.ack(protocol::OkReply{});
 }
 
@@ -293,7 +306,8 @@ void Server::handle_demand_done(NodeId client, const protocol::DemandDoneReq& re
     r.ack(protocol::OkReply{});
     return;
   }
-  auto upd = locks_.set_mode(client, req.file, req.new_mode);
+  update_scratch_.clear();
+  locks_.set_mode(client, req.file, req.new_mode, update_scratch_);
   if (v_table_ && req.new_mode == protocol::LockMode::kNone) {
     v_table_->drop(client, req.file);
   }
@@ -304,7 +318,7 @@ void Server::handle_demand_done(NodeId client, const protocol::DemandDoneReq& re
   } else {
     arm_demand_timer(client, req.file);
   }
-  apply_update(upd);
+  apply_update(update_scratch_);
   r.ack(protocol::OkReply{});
 }
 
@@ -355,9 +369,13 @@ void Server::handle_reassert(NodeId client, const protocol::ReassertLockReq& req
   // If the pre-crash state was legal, concurrent reassertions are mutually
   // compatible; an incompatible one indicates divergence and is refused
   // (that client must invalidate the file).
-  auto res = locks_.acquire(client, req.file, req.mode);
-  if (res.outcome == LockManager::AcquireOutcome::kQueued) {
-    locks_.cancel_waiter(client, req.file);
+  demand_scratch_.clear();
+  if (locks_.acquire(client, req.file, req.mode, demand_scratch_) ==
+      LockManager::AcquireOutcome::kQueued) {
+    // No other waiters can exist during grace, so the cancel cannot unblock
+    // anyone; its update is discarded.
+    update_scratch_.clear();
+    locks_.cancel_waiter(client, req.file, update_scratch_);
     r.ack(protocol::ErrReply{ErrorCode::kLockConflict});
     return;
   }
@@ -366,12 +384,10 @@ void Server::handle_reassert(NodeId client, const protocol::ReassertLockReq& req
   if (v_table_) {
     v_table_->renew(client, req.file, clock_.now());
   }
-  {
-    std::ostringstream os;
-    os << "reassert " << req.file << " " << protocol::to_string(req.mode) << " g" << gen
-       << " <- " << client;
-    trace("lock", os.str());
-  }
+  trace("lock", [&] {
+    return sim::cat("reassert ", req.file, " ", protocol::to_string(req.mode), " g", gen,
+                    " <- ", client);
+  });
   r.ack(protocol::LockReply{true, req.mode, gen});
 }
 
@@ -392,24 +408,7 @@ void Server::crash() {
   lock_gens_.clear();
   if (authority_) {
     // Rebuild the authority empty (its timers died with stop()).
-    core::ServerLeaseAuthority::Hooks hooks;
-    hooks.steal_locks = [this](NodeId c) {
-      if (cfg_.recovery == RecoveryMode::kLeaseAndFence) {
-        fence_client(c, [this, c]() { do_steal(c); });
-      } else {
-        do_steal(c);
-      }
-    };
-    hooks.standing_changed = [this](NodeId c, core::ClientStanding st) {
-      std::ostringstream os;
-      os << "client " << c << " standing="
-         << (st == core::ClientStanding::kGood
-                 ? "good"
-                 : st == core::ClientStanding::kSuspect ? "suspect" : "failed");
-      this->trace("lease", os.str());
-    };
-    authority_ = std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
-                                                              std::move(hooks));
+    authority_ = make_authority();
   }
   if (v_table_) {
     v_table_ = std::make_unique<baselines::VLeaseTable>(cfg_.lease.tau, counters_);
@@ -426,8 +425,10 @@ void Server::restart() {
                                        ? cfg_.recovery_grace
                                        : core::server_wait(cfg_.lease.tau, cfg_.lease.epsilon);
   grace_until_ = clock_.now() + grace;
-  trace("node", "server restart incarnation " + std::to_string(incarnation_) +
-                    ", grace until " + std::to_string(grace_until_.seconds()) + "s");
+  trace("node", [&] {
+    return sim::cat("server restart incarnation ", incarnation_, ", grace until ",
+                    grace_until_.seconds(), "s");
+  });
   start();
 }
 
@@ -604,20 +605,18 @@ void Server::apply_update(const LockManager::Update& upd) {
 void Server::issue_demand(const LockManager::Demand& d) {
   ++counters_.lock_demands;
   const std::uint32_t gen = lock_gen(d.holder, d.file);
-  {
-    std::ostringstream os;
-    os << "demand " << d.file << " max=" << protocol::to_string(d.max_mode) << " g" << gen
-       << " -> " << d.holder;
-    trace("lock", os.str());
-  }
-  auto sit = sessions_.find(d.holder);
-  const std::uint32_t epoch = sit == sessions_.end() ? 0 : sit->second.epoch;
+  trace("lock", [&] {
+    return sim::cat("demand ", d.file, " max=", protocol::to_string(d.max_mode), " g", gen,
+                    " -> ", d.holder);
+  });
+  const Session* session = sessions_.find(d.holder);
+  const std::uint32_t epoch = session == nullptr ? 0 : session->epoch;
   transport_.send_server_msg(
       d.holder, epoch, protocol::LockDemand{d.file, d.max_mode, gen},
       [this, d, gen](bool delivered) {
         if (!delivered) {
-          trace("lease", "demand to client " + std::to_string(d.holder.value()) +
-                             " undeliverable");
+          trace("lease",
+                [&] { return sim::cat("demand to client ", d.holder.value(), " undeliverable"); });
           on_delivery_failure(d.holder);
           return;
         }
@@ -634,23 +633,29 @@ void Server::issue_demand(const LockManager::Demand& d) {
 }
 
 void Server::arm_demand_timer(NodeId holder, FileId file) {
-  const DemandKey key{holder, file};
-  auto it = demand_timers_.find(key);
-  if (it != demand_timers_.end()) {
-    clock_.cancel(it->second);
+  const sim::TimerId timer =
+      clock_.schedule_after(cfg_.demand_timeout, [this, holder, file]() {
+        cancel_demand_timer(holder, file);  // drop the fired timer's record
+        trace("lease", [&] {
+          return sim::cat("demand compliance timeout for client ", holder.value(), " file ",
+                          file.value(), " gen ", lock_gen(holder, file));
+        });
+        on_delivery_failure(holder);
+      });
+  auto& timers = demand_timers_[holder];
+  for (DemandTimer& dt : timers) {
+    if (dt.file == file) {
+      clock_.cancel(dt.timer);
+      dt.timer = timer;
+      return;
+    }
   }
-  demand_timers_[key] = clock_.schedule_after(cfg_.demand_timeout, [this, key]() {
-    demand_timers_.erase(key);
-    trace("lease", "demand compliance timeout for client " + std::to_string(key.holder.value()) +
-                       " file " + std::to_string(key.file.value()) + " gen " +
-                       std::to_string(lock_gen(key.holder, key.file)));
-    on_delivery_failure(key.holder);
-  });
+  timers.push_back(DemandTimer{file, timer});
 }
 
 std::uint32_t Server::lock_gen(NodeId client, FileId file) const {
-  auto it = lock_gens_.find(DemandKey{client, file});
-  return it == lock_gens_.end() ? 0 : it->second;
+  const std::uint32_t* gen = lock_gens_.find(DemandKey{client, file});
+  return gen == nullptr ? 0 : *gen;
 }
 
 std::uint32_t Server::bump_lock_gen(NodeId client, FileId file) {
@@ -664,14 +669,12 @@ void Server::deliver_grant(const LockManager::Grant& g) {
   if (v_table_) {
     v_table_->renew(g.client, g.file, clock_.now());
   }
-  {
-    std::ostringstream os;
-    os << "grant " << g.file << " " << protocol::to_string(g.mode) << " g" << gen << " -> "
-       << g.client << " (queued)";
-    trace("lock", os.str());
-  }
-  auto sit = sessions_.find(g.client);
-  const std::uint32_t epoch = sit == sessions_.end() ? 0 : sit->second.epoch;
+  trace("lock", [&] {
+    return sim::cat("grant ", g.file, " ", protocol::to_string(g.mode), " g", gen, " -> ",
+                    g.client, " (queued)");
+  });
+  const Session* session = sessions_.find(g.client);
+  const std::uint32_t epoch = session == nullptr ? 0 : session->epoch;
   transport_.send_server_msg(g.client, epoch, protocol::LockGrant{g.file, g.mode, gen},
                              [this, g](bool delivered) {
                                if (!delivered) {
@@ -681,22 +684,27 @@ void Server::deliver_grant(const LockManager::Grant& g) {
 }
 
 void Server::cancel_demand_timer(NodeId holder, FileId file) {
-  auto it = demand_timers_.find(DemandKey{holder, file});
-  if (it != demand_timers_.end()) {
-    clock_.cancel(it->second);
-    demand_timers_.erase(it);
+  auto* timers = demand_timers_.find(holder);
+  if (timers == nullptr) return;
+  for (DemandTimer& dt : *timers) {
+    if (dt.file == file) {
+      clock_.cancel(dt.timer);
+      timers->swap_erase(&dt);
+      break;
+    }
+  }
+  if (timers->empty()) {
+    demand_timers_.erase(holder);
   }
 }
 
 void Server::cancel_demand_timers(NodeId holder) {
-  for (auto it = demand_timers_.begin(); it != demand_timers_.end();) {
-    if (it->first.holder == holder) {
-      clock_.cancel(it->second);
-      it = demand_timers_.erase(it);
-    } else {
-      ++it;
-    }
+  auto* timers = demand_timers_.find(holder);
+  if (timers == nullptr) return;
+  for (DemandTimer& dt : *timers) {
+    clock_.cancel(dt.timer);
   }
+  demand_timers_.erase(holder);
 }
 
 // ---------------------------------------------------------------------------
@@ -728,8 +736,10 @@ void Server::on_delivery_failure(NodeId client) {
   }
   switch (cfg_.recovery) {
     case RecoveryMode::kNoRecovery:
-      trace("lease", "delivery failure for client " + std::to_string(client.value()) +
-                         " ignored (no-recovery)");
+      trace("lease", [&] {
+        return sim::cat("delivery failure for client ", client.value(),
+                        " ignored (no-recovery)");
+      });
       return;
     case RecoveryMode::kNaiveSteal:
       do_steal(client);
@@ -797,7 +807,7 @@ void Server::begin_recovery(NodeId client) {
 void Server::fence_client(NodeId client, std::function<void()> then) {
   ++counters_.fences_issued;
   fenced_clients_.insert(client);
-  trace("fence", "fencing client " + std::to_string(client.value()));
+  trace("fence", [&] { return sim::cat("fencing client ", client.value()); });
 
   auto fan = std::make_shared<FanIn>();
   fan->expected = cfg_.data_disks.size();
@@ -805,8 +815,10 @@ void Server::fence_client(NodeId client, std::function<void()> then) {
     if (!st.is_ok()) {
       // A disk we cannot reach cannot be fenced; proceed regardless — the
       // lease protocol, not the fence, carries the consistency guarantee.
-      trace("fence", "fence of client " + std::to_string(client.value()) +
-                         " incomplete: " + to_string(st.error()));
+      trace("fence", [&] {
+        return sim::cat("fence of client ", client.value(), " incomplete: ",
+                        to_string(st.error()));
+      });
     }
     if (then) then();
   };
@@ -830,10 +842,9 @@ void Server::unfence_client(NodeId client) {
   // registration key, so commands the old incarnation left crawling through
   // the SAN stay locked out forever.
   fenced_clients_.erase(client);
-  auto sit = sessions_.find(client);
-  const std::uint32_t key = sit == sessions_.end() ? 0 : sit->second.epoch;
-  trace("fence", "unfencing client " + std::to_string(client.value()) + " key " +
-                     std::to_string(key));
+  const Session* session = sessions_.find(client);
+  const std::uint32_t key = session == nullptr ? 0 : session->epoch;
+  trace("fence", [&] { return sim::cat("unfencing client ", client.value(), " key ", key); });
   for (DiskId d : cfg_.data_disks) {
     san_->submit_admin(
         storage::AdminRequest{cfg_.id, d, storage::AdminOp::kUnfence, client, key},
@@ -846,35 +857,33 @@ void Server::do_steal(NodeId client) {
     return;
   }
   barred_.insert(client);
-  auto sit = sessions_.find(client);
-  if (sit != sessions_.end()) {
-    sit->second.valid = false;
+  if (Session* session = sessions_.find(client); session != nullptr) {
+    session->valid = false;
   }
   transport_.cancel_server_msgs(client);
   cancel_demand_timers(client);
-  auto rt = recovery_timers_.find(client);
-  if (rt != recovery_timers_.end()) {
-    clock_.cancel(rt->second);
-    recovery_timers_.erase(rt);
+  if (sim::TimerId* rt = recovery_timers_.find(client); rt != nullptr) {
+    clock_.cancel(*rt);
+    recovery_timers_.erase(client);
   }
 
-  auto res = locks_.steal_all(client);
-  counters_.lock_steals += res.affected.size();
-  for (FileId f : res.affected) {
+  affected_scratch_.clear();
+  update_scratch_.clear();
+  locks_.steal_all(client, affected_scratch_, update_scratch_);
+  counters_.lock_steals += affected_scratch_.size();
+  for (FileId f : affected_scratch_) {
     bump_lock_gen(client, f);  // any in-flight compliance from the victim is now stale
   }
-  {
-    std::ostringstream os;
-    os << "stole " << res.affected.size() << " locks from client " << client;
-    trace("lock", os.str());
-  }
+  trace("lock", [&] {
+    return sim::cat("stole ", affected_scratch_.size(), " locks from client ", client);
+  });
   if (v_table_) {
     v_table_->drop_client(client);
   }
   if (hb_table_) {
     hb_table_->drop(client);
   }
-  apply_update(res.update);
+  apply_update(update_scratch_);
 }
 
 // ---------------------------------------------------------------------------
@@ -883,13 +892,13 @@ void Server::do_steal(NodeId client) {
 bool Server::barred(NodeId client) const { return barred_.contains(client); }
 
 bool Server::session_valid(NodeId client) const {
-  auto it = sessions_.find(client);
-  return it != sessions_.end() && it->second.valid;
+  const Session* s = sessions_.find(client);
+  return s != nullptr && s->valid;
 }
 
 std::uint32_t Server::session_epoch(NodeId client) const {
-  auto it = sessions_.find(client);
-  return it == sessions_.end() ? 0 : it->second.epoch;
+  const Session* s = sessions_.find(client);
+  return s == nullptr ? 0 : s->epoch;
 }
 
 std::size_t Server::lease_state_bytes() const {
@@ -899,10 +908,8 @@ std::size_t Server::lease_state_bytes() const {
   return 0;
 }
 
-void Server::trace(const char* category, const std::string& detail) {
-  if (trace_ != nullptr) {
-    trace_->record(engine_->now(), cfg_.id, category, detail);
-  }
+void Server::record_trace(const char* category, std::string detail) {
+  trace_->record(engine_->now(), cfg_.id, category, std::move(detail));
 }
 
 std::uint64_t Server::now_ns() const { return static_cast<std::uint64_t>(clock_.now().ns); }

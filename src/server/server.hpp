@@ -20,11 +20,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <set>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "baselines/heartbeat.hpp"
+#include "common/flat_map.hpp"
+#include "common/small_vec.hpp"
 #include "baselines/v_lease.hpp"
 #include "core/server_lease_authority.hpp"
 #include "metrics/counters.hpp"
@@ -143,6 +145,10 @@ class Server {
                                         k.file.value());
     }
   };
+  struct DemandTimer {
+    FileId file;
+    sim::TimerId timer{0};
+  };
 
   // Request dispatch.
   void handle_request(NodeId client, std::uint32_t epoch, const protocol::RequestBody& body,
@@ -165,6 +171,8 @@ class Server {
   void handle_write_data(NodeId client, const protocol::WriteDataReq&,
                          protocol::ServerTransport::Responder r);
 
+  [[nodiscard]] std::unique_ptr<core::ServerLeaseAuthority> make_authority();
+
   // Locking plumbing.
   void apply_update(const LockManager::Update& upd);
   void issue_demand(const LockManager::Demand& d);
@@ -183,7 +191,24 @@ class Server {
   void do_steal(NodeId client);
 
   [[nodiscard]] bool barred(NodeId client) const;
-  void trace(const char* category, const std::string& detail);
+
+  // Lazy, sink-gated tracing: the format callable runs — and its string
+  // machinery allocates — only when a TraceLog is attached. With tracing off
+  // a trace site costs one branch.
+  template <typename F>
+    requires std::is_invocable_v<F&>
+  void trace(const char* category, F&& detail) {
+    if (trace_ != nullptr) {
+      record_trace(category, std::forward<F>(detail)());
+    }
+  }
+  void trace(const char* category, const char* detail) {
+    if (trace_ != nullptr) {
+      record_trace(category, detail);
+    }
+  }
+  void record_trace(const char* category, std::string detail);
+
   [[nodiscard]] std::uint64_t now_ns() const;
   [[nodiscard]] BlockAllocator* allocator_with_space(std::uint64_t blocks);
   Status grow_file(Inode& inode, std::uint64_t new_size);
@@ -208,22 +233,30 @@ class Server {
   std::unique_ptr<baselines::HeartbeatTable> hb_table_;
   // Clients whose sessions were invalidated by a steal; they must
   // re-register before being served again.
-  std::set<NodeId> barred_;
+  FlatSet<NodeId> barred_;
   // Lease-expiry recovery timers for the V/Frangipani strategies (the
   // Storage Tank authority manages its own).
-  std::unordered_map<NodeId, sim::TimerId> recovery_timers_;
+  FlatMap<NodeId, sim::TimerId> recovery_timers_;
   // Clients currently fenced at the data disks.
-  std::set<NodeId> fenced_clients_;
+  FlatSet<NodeId> fenced_clients_;
 
-  std::unordered_map<NodeId, Session> sessions_;
+  FlatMap<NodeId, Session> sessions_;
   // Persistent across crashes (kept on the server's private storage).
   std::uint32_t incarnation_{1};
   sim::LocalTime grace_until_{};
-  std::unordered_map<DemandKey, sim::TimerId, DemandKeyHash> demand_timers_;
+  // Compliance timers, grouped per holder so a client-wide cancel (steal,
+  // re-registration) is O(that client's demands).
+  FlatMap<NodeId, SmallVec<DemandTimer, 2>> demand_timers_;
   // Per-(client, file) lock generation: bumped by every grant and by steals,
   // so compliance/release messages that crossed a newer grant in flight are
   // recognizably stale (see protocol/messages.hpp).
-  std::unordered_map<DemandKey, std::uint32_t, DemandKeyHash> lock_gens_;
+  FlatMap<DemandKey, std::uint32_t, DemandKeyHash> lock_gens_;
+  // Handler-loop scratch: lock-table results are appended here and consumed
+  // in place, so steady-state requests reuse capacity instead of returning
+  // fresh vectors. Never used across an event boundary.
+  LockManager::Update update_scratch_;
+  std::vector<LockManager::Demand> demand_scratch_;
+  std::vector<FileId> affected_scratch_;
   bool started_{false};
 };
 

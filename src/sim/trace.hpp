@@ -6,6 +6,7 @@
 #pragma once
 
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,16 @@
 #include "sim/time.hpp"
 
 namespace stank::sim {
+
+// Streams its arguments into one string. Lazy trace sinks call this inside a
+// deferred format callable, so the stream machinery runs only when a TraceLog
+// is actually attached; steady-state runs pay a single null check per event.
+template <typename... Parts>
+[[nodiscard]] std::string cat(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << std::forward<Parts>(parts));
+  return os.str();
+}
 
 struct TraceEvent {
   SimTime at;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <span>
 
+#include "common/assert.hpp"
+
 namespace stank::verify {
 
 void HistoryRecorder::on_disk_io(const storage::IoRequest& req, const storage::IoResult& res,
@@ -19,7 +21,13 @@ void HistoryRecorder::on_disk_io(const storage::IoRequest& req, const storage::I
     if (!stamp) {
       continue;  // unstamped write (metadata, filler) — not verified
     }
+    const auto pos = static_cast<std::uint32_t>(disk_writes_.size());
     disk_writes_.push_back(DiskWriteRec{at, req.initiator, req.disk, req.addr + i, *stamp});
+    auto& idx = writes_by_block_[{stamp->file, stamp->block}];
+    // The tap runs off engine events: completion times are non-decreasing,
+    // which is what lets disk_version_at() binary-search this list.
+    STANK_ASSERT(idx.empty() || disk_writes_[idx.back()].at <= at);
+    idx.push_back(pos);
   }
 }
 
@@ -33,30 +41,32 @@ void HistoryRecorder::on_crash(NodeId client) { crashed_.insert(client); }
 
 std::vector<DiskWriteRec> HistoryRecorder::disk_writes_of(BlockKey key) const {
   std::vector<DiskWriteRec> out;
-  for (const auto& w : disk_writes_) {
-    if (w.stamp.file == key.first && w.stamp.block == key.second) {
-      out.push_back(w);
-    }
+  const auto* idx = writes_by_block_.find(key);
+  if (idx == nullptr) return out;
+  out.reserve(idx->size());
+  for (std::uint32_t pos : *idx) {
+    out.push_back(disk_writes_[pos]);
   }
   return out;
 }
 
 std::uint64_t HistoryRecorder::disk_version_at(BlockKey key, sim::SimTime t) const {
-  std::uint64_t v = 0;
-  sim::SimTime latest{-1};
-  for (const auto& w : disk_writes_) {
-    if (w.stamp.file == key.first && w.stamp.block == key.second && w.at <= t && w.at >= latest) {
-      latest = w.at;
-      v = w.stamp.version;
-    }
-  }
-  return v;
+  const auto* idx = writes_by_block_.find(key);
+  if (idx == nullptr) return 0;
+  // Last position whose completion time is <= t; ties resolve to the later
+  // record, matching disk order.
+  auto it = std::upper_bound(idx->begin(), idx->end(), t,
+                             [&](sim::SimTime lhs, std::uint32_t pos) {
+                               return lhs < disk_writes_[pos].at;
+                             });
+  if (it == idx->begin()) return 0;
+  return disk_writes_[*std::prev(it)].stamp.version;
 }
 
 std::set<HistoryRecorder::BlockKey> HistoryRecorder::all_blocks() const {
   std::set<BlockKey> keys;
-  for (const auto& w : disk_writes_) {
-    keys.insert({w.stamp.file, w.stamp.block});
+  for (const auto& [key, idx] : writes_by_block_) {
+    keys.insert(key);
   }
   for (const auto& w : buffered_writes_) {
     keys.insert({w.stamp.file, w.stamp.block});
@@ -69,6 +79,7 @@ std::set<HistoryRecorder::BlockKey> HistoryRecorder::all_blocks() const {
 
 void HistoryRecorder::clear() {
   disk_writes_.clear();
+  writes_by_block_.clear();
   buffered_writes_.clear();
   reads_.clear();
   crashed_.clear();

@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/strong_id.hpp"
 #include "sim/time.hpp"
 #include "storage/io.hpp"
@@ -67,7 +68,7 @@ class HistoryRecorder {
   // Disk writes of one (file, block), in completion order.
   [[nodiscard]] std::vector<DiskWriteRec> disk_writes_of(BlockKey key) const;
   // Version of the last disk write to (file, block) completing at or before
-  // t; 0 if none.
+  // t; 0 if none. O(log writes-to-that-block) via the per-block index.
   [[nodiscard]] std::uint64_t disk_version_at(BlockKey key, sim::SimTime t) const;
   // All block keys that appear anywhere in the history.
   [[nodiscard]] std::set<BlockKey> all_blocks() const;
@@ -75,7 +76,19 @@ class HistoryRecorder {
   void clear();
 
  private:
+  struct BlockKeyHash {
+    std::size_t operator()(const BlockKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.first.value()) << 40) ^ k.second);
+    }
+  };
+
   std::vector<DiskWriteRec> disk_writes_;
+  // Per-block positions into disk_writes_, in completion order (the tap runs
+  // off engine events, so `at` is non-decreasing within each list). Checker
+  // queries are per block and per read; without this index each one rescans
+  // the whole history and the verified benches go quadratic.
+  FlatMap<BlockKey, std::vector<std::uint32_t>, BlockKeyHash> writes_by_block_;
   std::vector<BufferedWriteRec> buffered_writes_;
   std::vector<ReadRec> reads_;
   std::set<NodeId> crashed_;

@@ -1,0 +1,182 @@
+// FlatMap / FlatSet: insert/find/erase/rehash semantics with strong-ID keys,
+// cross-checked against std::unordered_map under randomized churn.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hpp"
+#include "common/strong_id.hpp"
+#include "sim/rng.hpp"
+
+namespace stank {
+namespace {
+
+TEST(FlatMapTest, EmptyMapBehaves) {
+  FlatMap<FileId, int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(FileId{1}), nullptr);
+  EXPECT_FALSE(m.contains(FileId{1}));
+  EXPECT_FALSE(m.erase(FileId{1}));
+  EXPECT_EQ(m.begin(), m.end());
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<FileId, int> m;
+  EXPECT_TRUE(m.insert(FileId{7}, 70));
+  EXPECT_TRUE(m.insert(FileId{8}, 80));
+  EXPECT_FALSE(m.insert(FileId{7}, 999)) << "duplicate insert must not overwrite";
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(FileId{7}), nullptr);
+  EXPECT_EQ(*m.find(FileId{7}), 70);
+  EXPECT_EQ(*m.find(FileId{8}), 80);
+  EXPECT_EQ(m.find(FileId{9}), nullptr);
+
+  EXPECT_TRUE(m.erase(FileId{7}));
+  EXPECT_FALSE(m.erase(FileId{7}));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(FileId{7}), nullptr);
+  EXPECT_EQ(*m.find(FileId{8}), 80);
+}
+
+TEST(FlatMapTest, SubscriptDefaultConstructsAndUpdates) {
+  FlatMap<NodeId, std::vector<int>> m;
+  m[NodeId{3}].push_back(1);
+  m[NodeId{3}].push_back(2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[NodeId{3}].size(), 2u);
+}
+
+TEST(FlatMapTest, IdKeySemanticsAreTyped) {
+  // Distinct StrongId types never collide in one table by construction; the
+  // value 5 as a FileId and as key 5 of another map are unrelated entries.
+  FlatMap<FileId, int> files;
+  FlatMap<NodeId, int> nodes;
+  files[FileId{5}] = 1;
+  nodes[NodeId{5}] = 2;
+  EXPECT_EQ(*files.find(FileId{5}), 1);
+  EXPECT_EQ(*nodes.find(NodeId{5}), 2);
+}
+
+TEST(FlatMapTest, GrowsThroughManyRehashes) {
+  FlatMap<FileId, std::uint32_t> m;
+  constexpr std::uint32_t kN = 10000;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    m[FileId{i}] = i * 3;
+  }
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_NE(m.find(FileId{i}), nullptr) << i;
+    EXPECT_EQ(*m.find(FileId{i}), i * 3);
+  }
+  // Load factor stays below 3/4 across every rehash.
+  EXPECT_GE(m.capacity(), kN * 4 / 3);
+}
+
+TEST(FlatMapTest, EraseKeepsProbeChainsIntact) {
+  // Sequential ids force adjacent buckets; erasing from the middle of a
+  // probe chain must not orphan later members (backward-shift correctness).
+  FlatMap<FileId, int> m;
+  for (std::uint32_t i = 0; i < 64; ++i) m[FileId{i}] = static_cast<int>(i);
+  for (std::uint32_t i = 0; i < 64; i += 2) EXPECT_TRUE(m.erase(FileId{i}));
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(m.find(FileId{i}), nullptr) << i;
+    } else {
+      ASSERT_NE(m.find(FileId{i}), nullptr) << i;
+      EXPECT_EQ(*m.find(FileId{i}), static_cast<int>(i));
+    }
+  }
+}
+
+TEST(FlatMapTest, IterationVisitsEachElementOnce) {
+  FlatMap<FileId, int> m;
+  for (std::uint32_t i = 1; i <= 50; ++i) m[FileId{i}] = 1;
+  std::unordered_map<std::uint32_t, int> seen;
+  for (auto& [key, value] : m) {
+    seen[key.value()] += value;
+  }
+  EXPECT_EQ(seen.size(), 50u);
+  for (const auto& [k, count] : seen) EXPECT_EQ(count, 1) << k;
+}
+
+TEST(FlatMapTest, CopyAndMove) {
+  FlatMap<FileId, int> m;
+  for (std::uint32_t i = 0; i < 20; ++i) m[FileId{i}] = static_cast<int>(i);
+  FlatMap<FileId, int> copy(m);
+  EXPECT_EQ(copy.size(), 20u);
+  EXPECT_EQ(*copy.find(FileId{7}), 7);
+  copy[FileId{7}] = 99;
+  EXPECT_EQ(*m.find(FileId{7}), 7) << "copy must not alias";
+
+  FlatMap<FileId, int> moved(std::move(m));
+  EXPECT_EQ(moved.size(), 20u);
+  EXPECT_EQ(*moved.find(FileId{7}), 7);
+}
+
+TEST(FlatMapTest, ClearReleasesEverything) {
+  FlatMap<FileId, int> m;
+  for (std::uint32_t i = 0; i < 100; ++i) m[FileId{i}] = 1;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), 0u);
+  EXPECT_EQ(m.find(FileId{5}), nullptr);
+  m[FileId{5}] = 2;  // usable again after clear
+  EXPECT_EQ(*m.find(FileId{5}), 2);
+}
+
+TEST(FlatMapTest, RandomizedChurnAgreesWithUnorderedMap) {
+  sim::Rng rng(1234);
+  FlatMap<FileId, std::uint64_t> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.uniform_int(0, 512));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        flat[FileId{k}] = step;
+        ref[k] = static_cast<std::uint64_t>(step);
+        break;
+      case 1: {
+        const bool a = flat.erase(FileId{k});
+        const bool b = ref.erase(k) > 0;
+        ASSERT_EQ(a, b) << "step " << step;
+        break;
+      }
+      default: {
+        const auto* v = flat.find(FileId{k});
+        auto it = ref.find(k);
+        ASSERT_EQ(v != nullptr, it != ref.end()) << "step " << step;
+        if (v != nullptr) {
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+}
+
+TEST(FlatSetTest, InsertEraseContains) {
+  FlatSet<NodeId> s;
+  EXPECT_TRUE(s.insert(NodeId{1}));
+  EXPECT_FALSE(s.insert(NodeId{1}));
+  EXPECT_TRUE(s.insert(NodeId{2}));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(NodeId{1}));
+  EXPECT_FALSE(s.contains(NodeId{3}));
+  EXPECT_TRUE(s.erase(NodeId{1}));
+  EXPECT_FALSE(s.erase(NodeId{1}));
+  EXPECT_FALSE(s.contains(NodeId{1}));
+
+  std::size_t visited = 0;
+  s.for_each([&](NodeId n) {
+    EXPECT_EQ(n, NodeId{2});
+    ++visited;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+}  // namespace
+}  // namespace stank

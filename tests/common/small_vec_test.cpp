@@ -1,0 +1,129 @@
+// SmallVec: inline-to-heap spill, erase semantics, and lifetime correctness
+// with a non-trivial element type.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/small_vec.hpp"
+
+namespace stank {
+namespace {
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, SpillsToHeapAndKeepsContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, NonTrivialElements) {
+  SmallVec<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back(std::string(100, 'x'));
+  v.emplace_back("gamma");  // forces the spill
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], std::string(100, 'x'));
+  EXPECT_EQ(v[2], "gamma");
+}
+
+TEST(SmallVecTest, EraseShiftsAndPreservesOrder) {
+  SmallVec<int, 8> v{0, 1, 2, 3, 4, 5};
+  v.erase(v.begin() + 2);  // drop 2
+  ASSERT_EQ(v.size(), 5u);
+  const int expect1[] = {0, 1, 3, 4, 5};
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], expect1[i]);
+
+  v.erase(v.begin(), v.begin() + 2);  // drop 0, 1
+  ASSERT_EQ(v.size(), 3u);
+  const int expect2[] = {3, 4, 5};
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], expect2[i]);
+}
+
+TEST(SmallVecTest, SwapEraseIsUnordered) {
+  SmallVec<int, 4> v{10, 20, 30, 40};
+  v.swap_erase(v.begin());  // 10 out, 40 takes its place
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 40);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v[2], 30);
+}
+
+TEST(SmallVecTest, MoveStealsHeapBuffer) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* heap = v.data();
+  SmallVec<int, 2> w(std::move(v));
+  EXPECT_EQ(w.data(), heap) << "move of a spilled vec must steal the buffer";
+  EXPECT_EQ(w.size(), 50u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): reset to empty
+  v.push_back(7);          // moved-from vec is reusable
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(SmallVecTest, MoveOfInlineVecCopiesElements) {
+  SmallVec<std::string, 4> v;
+  v.push_back("one");
+  v.push_back("two");
+  SmallVec<std::string, 4> w(std::move(v));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], "one");
+  EXPECT_EQ(w[1], "two");
+}
+
+TEST(SmallVecTest, CopyDoesNotAlias) {
+  SmallVec<int, 2> v{1, 2, 3};
+  SmallVec<int, 2> w(v);
+  w[0] = 99;
+  EXPECT_EQ(v[0], 1);
+  v = w;
+  EXPECT_EQ(v[0], 99);
+}
+
+TEST(SmallVecTest, MoveOnlyElements) {
+  SmallVec<std::unique_ptr<int>, 2> v;
+  v.emplace_back(std::make_unique<int>(1));
+  v.emplace_back(std::make_unique<int>(2));
+  v.emplace_back(std::make_unique<int>(3));  // spill with move-only T
+  EXPECT_EQ(*v[2], 3);
+  v.erase(v.begin());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(*v[0], 2);
+  EXPECT_EQ(*v[1], 3);
+}
+
+TEST(SmallVecTest, ResizeAndClear) {
+  SmallVec<int, 2> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVecTest, PopBackAndBack) {
+  SmallVec<int, 2> v{5, 6};
+  EXPECT_EQ(v.back(), 6);
+  EXPECT_EQ(v.front(), 5);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 5);
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+}
+
+}  // namespace
+}  // namespace stank

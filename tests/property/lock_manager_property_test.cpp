@@ -2,7 +2,9 @@
 // hold after every step, and a model of "who may hold what" must agree.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "server/lock_manager.hpp"
 #include "sim/rng.hpp"
@@ -74,6 +76,109 @@ TEST_P(LockManagerFuzz, GrantsAreAlwaysCompatibleWithHolders) {
               << protocol::to_string(mode);
         }
       }
+    }
+  }
+}
+
+// Model-based fuzz: a shadow FIFO queue per file plus brute-force recomputes
+// of the reverse index must agree with the lock manager after EVERY op,
+// including demand compliance (a holder answering demanded_mode() with the
+// prescribed downgrade).
+TEST_P(LockManagerFuzz, FifoQueueAndReverseIndexMatchModel) {
+  sim::Rng rng(GetParam() ^ 0x5EEDF00Du);
+  LockManager lm;
+  const int kClients = 5;
+  const int kFiles = 3;
+
+  auto client = [&](int i) { return NodeId{static_cast<std::uint32_t>(100 + i)}; };
+  auto file = [&](int i) { return FileId{static_cast<std::uint32_t>(1 + i)}; };
+
+  // Shadow model: the expected waiter queue of each file, in FIFO order.
+  std::map<FileId, std::vector<NodeId>> queue;
+
+  // Every grant pumped out of the table must come off the FRONT of its
+  // file's queue, in order — that IS the FIFO guarantee.
+  auto consume_grants = [&](const std::vector<LockManager::Grant>& grants) {
+    for (const auto& g : grants) {
+      auto& q = queue[g.file];
+      ASSERT_FALSE(q.empty()) << "grant to " << g.client << " with empty model queue";
+      ASSERT_EQ(q.front(), g.client) << "grant out of FIFO order on file " << g.file;
+      q.erase(q.begin());
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const NodeId c = client(static_cast<int>(rng.uniform_int(0, kClients - 1)));
+    const FileId f = file(static_cast<int>(rng.uniform_int(0, kFiles - 1)));
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {  // acquire
+        const LockMode m = rng.bernoulli(0.5) ? LockMode::kShared : LockMode::kExclusive;
+        auto res = lm.acquire(c, f, m);
+        if (res.outcome == LockManager::AcquireOutcome::kQueued) {
+          auto& q = queue[f];
+          if (std::find(q.begin(), q.end(), c) == q.end()) q.push_back(c);
+        }
+        break;
+      }
+      case 1: {  // voluntary release / downgrade
+        const LockMode m = rng.bernoulli(0.5) ? LockMode::kNone : LockMode::kShared;
+        auto upd = lm.set_mode(c, f, m);
+        consume_grants(upd.grants);
+        break;
+      }
+      case 2: {  // demand compliance: downgrade exactly as far as demanded
+        if (auto dm = lm.demanded_mode(c, f)) {
+          auto upd = lm.set_mode(c, f, *dm);
+          consume_grants(upd.grants);
+        }
+        break;
+      }
+      case 3: {  // cancel a queued request
+        auto& q = queue[f];
+        q.erase(std::remove(q.begin(), q.end(), c), q.end());
+        auto upd = lm.cancel_waiter(c, f);
+        consume_grants(upd.grants);
+        break;
+      }
+      default: {  // steal: the client vanishes from every queue, then pumps
+        for (auto& [qf, q] : queue) {
+          q.erase(std::remove(q.begin(), q.end(), c), q.end());
+        }
+        auto res = lm.steal_all(c);
+        consume_grants(res.update.grants);
+        break;
+      }
+    }
+
+    ASSERT_TRUE(lm.invariants_hold()) << "seed " << GetParam() << " step " << step;
+
+    // The real queues must equal the model, entry for entry.
+    std::size_t live_files = 0;
+    for (int fi = 0; fi < kFiles; ++fi) {
+      const FileId ff = file(fi);
+      const auto ws = lm.waiters_of(ff);
+      const auto& q = queue[ff];
+      ASSERT_EQ(ws.size(), q.size()) << "file " << ff << " step " << step;
+      for (std::size_t i = 0; i < ws.size(); ++i) {
+        ASSERT_EQ(ws[i].client, q[i]) << "file " << ff << " pos " << i;
+      }
+      if (!lm.holders(ff).empty() || !ws.empty()) ++live_files;
+    }
+    // gc left no empty records behind.
+    ASSERT_EQ(lm.held_files(), live_files) << "step " << step;
+
+    // Reverse index vs a brute-force recomputation over the whole table.
+    for (int ci = 0; ci < kClients; ++ci) {
+      const NodeId cc = client(ci);
+      std::vector<FileId> expect;
+      for (int fi = 0; fi < kFiles; ++fi) {
+        const FileId ff = file(fi);
+        for (const auto& [h, m] : lm.holders(ff)) {
+          if (h == cc) expect.push_back(ff);
+        }
+      }
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(lm.files_of(cc), expect) << "client " << cc << " step " << step;
     }
   }
 }

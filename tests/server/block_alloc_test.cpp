@@ -101,6 +101,31 @@ TEST(BlockAllocatorDeathTest, ForeignDiskExtentRejected) {
   EXPECT_DEATH(a.release({protocol::Extent{DiskId{2}, 0, 5}}), "different disk");
 }
 
+TEST(BlockAllocator, CheckerboardReleaseCoalescesBothNeighbours) {
+  // Carve the whole disk into 64 one-block extents, free the even-indexed
+  // ones (maximal fragmentation: 32 isolated runs), then free the odd ones.
+  // Each odd release is flanked by free runs on BOTH sides, so it must merge
+  // left and right in a single call; any missed merge leaves >1 run behind.
+  constexpr std::uint64_t kBlocks = 64;
+  BlockAllocator a(DiskId{1}, kBlocks);
+  std::vector<std::vector<protocol::Extent>> singles;
+  for (std::uint64_t i = 0; i < kBlocks; ++i) {
+    auto r = a.allocate(1);
+    ASSERT_TRUE(r.ok());
+    singles.push_back(std::move(r).value());
+  }
+  EXPECT_EQ(a.free_blocks(), 0u);
+  for (std::uint64_t i = 0; i < kBlocks; i += 2) a.release(singles[i]);
+  EXPECT_EQ(a.free_runs(), kBlocks / 2);
+  ASSERT_TRUE(a.invariants_hold());
+  for (std::uint64_t i = 1; i < kBlocks; i += 2) {
+    a.release(singles[i]);
+    ASSERT_TRUE(a.invariants_hold()) << "after releasing block " << i;
+  }
+  EXPECT_EQ(a.free_blocks(), kBlocks);
+  EXPECT_EQ(a.free_runs(), 1u);  // one fully coalesced run, no fragmentation
+}
+
 TEST(BlockAllocator, RandomAllocFreeKeepsInvariants) {
   sim::Rng rng(77);
   BlockAllocator a(DiskId{1}, 4096);
