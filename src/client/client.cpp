@@ -108,6 +108,15 @@ void Client::build_lease_machinery() {
         handle_lease_expired();
       };
       hooks.phase_changed = [this](core::LeasePhase from, core::LeasePhase to) {
+        if (static_cast<int>(from) >= static_cast<int>(core::LeasePhase::kSuspect) &&
+            (to == core::LeasePhase::kActive || to == core::LeasePhase::kRenewal)) {
+          // A keep-alive probe rescued an un-NACKed ride-down: the lease is
+          // valid again and quiesce is over.
+          if (registered_ && !crashed_) {
+            accepting_ = true;
+            this->trace("lease", "rescued: service resumed");
+          }
+        }
         if (on_phase_change) on_phase_change(from, to);
       };
       agent_ = std::make_unique<core::ClientLeaseAgent>(clock_, cfg_.lease, std::move(hooks));
@@ -131,6 +140,7 @@ void Client::build_lease_machinery() {
         auto it = files_.find(file);
         if (it != files_.end()) {
           it->second.mode = LockMode::kNone;
+          ++it->second.mode_seq;
           it->second.pending_mode = LockMode::kNone;
         }
         fail_lock_waits(file, ErrorCode::kLeaseExpired);
@@ -254,19 +264,36 @@ void Client::register_with_server() {
         transport_.set_epoch(rep->epoch);
         const bool server_restarted =
             server_incarnation_ != 0 && rep->incarnation != server_incarnation_;
-        // If we still hold locks and a live lease across a server restart,
-        // this is the reassertion path (section 6) — state is preserved.
+        // ANY re-registration means the server had no session for us — it
+        // restarted, or it declared us failed and stole our locks. Either
+        // way every lock we think we hold must be re-verified (section 6):
+        // reassert_locks() confirms each with the server and drops the ones
+        // it refuses. Re-registering and silently keeping the old lock
+        // table would serve stale cache under locks granted elsewhere.
+        const bool re_registration = server_incarnation_ != 0;
         const bool can_reassert =
-            server_restarted && (agent_ == nullptr || agent_->lease_valid());
+            re_registration && (agent_ == nullptr || agent_->lease_valid());
         server_incarnation_ = rep->incarnation;
         registered_ = true;
-        accepting_ = true;
         if (agent_) {
-          if (agent_->lease_valid()) {
+          if (agent_->lease_valid() && !agent_->nack_latched()) {
             agent_->renew(ev.first_send);
           } else {
+            // NACK-latched or expired: the successful registration opened a
+            // FRESH contract (new epoch at the server), so the old lease's
+            // quiesce discipline no longer applies. renew() would refuse
+            // while latched and the client would expire moments after
+            // resuming service, dropping writes accepted in the window.
+            // Anchor the new lease at the RegisterReq's first send (t_C1).
             agent_->restart(ev.first_send);
           }
+          // A retried RegisterReq can anchor so far back that the lease is
+          // already in ride-down; resuming service then would buffer dirty
+          // data inside the flush window and lose it at expiry. Stay
+          // quiesced — the keep-alive probe re-opens service on rescue.
+          accepting_ = agent_->fs_ops_allowed();
+        } else {
+          accepting_ = true;
         }
         if (hb_sched_) {
           if (hb_sched_->running()) hb_sched_->stop();
@@ -277,11 +304,12 @@ void Client::register_with_server() {
         });
         if (can_reassert) {
           reassert_locks();
-        } else if (server_restarted) {
-          // Too late to reassert safely: drop everything. The new
-          // incarnation also numbers generations from scratch.
+        } else if (re_registration) {
+          // Lease not even valid: too late to reassert safely — drop
+          // everything. A new incarnation also numbers generations from
+          // scratch.
           invalidate_everything();
-          reset_lock_generations();
+          if (server_restarted) reset_lock_generations();
         }
         if (on_registered) on_registered();
         return;
@@ -309,6 +337,7 @@ void Client::handle_stale_session() {
   // SERVER; our contract (and dirty data) remain valid while the lease
   // lives. Outstanding requests will fail; the workload retries.
   transport_.abandon_pending();
+  abort_size_rounds(ErrorCode::kStaleSession);
   register_with_server();
   schedule_register_retry();
 }
@@ -350,6 +379,7 @@ void Client::reassert_locks() {
                       [&] { return sim::cat("reassert FAILED for ", file_id.value()); });
           cache_.invalidate_file(file_id);
           fit->second.mode = LockMode::kNone;
+          ++fit->second.mode_seq;
         });
   }
 }
@@ -361,6 +391,7 @@ void Client::handle_lease_expired() {
   registered_ = false;
   accepting_ = false;
   transport_.abandon_pending();
+  abort_size_rounds(ErrorCode::kLeaseExpired);
   fail_all_lock_waits(ErrorCode::kLeaseExpired);
   invalidate_everything();
   if (hb_sched_ && hb_sched_->running()) hb_sched_->stop();
@@ -376,6 +407,7 @@ void Client::invalidate_everything() {
   cache_.invalidate_all();
   for (auto& [file, fs] : files_) {
     fs.mode = LockMode::kNone;
+    ++fs.mode_seq;
     fs.pending_mode = LockMode::kNone;
     fs.revoking = false;
     fs.revoke_target = LockMode::kNone;
@@ -621,15 +653,29 @@ void Client::write(Fd fd, std::uint64_t offset, Bytes data, std::function<void(S
                   return;
                 }
                 FileState& fs2 = state_for(file);
+                const std::uint64_t seq = fs2.mode_seq;
                 const std::uint64_t end = offset + data.size();
                 ensure_size(fs2, end,
-                            [this, file, offset, data = std::move(data),
+                            [this, file, offset, seq, data = std::move(data),
                              cb = std::move(cb)](Status st2) mutable {
                               if (!st2.is_ok()) {
                                 cb(st2);
                                 return;
                               }
-                              write_direct(state_for(file), offset, std::move(data),
+                              // The size round crossed the control net; the
+                              // exclusive lock may have been revoked (demand,
+                              // lease ride-down) and even re-granted under it.
+                              // Buffering now would dirty the cache under a
+                              // serialization this write was not issued in —
+                              // fail and let the caller retry afresh.
+                              auto fit = files_.find(file);
+                              if (fit == files_.end() || fit->second.mode_seq != seq ||
+                                  fit->second.mode != LockMode::kExclusive ||
+                                  fit->second.revoking) {
+                                cb(Status{ErrorCode::kLockConflict});
+                                return;
+                              }
+                              write_direct(fit->second, offset, std::move(data),
                                            std::move(cb));
                             });
               });
@@ -681,6 +727,7 @@ void Client::release(Fd fd, protocol::LockMode downgrade_to, std::function<void(
     }
     FileState& fs2 = fit->second;
     fs2.mode = downgrade_to;
+    ++fs2.mode_seq;
     if (downgrade_to == LockMode::kNone) {
       cache_.invalidate_file(file);
       if (v_sched_) v_sched_->object_released(file);
@@ -744,6 +791,7 @@ void Client::ensure_lock(FileId file, LockMode mode, std::function<void(Status)>
       !v_sched_->object_valid(file, clock_.now())) {
     cache_.invalidate_file(file);
     fs.mode = LockMode::kNone;
+    ++fs.mode_seq;
   }
   // An exclusive request must not overtake an in-progress revocation: a page
   // dirtied between the revocation flush and the downgrade would survive
@@ -822,6 +870,7 @@ void Client::apply_grant(FileId file, LockMode mode, std::uint32_t gen) {
   }
   fs.lock_gen = gen;
   fs.mode = mode;
+  ++fs.mode_seq;
   if (mode_leq(fs.pending_mode, mode)) {
     fs.pending_mode = LockMode::kNone;
   }
@@ -980,6 +1029,7 @@ void Client::finish_demand(FileId file) {
   const std::uint32_t gen = fs.lock_gen;
   if (!mode_leq(fs.mode, target)) {
     fs.mode = target;
+    ++fs.mode_seq;
     if (target == LockMode::kNone) {
       // Relinquishing entirely: the cache contents are no longer protected.
       cache_.invalidate_file(file);
@@ -996,33 +1046,94 @@ void Client::finish_demand(FileId file) {
 // Size management
 
 void Client::ensure_size(FileState& fs, std::uint64_t min_size, std::function<void(Status)> cb) {
-  if (fs.attr_known && fs.attr.size >= min_size) {
+  // Fast path only when nothing is queued: letting a fresh write skip past
+  // waiters parked behind an in-flight round would buffer it ahead of writes
+  // that drew earlier versions under the same lock.
+  if (fs.attr_known && fs.attr.size >= min_size && fs.size_waiters.empty() &&
+      !fs.size_round_inflight) {
     cb(Status::ok());
     return;
   }
-  const FileId file = fs.file;
+  fs.size_waiters.push_back(FileState::SizeWait{min_size, std::move(cb)});
+  if (!fs.size_round_inflight) {
+    pump_size_round(fs.file);
+  }
+}
+
+void Client::pump_size_round(FileId file) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) return;
+  FileState& fs = fit->second;
+  if (fs.size_waiters.empty()) {
+    fs.size_round_inflight = false;
+    return;
+  }
+  fs.size_round_inflight = true;
+  std::uint64_t want = 0;
+  for (const auto& w : fs.size_waiters) {
+    want = std::max(want, w.min_size);
+  }
   transport_.send_request(
-      protocol::SetSizeReq{file, min_size, /*truncate=*/false},
-      [this, file, cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+      protocol::SetSizeReq{file, want, /*truncate=*/false},
+      [this, file](const protocol::ReplyEvent& ev) {
+        auto fit2 = files_.find(file);
+        if (fit2 == files_.end()) return;
+        FileState& fs2 = fit2->second;
+        fs2.size_round_inflight = false;
+
+        Status st = Status::ok();
         if (ev.outcome != protocol::ReplyOutcome::kAck) {
-          cb(Status{ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
-                                                                : ErrorCode::kTimeout});
-          return;
-        }
-        if (const auto* rep = std::get_if<protocol::AttrReply>(&ev.body)) {
-          FileState& fs2 = state_for(file);
+          st = Status{ev.outcome == protocol::ReplyOutcome::kNack ? ErrorCode::kNacked
+                                                                  : ErrorCode::kTimeout};
+        } else if (const auto* rep = std::get_if<protocol::AttrReply>(&ev.body)) {
           fs2.attr = rep->attr;
           fs2.extents = rep->extents;
           fs2.attr_known = true;
+        } else if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
+          st = Status{err->code};
+        } else {
+          st = Status{ErrorCode::kInvalidArgument};
+        }
+
+        if (!st.is_ok()) {
+          auto waiters = std::move(fs2.size_waiters);
+          fs2.size_waiters.clear();
+          for (auto& w : waiters) {
+            w.cb(st);
+          }
+          pump_size_round(file);  // arrivals queued by the callbacks
+          return;
+        }
+        // Serve the satisfied prefix strictly in arrival order; a waiter
+        // queued mid-flight may need a bigger size and starts a new round.
+        while (true) {
+          auto fit3 = files_.find(file);
+          if (fit3 == files_.end()) return;
+          FileState& fs3 = fit3->second;
+          if (fs3.size_waiters.empty() || !fs3.attr_known ||
+              fs3.attr.size < fs3.size_waiters.front().min_size) {
+            break;
+          }
+          auto cb = std::move(fs3.size_waiters.front().cb);
+          fs3.size_waiters.erase(fs3.size_waiters.begin());
           cb(Status::ok());
-          return;
         }
-        if (const auto* err = std::get_if<protocol::ErrReply>(&ev.body)) {
-          cb(Status{err->code});
-          return;
-        }
-        cb(Status{ErrorCode::kInvalidArgument});
+        pump_size_round(file);
       });
+}
+
+void Client::abort_size_rounds(ErrorCode why) {
+  std::vector<std::function<void(Status)>> cbs;
+  for (auto& [file, fs] : files_) {
+    for (auto& w : fs.size_waiters) {
+      cbs.push_back(std::move(w.cb));
+    }
+    fs.size_waiters.clear();
+    fs.size_round_inflight = false;
+  }
+  for (auto& cb : cbs) {
+    cb(Status{why});
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1154,13 +1265,22 @@ void Client::write_direct(FileState& fs, std::uint64_t offset, Bytes data,
     // Partial write of an uncached block: read-modify-write. Counted as an
     // in-flight write so a concurrent lock demand waits for it.
     ++fs.writes_in_flight;
-    fetch_block(fs, s.file_block, [this, file, s, shared_data, fan](Result<Bytes> res) {
+    const std::uint64_t seq = fs.mode_seq;
+    fetch_block(fs, s.file_block, [this, file, s, seq, shared_data, fan](Result<Bytes> res) {
       auto fit2 = files_.find(file);
       if (fit2 != files_.end() && fit2->second.writes_in_flight > 0) {
         --fit2->second.writes_in_flight;
       }
       if (!res.ok()) {
         fan->complete(Status{res.error()});
+        return;
+      }
+      // Demands wait on writes_in_flight, but a lease ride-down does not:
+      // if the lock changed while the fill was in flight, the dirty put
+      // would outlive its serialization.
+      if (fit2 == files_.end() || fit2->second.mode_seq != seq ||
+          fit2->second.mode != LockMode::kExclusive) {
+        fan->complete(Status{ErrorCode::kLockConflict});
         return;
       }
       Bytes block = std::move(res).value();

@@ -120,6 +120,7 @@ class Client {
   [[nodiscard]] bool registered() const { return registered_; }
   [[nodiscard]] bool accepting() const { return accepting_; }
   [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::size_t dirty_pages() const { return cache_.dirty_count(); }
   [[nodiscard]] core::LeasePhase lease_phase() const;
   [[nodiscard]] metrics::Counters& counters() { return counters_; }
   [[nodiscard]] const metrics::Counters& counters() const { return counters_; }
@@ -145,6 +146,10 @@ class Client {
     protocol::LockMode mode{protocol::LockMode::kNone};
     // Generation of the grant `mode` came from (see protocol/messages.hpp).
     std::uint32_t lock_gen{0};
+    // Bumped on every transition of `mode`. Generations identify steals, not
+    // transfers, so async ops capture this instead to detect that the lock
+    // they were issued under survived an intervening control-net round.
+    std::uint64_t mode_seq{0};
     // Strongest mode requested from the server and not yet resolved.
     protocol::LockMode pending_mode{protocol::LockMode::kNone};
     // A lock demand is being processed (flush in progress): new exclusive
@@ -162,6 +167,15 @@ class Client {
     std::uint32_t open_count{0};
     sim::LocalTime last_validate{};  // NFS mode
     bool attr_known{false};
+    // Size/attr rounds are serialized per file and their waiters served in
+    // arrival order: two concurrent writes racing independent rounds through
+    // a reordering network would apply to the page cache out of issue order.
+    struct SizeWait {
+      std::uint64_t min_size{0};
+      std::function<void(Status)> cb;
+    };
+    std::vector<SizeWait> size_waiters;
+    bool size_round_inflight{false};
   };
   struct LockWait {
     protocol::LockMode mode;
@@ -205,6 +219,12 @@ class Client {
 
   // Data path.
   void ensure_size(FileState& fs, std::uint64_t min_size, std::function<void(Status)> cb);
+  // Starts the next size round for `file` if waiters are queued and no round
+  // is in flight; completion serves every waiter the result covers, in order.
+  void pump_size_round(FileId file);
+  // Fails every queued size waiter (all files) with `why`; used when pending
+  // transport requests are abandoned, which silently drops their handlers.
+  void abort_size_rounds(ErrorCode why);
   void read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
                    std::function<void(Result<Bytes>)> cb);
   void write_direct(FileState& fs, std::uint64_t offset, Bytes data,

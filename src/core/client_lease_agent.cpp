@@ -37,13 +37,17 @@ void ClientLeaseAgent::restart(sim::LocalTime t_c1) {
 }
 
 void ClientLeaseAgent::renew(sim::LocalTime t_c1) {
-  if (phase_ != LeasePhase::kActive && phase_ != LeasePhase::kRenewal) {
-    // Suspect/flushing/expired: the lease is being ridden down; a stray ACK
-    // (e.g. a cached server reply) must not resurrect it. NoLease: the
-    // owning client calls restart() explicitly on registration.
+  if (phase_ == LeasePhase::kNoLease || phase_ == LeasePhase::kExpired) {
+    // NoLease: the owning client calls restart() explicitly on registration.
+    // Expired: the lease contract has lapsed; only re-registration revives it.
     return;
   }
   if (nack_latched_) {
+    // A NACK means the server has disavowed us: the ride-down must complete
+    // and a stray ACK (e.g. a cached server reply) must not resurrect the
+    // lease. Without a NACK, suspect/flush were entered purely on local
+    // timeout, and an ACK anchored at t_c1 proves the server heard us then —
+    // the theorem 3.1 argument covers the extension regardless of phase.
     return;
   }
   if (t_c1 <= lease_start_) {
@@ -66,6 +70,11 @@ void ClientLeaseAgent::on_nack() {
     // the lease interval directly."
     cancel_timers();
     arm_boundary_timer();
+  } else if (keepalive_timer_ != 0) {
+    // Already riding down on timeout and still probing for a rescue: the
+    // NACK ends that — renewal is disabled until restart().
+    clock_->cancel(keepalive_timer_);
+    keepalive_timer_ = 0;
   }
 }
 
@@ -134,7 +143,9 @@ void ClientLeaseAgent::enter(LeasePhase p) {
     hooks_.phase_changed(old, p);
   }
 
-  // Keep-alives run only inside phase 2.
+  // Keep-alives run from phase 2 until the ride-down is latched: a suspect
+  // or flushing client that has NOT been NACKed keeps trying to renew, and a
+  // late ACK rescues the lease (see renew()).
   if (keepalive_timer_ != 0) {
     clock_->cancel(keepalive_timer_);
     keepalive_timer_ = 0;
@@ -149,9 +160,11 @@ void ClientLeaseAgent::enter(LeasePhase p) {
       break;
     case LeasePhase::kSuspect:
       if (hooks_.quiesce) hooks_.quiesce();
+      if (!nack_latched_) keepalive_tick();
       break;
     case LeasePhase::kFlush:
       if (hooks_.flush) hooks_.flush();
+      if (!nack_latched_) keepalive_tick();
       break;
     case LeasePhase::kExpired:
       ++expiries_;
@@ -161,7 +174,11 @@ void ClientLeaseAgent::enter(LeasePhase p) {
 }
 
 void ClientLeaseAgent::keepalive_tick() {
-  if (phase_ != LeasePhase::kRenewal) {
+  const bool renewing = phase_ == LeasePhase::kRenewal;
+  const bool riding_down_unlatched =
+      (phase_ == LeasePhase::kSuspect || phase_ == LeasePhase::kFlush) &&
+      !nack_latched_;
+  if (!renewing && !riding_down_unlatched) {
     return;
   }
   ++keepalives_sent_;

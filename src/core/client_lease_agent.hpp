@@ -9,7 +9,10 @@
 //
 // A NACK from the server (section 3.3) means the client missed a message:
 // it skips straight to phase 3, stops trying to renew, and rides the
-// remaining phases into recovery.
+// remaining phases into recovery. Suspect/flush entered purely on local
+// timeout are NOT latched: the client keeps probing with keep-alives, and a
+// late ACK rescues the lease (the theorem 3.1 bound on the extension holds
+// regardless of which phase the ACK lands in).
 //
 // All times are measured on the client's own clock; the agent never sees
 // global simulation time.
@@ -69,8 +72,10 @@ class ClientLeaseAgent {
   // Opportunistic renewal (section 3.1): an ACK arrived for a request whose
   // first transmission left at t_c1 (client clock). The new lease covers
   // [t_c1, t_c1 + tau) — measured from the SEND, not the ACK receipt.
-  // Ignored while suspect/flushing/expired: a client that knows it missed a
-  // message "forgoes sending messages to acquire a lease".
+  // Ignored while expired, and while NACK-latched: a client that knows it
+  // missed a message "forgoes sending messages to acquire a lease". An
+  // un-latched suspect/flush (entered on timeout alone) IS renewable — the
+  // ACK proves the server heard us at t_c1 and the safety bound carries.
   void renew(sim::LocalTime t_c1);
 
   // The server NACKed one of our requests: jump directly to phase 3.
@@ -101,6 +106,7 @@ class ClientLeaseAgent {
   [[nodiscard]] std::uint64_t keepalives_sent() const { return keepalives_sent_; }
   [[nodiscard]] std::uint64_t expiries() const { return expiries_; }
   [[nodiscard]] std::uint64_t nacks_seen() const { return nacks_seen_; }
+  [[nodiscard]] bool nack_latched() const { return nack_latched_; }
 
   [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
 

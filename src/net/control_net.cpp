@@ -35,14 +35,51 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
     ++stats_.dropped_partition;
     return;
   }
+
+  // Gilbert–Elliott burst loss: step the chain once per send, then apply the
+  // bad-state loss. The chain steps even for packets independent loss would
+  // later eat, so the burst pattern is a property of the channel, not of the
+  // surviving traffic.
+  if (cfg_.ge_good_to_bad > 0.0) {
+    if (!ge_bad_) {
+      if (rng_.bernoulli(cfg_.ge_good_to_bad)) {
+        ge_bad_ = true;
+        ++stats_.burst_episodes;
+      }
+    } else if (rng_.bernoulli(cfg_.ge_bad_to_good)) {
+      ge_bad_ = false;
+    }
+    if (ge_bad_ && rng_.bernoulli(cfg_.burst_loss)) {
+      ++stats_.dropped_burst;
+      return;
+    }
+  }
+
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
     ++stats_.dropped_random;
     return;
   }
 
+  // Duplication: geometric number of extra copies (a duplicated copy can
+  // itself be duplicated, as in a routing loop), each with its own latency.
+  while (cfg_.dup_probability > 0.0 && rng_.bernoulli(cfg_.dup_probability)) {
+    ++stats_.duplicated;
+    deliver_copy(from, to, datagram);  // copies the buffer
+  }
+  deliver_copy(from, to, std::move(datagram));
+}
+
+void ControlNet::deliver_copy(NodeId from, NodeId to, Bytes datagram) {
   sim::Duration delay = cfg_.latency;
   if (cfg_.jitter.ns > 0) {
     delay += sim::Duration{rng_.uniform_int(0, cfg_.jitter.ns)};
+  }
+  if (cfg_.reorder_probability > 0.0 && cfg_.reorder_spike.ns > 0 &&
+      rng_.bernoulli(cfg_.reorder_probability)) {
+    // An independent spike this copy alone suffers: everything sent after it
+    // with the base delay arrives first.
+    delay += sim::Duration{rng_.uniform_int(0, cfg_.reorder_spike.ns)};
+    ++stats_.reordered;
   }
 
   engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() mutable {

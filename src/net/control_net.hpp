@@ -7,6 +7,19 @@
 // Reachability relation models arbitrary — including asymmetric — partitions.
 // A packet must be deliverable both when it is sent and when it arrives;
 // a partition that forms mid-flight eats it.
+//
+// Beyond independent loss, the fabric models the full misbehaviour a
+// datagram network is allowed (and the protocol's dedup/epoch machinery was
+// written for):
+//  * duplication   — a sent datagram is delivered more than once, each copy
+//                    with its own sampled latency;
+//  * reordering    — an independent per-datagram delay spike violates FIFO:
+//                    later sends overtake the spiked packet;
+//  * bursty loss   — a two-state Gilbert–Elliott chain (good/bad channel)
+//                    drops runs of consecutive packets, the pattern real
+//                    congestion produces and independent loss cannot.
+// All of it is driven by the net's own forked sim RNG, so a seed reproduces
+// the identical delivery schedule.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +38,30 @@ struct NetConfig {
   sim::Duration latency{sim::micros(200)};  // one-way base latency
   sim::Duration jitter{sim::micros(50)};    // uniform extra in [0, jitter]
   double drop_probability{0.0};             // random loss, independent per datagram
+
+  // Duplication: each surviving datagram spawns an extra copy with this
+  // probability (the copy may itself duplicate again — a geometric tail,
+  // like a routing loop). Each copy samples its own latency.
+  double dup_probability{0.0};
+
+  // Reordering: with this probability a datagram's delivery is delayed by an
+  // extra uniform spike in [0, reorder_spike] on top of latency+jitter.
+  // Because every other packet keeps the base delay, a spiked packet is
+  // overtaken — FIFO is violated, not merely jittered.
+  double reorder_probability{0.0};
+  sim::Duration reorder_spike{sim::millis(5)};
+
+  // Bursty loss: two-state Gilbert–Elliott channel. The chain steps once per
+  // send; in the bad state packets drop with burst_loss probability.
+  // ge_good_to_bad == 0 disables the model entirely.
+  double ge_good_to_bad{0.0};   // P(good -> bad) per datagram
+  double ge_bad_to_good{0.1};   // P(bad -> good) per datagram
+  double burst_loss{1.0};       // loss probability while in the bad state
+
+  // True if any of the adversarial knobs beyond drop+partition are active.
+  [[nodiscard]] bool adversarial() const {
+    return dup_probability > 0.0 || reorder_probability > 0.0 || ge_good_to_bad > 0.0;
+  }
 };
 
 struct NetStats {
@@ -32,7 +69,11 @@ struct NetStats {
   std::uint64_t delivered{0};
   std::uint64_t dropped_partition{0};
   std::uint64_t dropped_random{0};
+  std::uint64_t dropped_burst{0};
   std::uint64_t dropped_detached{0};
+  std::uint64_t duplicated{0};   // extra copies injected
+  std::uint64_t reordered{0};    // datagrams given a FIFO-violating spike
+  std::uint64_t burst_episodes{0};  // good->bad transitions of the GE chain
   std::uint64_t bytes{0};
 };
 
@@ -69,12 +110,15 @@ class ControlNet {
   [[nodiscard]] static std::uint64_t global_datagrams_sent();
 
  private:
+  void deliver_copy(NodeId from, NodeId to, Bytes datagram);
+
   sim::Engine* engine_;
   sim::Rng rng_;
   NetConfig cfg_;
   Reachability<NodeId> reach_;
   std::unordered_map<NodeId, Handler> handlers_;
   NetStats stats_;
+  bool ge_bad_{false};  // Gilbert–Elliott channel state (false = good)
 };
 
 }  // namespace stank::net

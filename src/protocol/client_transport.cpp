@@ -1,5 +1,6 @@
 #include "protocol/client_transport.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -43,6 +44,7 @@ MsgId ClientTransport::send_request(RequestBody body, ReplyHandler handler, bool
   p.first_send = clock_->now();
   p.lease_only = lease_only;
   p.epoch = epoch_;
+  p.session_gen = session_gen_;
   pending_.emplace(id, std::move(p));
   transmit(id);
   return id;
@@ -129,19 +131,31 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       Pending p = std::move(it->second);
       clock_->cancel(p.timer);
       pending_.erase(it);
-      // Opportunistic lease renewal fires before the handler so the handler
-      // observes a renewed lease.
-      if (on_ack) {
-        on_ack(p.first_send);
-      }
-      if (on_stale_session) {
-        if (const auto* body = std::get_if<ReplyBody>(&f.body)) {
-          if (const auto* err = std::get_if<ErrReply>(body)) {
-            if (err->code == ErrorCode::kStaleSession) {
-              on_stale_session();
-            }
-          }
+      // A kStaleSession error comes from a NEW server incarnation that holds
+      // no session — and no locks — for this client. It must be detected
+      // BEFORE the opportunistic renewal: extending the lease on its ACK
+      // would keep cached data live under locks the new server is free to
+      // grant elsewhere.
+      bool stale_session = false;
+      if (const auto* body = std::get_if<ReplyBody>(&f.body)) {
+        if (const auto* err = std::get_if<ErrReply>(body)) {
+          stale_session = err->code == ErrorCode::kStaleSession;
         }
+      }
+      // Session-level signals (stale-session teardown, lease renewal) are
+      // only meaningful for requests sent under the CURRENT registration.
+      // A delayed reply to a request from a prior session can carry the
+      // same epoch number (incarnations renumber from 1); tearing down or
+      // renewing on it would act on a contract that no longer exists.
+      const bool current_session = p.session_gen == session_gen_;
+      if (stale_session) {
+        if (current_session && on_stale_session) {
+          on_stale_session();
+        }
+      } else if (current_session && on_ack) {
+        // Opportunistic lease renewal fires before the handler so the
+        // handler observes a renewed lease.
+        on_ack(p.first_send);
       }
       ReplyEvent ev;
       ev.outcome = ReplyOutcome::kAck;
@@ -152,17 +166,27 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
     }
     case FrameKind::kNack: {
       auto it = pending_.find(f.msg_id);
-      // A NACK means the server is timing out our lease regardless of which
-      // request it answers.
-      if (on_nack) {
-        on_nack();
-      }
       if (it == pending_.end()) {
+        // Duplicated or delayed NACK for a request that no longer exists —
+        // possibly from before a crash/recovery. Acting on it would re-latch
+        // a freshly re-registered client into phase 3 forever.
+        return;
+      }
+      if (it->second.epoch != f.epoch) {
+        // NACK from a stale session (pre-recovery epoch): ignore, exactly
+        // like a stale ACK; retransmission/timeout resolves the request.
         return;
       }
       Pending p = std::move(it->second);
       clock_->cancel(p.timer);
       pending_.erase(it);
+      // A NACK means the server is timing out our lease regardless of which
+      // of our current-epoch requests it answers — but only if the request
+      // really belongs to the current registration (epoch numbers repeat
+      // across incarnations; session_gen does not).
+      if (p.session_gen == session_gen_ && on_nack) {
+        on_nack();
+      }
       ReplyEvent ev;
       ev.outcome = ReplyOutcome::kNack;
       ev.first_send = p.first_send;
@@ -197,12 +221,25 @@ void ClientTransport::note_server_msg(const Frame& f) {
   ++counters_->client_acks_sent;
   send_frame(server_, ack);
 
+  // Dedup = bounded window + monotone low-water mark, reset per epoch.
+  // Server msg ids are assigned monotonically at the sender, so an id at or
+  // below the highest id ever evicted from the window is a duplicate even
+  // after >reply_cache_size intervening messages pushed it out of the set —
+  // the hole a bounded window alone leaves open to late duplicates. (A
+  // genuinely fresh message could only be misjudged if reordering let
+  // reply_cache_size newer server msgs overtake it, far beyond any real
+  // spike; and the server's retry-then-suspect path bounds the damage to a
+  // delivery failure, never a safety violation.)
+  if (f.msg_id.value() <= seen_low_water_) {
+    return;  // duplicate from beyond the window: ACKed again, not re-delivered
+  }
   if (seen_server_msgs_.contains(f.msg_id)) {
     return;  // duplicate: ACKed again but not re-delivered
   }
   seen_server_msgs_.insert(f.msg_id);
   seen_order_.push_back(f.msg_id);
   while (seen_order_.size() > cfg_.reply_cache_size) {
+    seen_low_water_ = std::max(seen_low_water_, seen_order_.front().value());
     seen_server_msgs_.erase(seen_order_.front());
     seen_order_.pop_front();
   }

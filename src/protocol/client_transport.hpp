@@ -60,7 +60,21 @@ class ClientTransport {
   // accepts. Return false to drop silently (e.g. stale epoch, expired lease).
   std::function<bool(std::uint32_t epoch)> accept_server_msg;
 
-  void set_epoch(std::uint32_t e) { epoch_ = e; }
+  void set_epoch(std::uint32_t e) {
+    if (e != epoch_) {
+      // New session epoch: the server-msg dedup window is keyed per epoch.
+      // The new incarnation's id sequence is unrelated to the old one, so
+      // both the window and its low-water mark start over.
+      seen_server_msgs_.clear();
+      seen_order_.clear();
+      seen_low_water_ = 0;
+    }
+    // Always a new session: epoch NUMBERS collide across server
+    // incarnations (each numbers from 1), so requests are additionally
+    // stamped with a local generation that never repeats.
+    ++session_gen_;
+    epoch_ = e;
+  }
   [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] NodeId server() const { return server_; }
@@ -74,6 +88,7 @@ class ClientTransport {
     sim::TimerId timer{0};
     bool lease_only{false};
     std::uint32_t epoch{0};
+    std::uint64_t session_gen{0};
   };
 
   void transmit(MsgId id);
@@ -90,14 +105,22 @@ class ClientTransport {
   TransportConfig cfg_;
   Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   std::uint32_t epoch_{0};
+  // Bumped on every set_epoch(): distinguishes requests of the current
+  // registration from ones sent under an earlier session whose epoch NUMBER
+  // happens to repeat (incarnations each number epochs from 1).
+  std::uint64_t session_gen_{0};
   std::uint64_t next_msg_{1};
   bool started_{false};
 
   std::unordered_map<MsgId, Pending> pending_;
   // Recently seen server-msg ids, to suppress duplicate delivery while still
-  // re-ACKing (the ACK may have been lost).
+  // re-ACKing (the ACK may have been lost). The window is bounded
+  // (reply_cache_size); ids evicted from it are covered by the monotone
+  // low-water mark below, so a duplicate delayed past the window is still
+  // suppressed. Both reset when the epoch changes.
   std::unordered_set<MsgId> seen_server_msgs_;
   std::deque<MsgId> seen_order_;
+  std::uint64_t seen_low_water_{0};
 };
 
 }  // namespace stank::protocol

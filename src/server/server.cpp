@@ -263,6 +263,16 @@ void Server::handle_lock(NodeId client, const protocol::LockReq& req,
     r.ack(protocol::LockReply{false, req.mode, 0});
     return;
   }
+  if (outcome == LockManager::AcquireOutcome::kAlreadyHeld) {
+    // The holder asked for a mode no stronger than what it has — typically a
+    // reordered or retransmitted request overtaken by a stronger grant.
+    // Answer idempotently with the held mode under the CURRENT generation.
+    // Bumping here would let the reply masquerade as a newer, weaker grant
+    // and silently downgrade the client's stronger (possibly dirty) holding.
+    r.ack(protocol::LockReply{true, locks_.mode_of(client, req.file),
+                              lock_gen(client, req.file)});
+    return;
+  }
   ++counters_.lock_grants;
   // A fresh grant supersedes any outstanding demand against this client's
   // previous incarnation of the lock.

@@ -123,6 +123,7 @@ class Server {
   void crash();
   void restart();
   [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool in_grace() const;
 
   // Test/bench setup helper: creates a file and allocates blocks for `size`

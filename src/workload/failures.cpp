@@ -20,6 +20,7 @@ FailurePlan FailurePlan::random(sim::Rng& rng, const WorkloadSpec& spec, std::si
   if (mix.asymmetric_partitions) kinds.push_back(FailureKind::kCtrlSeverToServer);
   if (mix.crashes) kinds.push_back(FailureKind::kCrash);
   if (mix.san_partitions) kinds.push_back(FailureKind::kSanIsolate);
+  if (mix.server_restarts) kinds.push_back(FailureKind::kServerCrash);
 
   FailurePlan p;
   if (kinds.empty()) return p;
@@ -49,6 +50,13 @@ FailurePlan FailurePlan::random(sim::Rng& rng, const WorkloadSpec& spec, std::si
       case FailureKind::kSanIsolate:
         p.add(at, FailureKind::kSanIsolate, client);
         p.add(end, FailureKind::kSanHeal, client);
+        break;
+      case FailureKind::kServerCrash:
+        // Bound the downtime: past-horizon restarts would leave the whole
+        // installation dead through settle.
+        p.add(at, FailureKind::kServerCrash, 0);
+        p.add(std::min(at + 0.1 * spec.run_seconds + hold * 0.5, spec.run_seconds * 0.95),
+              FailureKind::kServerRestart, 0);
         break;
       default:
         break;

@@ -74,6 +74,10 @@ struct FailurePlan {
     bool asymmetric_partitions{true};
     bool crashes{true};
     bool san_partitions{false};
+    // Server crash + restart pairs (section 6 recovery under load). Off by
+    // default: benches written against the client-failure mix keep their
+    // event schedules.
+    bool server_restarts{false};
   };
 
   // `count` random failures over the middle of the run: partitions (healed

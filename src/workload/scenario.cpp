@@ -86,14 +86,19 @@ void Scenario::build() {
     ccfg.id = client_node(c);
     ccfg.server = server_node();
     ccfg.lease = cfg_.lease;
+    if (cfg_.client_tau.ns > 0) {
+      // Assumption-violation knob: the client's contract disagrees with the
+      // server's (see ScenarioConfig::client_tau).
+      ccfg.lease.tau = cfg_.client_tau;
+    }
     ccfg.strategy = cfg_.strategy;
     ccfg.coherence = cfg_.coherence;
     ccfg.data_path = cfg_.data_path;
     ccfg.transport = cfg_.transport;
     ccfg.block_size = cfg_.block_size;
     clients_.push_back(std::make_unique<client::Client>(
-        engine_, *net_, *san_, sim::LocalClock(draw_rate(false)), ccfg,
-        cfg_.enable_trace ? &trace_ : nullptr));
+        engine_, *net_, *san_, sim::LocalClock(draw_rate(false) * cfg_.client_rate_scale),
+        ccfg, cfg_.enable_trace ? &trace_ : nullptr));
   }
 
   drivers_.resize(clients_.size());
@@ -350,7 +355,11 @@ void Scenario::apply_failure(const FailureEvent& ev) {
       server_->crash();
       break;
     case FailureKind::kServerRestart:
-      server_->restart();
+      // Random plans can overlap crash/restart pairs; a restart that lands
+      // while the server is already up is a no-op, not an error.
+      if (!server_->started()) {
+        server_->restart();
+      }
       break;
   }
 }
@@ -392,13 +401,28 @@ ScenarioResult Scenario::finish() {
   // phase-4 flushes, steals) run its course.
   run_until_s(end_run + 0.7 * settle_seconds_);
 
-  // Phase B: final sync of every healthy client.
-  for (auto& cl : clients_) {
-    if (!cl->crashed() && cl->registered() && cl->accepting()) {
-      cl->sync_all([](Status) {});
+  // Phase B: sync sweeps until quiescent. A single final sync races with
+  // long-queued ops — a lock grant delayed past the sync can still complete
+  // a write and buffer dirty data with no flush opportunity left. Sweep
+  // instead, and end the run on a CLEAN check: the engine stops at that
+  // instant, so nothing can dirty a cache after the verdict. Ops still
+  // queued at the stop never buffered anything and are invisible to the
+  // checker. Grant up to one extra settle budget if dirt lingers.
+  const double hard_end = end_run + 2.0 * settle_seconds_;
+  bool clean = false;
+  while (!clean && now_s() < hard_end) {
+    for (auto& cl : clients_) {
+      if (!cl->crashed() && cl->registered() && cl->accepting() &&
+          cl->dirty_pages() > 0) {
+        cl->sync_all([](Status) {});
+      }
+    }
+    run_until_s(std::min(now_s() + 0.1 * settle_seconds_, hard_end));
+    clean = true;
+    for (auto& cl : clients_) {
+      if (!cl->crashed() && cl->dirty_pages() > 0) clean = false;
     }
   }
-  run_until_s(end_run + settle_seconds_);
 
   ScenarioResult r;
   r.violation_list = verify::ConsistencyChecker(history_).check_all();

@@ -53,6 +53,21 @@ struct ScenarioConfig {
   // +2 ideal (all clocks exactly rate 1 — for benches that compare local
   //    and global timestamps directly).
   int clock_skew_mode{0};
+
+  // --- Assumption-violation knobs (tools/fuzz_safety negative control) ----
+  // The paper's safety guarantee rests on two assumptions; these knobs break
+  // them on purpose so the checker's teeth can be demonstrated.
+  //
+  // Lease period the CLIENTS believe in (tau_c); 0 inherits lease.tau, which
+  // always remains the server's tau_s. Theorem 3.1 needs tau_c <= tau_s; a
+  // client trusting tau_c >= tau_s(1+eps) keeps serving its cache after the
+  // server has provably-expired the lease and stolen the locks.
+  sim::LocalDuration client_tau{sim::LocalDuration{0}};
+  // Multiplier applied to every client's drawn clock rate. 1.0 keeps all
+  // rates inside the legal band; values below 1/(1+eps) make client clocks
+  // run slower than rate synchronization allows, stretching tau_c in real
+  // time beyond what the server's tau_s(1+eps) wait covers.
+  double client_rate_scale{1.0};
 };
 
 struct ScenarioResult {

@@ -169,13 +169,46 @@ TEST(LeaseAgent, NackDisablesRenewal) {
   EXPECT_EQ(f.agent.phase(), LeasePhase::kSuspect);
 }
 
-TEST(LeaseAgent, RenewalIgnoredWhileSuspectOrFlushing) {
+// Suspect entered on local timeout alone (no NACK) is NOT latched: a late
+// ACK proves the server heard us at t_c1 and rescues the lease. Only a NACK
+// pins the ride-down (see NackDisablesRenewal).
+TEST(LeaseAgent, TimeoutSuspectRescuedByRenewal) {
   Fixture f;
   f.agent.restart(sim::LocalTime{0});
   f.run_to(7.6);  // phase 3 by timeout (no NACK)
   EXPECT_EQ(f.agent.phase(), LeasePhase::kSuspect);
   f.agent.renew(f.clock.now());
-  EXPECT_EQ(f.agent.renewals(), 0u);
+  EXPECT_EQ(f.agent.renewals(), 1u);
+  EXPECT_EQ(f.agent.phase(), LeasePhase::kActive);
+  EXPECT_TRUE(f.agent.fs_ops_allowed());
+}
+
+TEST(LeaseAgent, TimeoutFlushRescuedByRenewal) {
+  Fixture f;
+  f.agent.restart(sim::LocalTime{0});
+  f.run_to(8.6);  // phase 4 by timeout (no NACK)
+  EXPECT_EQ(f.agent.phase(), LeasePhase::kFlush);
+  f.agent.renew(f.clock.now());
+  EXPECT_EQ(f.agent.renewals(), 1u);
+  EXPECT_EQ(f.agent.phase(), LeasePhase::kActive);
+}
+
+// The rescue has teeth only if the client keeps probing: keep-alives must
+// continue through an un-latched ride-down and stop the moment a NACK lands.
+TEST(LeaseAgent, KeepalivesContinueThroughUnlatchedRideDown) {
+  Fixture f;
+  f.agent.restart(sim::LocalTime{0});
+  f.run_to(7.6);
+  EXPECT_EQ(f.agent.phase(), LeasePhase::kSuspect);
+  const int at_suspect = f.keepalives;
+  f.run_to(8.0);
+  EXPECT_GT(f.keepalives, at_suspect);  // still probing
+  f.agent.on_nack();
+  const int at_nack = f.keepalives;
+  f.run_to(8.4);
+  EXPECT_EQ(f.keepalives, at_nack);  // latched: probing stopped
+  f.agent.renew(f.clock.now());
+  EXPECT_EQ(f.agent.renewals(), 0u);  // and renewal refused
 }
 
 TEST(LeaseAgent, RestartAfterExpiryStartsFreshLease) {

@@ -109,5 +109,79 @@ TEST(ControlNet, StatsCountBytes) {
   EXPECT_EQ(f.net.stats().bytes, 15u);
 }
 
+TEST(ControlNet, DuplicationDeliversExtraCopiesAndCountsThem) {
+  NetConfig cfg{sim::micros(10), sim::Duration{0}, 0.0};
+  cfg.dup_probability = 0.5;
+  Fixture f(cfg);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    f.net.send(NodeId{1}, NodeId{2}, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  f.engine.run();
+  // Every original arrives plus the injected copies; the geometric tail
+  // around p=0.5 yields roughly one extra copy per original.
+  EXPECT_EQ(f.received_at_2.size(),
+            static_cast<std::size_t>(n) + f.net.stats().duplicated);
+  EXPECT_NEAR(static_cast<double>(f.net.stats().duplicated) / n, 1.0, 0.15);
+  EXPECT_EQ(f.net.stats().sent, static_cast<std::uint64_t>(n));
+}
+
+TEST(ControlNet, ReorderSpikeViolatesFifo) {
+  NetConfig cfg{sim::micros(10), sim::Duration{0}, 0.0};
+  cfg.reorder_probability = 0.3;
+  cfg.reorder_spike = sim::millis(2);
+  Fixture f(cfg);
+  std::vector<std::uint8_t> order;
+  f.net.attach(NodeId{2}, [&](NodeId, const Bytes& b) { order.push_back(b[0]); });
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    f.net.send(NodeId{1}, NodeId{2}, Bytes{static_cast<std::uint8_t>(i)});
+  }
+  f.engine.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));  // nothing lost
+  EXPECT_GT(f.net.stats().reordered, 0u);
+  // At least one later send overtook a spiked packet.
+  bool fifo_violated = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) fifo_violated = true;
+  }
+  EXPECT_TRUE(fifo_violated);
+}
+
+TEST(ControlNet, GilbertElliottDropsInBursts) {
+  NetConfig cfg{sim::micros(10), sim::Duration{0}, 0.0};
+  cfg.ge_good_to_bad = 0.05;
+  cfg.ge_bad_to_good = 0.2;
+  cfg.burst_loss = 1.0;
+  Fixture f(cfg);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    f.net.send(NodeId{1}, NodeId{2}, Bytes{static_cast<std::uint8_t>(i & 0xff)});
+  }
+  f.engine.run();
+  EXPECT_GT(f.net.stats().burst_episodes, 0u);
+  EXPECT_GT(f.net.stats().dropped_burst, 0u);
+  // Loss must come in RUNS: with burst_loss=1 a bad state of mean length 5,
+  // the drop count per episode averages well above independent loss.
+  const double per_episode = static_cast<double>(f.net.stats().dropped_burst) /
+                             static_cast<double>(f.net.stats().burst_episodes);
+  EXPECT_GT(per_episode, 2.0);
+  EXPECT_EQ(f.net.stats().delivered + f.net.stats().dropped_burst,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(ControlNet, AdversarialFlagReflectsKnobs) {
+  EXPECT_FALSE(NetConfig{}.adversarial());
+  NetConfig dup;
+  dup.dup_probability = 0.1;
+  EXPECT_TRUE(dup.adversarial());
+  NetConfig reo;
+  reo.reorder_probability = 0.1;
+  EXPECT_TRUE(reo.adversarial());
+  NetConfig ge;
+  ge.ge_good_to_bad = 0.01;
+  EXPECT_TRUE(ge.adversarial());
+}
+
 }  // namespace
 }  // namespace stank::net

@@ -243,5 +243,159 @@ TEST(ClientTransport, FirstSendPreservedAcrossRetransmissions) {
   EXPECT_EQ(got->first_send.ns, 0);
 }
 
+// Regression: a duplicated or delayed NACK whose msg_id matches no pending
+// request must not fire on_nack. Acting on it would re-latch a freshly
+// re-registered client into phase 3.
+TEST(ClientTransport, NackForUnknownRequestIgnored) {
+  Fixture f;
+  int nacks = 0;
+  f.transport.on_nack = [&]() { ++nacks; };
+  Frame nack;
+  nack.kind = FrameKind::kNack;
+  nack.sender = NodeId{1};
+  nack.msg_id = MsgId{999};  // never sent
+  nack.epoch = 0;
+  f.net.send(NodeId{1}, NodeId{100}, encode(nack));
+  f.engine.run();
+  EXPECT_EQ(nacks, 0);
+}
+
+// Regression: a NACK carrying a stale epoch (pre-recovery session) must be
+// dropped exactly like a stale ACK; the request resolves via retransmission
+// or timeout, and the lease agent is not poked.
+TEST(ClientTransport, StaleEpochNackIgnored) {
+  Fixture f;
+  f.transport.set_epoch(5);
+  int nacks = 0;
+  f.transport.on_nack = [&]() { ++nacks; };
+  std::optional<ReplyEvent> got;
+  f.transport.send_request(KeepAliveReq{}, [&](const ReplyEvent& ev) { got = ev; });
+  f.engine.run_until(sim::SimTime{} + sim::micros(150));
+  ASSERT_EQ(f.server_rx.size(), 1u);
+  Frame nack;
+  nack.kind = FrameKind::kNack;
+  nack.sender = NodeId{1};
+  nack.msg_id = f.server_rx[0].msg_id;
+  nack.epoch = 4;  // stale session
+  f.net.send(NodeId{1}, NodeId{100}, encode(nack));
+  f.engine.run();
+  EXPECT_EQ(nacks, 0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->outcome, ReplyOutcome::kTimeout);
+}
+
+// Regression: an ErrReply{kStaleSession} is an ACK at the frame level but
+// must NOT renew the lease — the answering server holds no session (and no
+// locks) for us. It fires the stale-session hook instead, and the handler
+// still sees the reply.
+TEST(ClientTransport, StaleSessionReplyDoesNotRenew) {
+  Fixture f;
+  int renews = 0;
+  int stale = 0;
+  f.transport.on_ack = [&](sim::LocalTime) { ++renews; };
+  f.transport.on_stale_session = [&]() { ++stale; };
+  std::optional<ReplyEvent> got;
+  f.transport.send_request(KeepAliveReq{}, [&](const ReplyEvent& ev) { got = ev; });
+  f.engine.run_until(sim::SimTime{} + sim::micros(150));
+  ASSERT_EQ(f.server_rx.size(), 1u);
+  Frame reply;
+  reply.kind = FrameKind::kAck;
+  reply.sender = NodeId{1};
+  reply.msg_id = f.server_rx[0].msg_id;
+  reply.epoch = 0;
+  reply.body = ReplyBody{ErrReply{ErrorCode::kStaleSession}};
+  f.net.send(NodeId{1}, NodeId{100}, encode(reply));
+  f.engine.run();
+  EXPECT_EQ(renews, 0);
+  EXPECT_EQ(stale, 1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->outcome, ReplyOutcome::kAck);
+}
+
+// Regression: epoch NUMBERS repeat across server incarnations (each numbers
+// from 1), so a numeric epoch match is not proof a reply belongs to the
+// current registration. A stale-session reply to a request sent under an
+// EARLIER session must not tear the fresh session down again.
+TEST(ClientTransport, StaleSessionFromPriorSessionIgnored) {
+  Fixture f;
+  f.transport.set_epoch(1);  // first registration
+  int stale = 0;
+  f.transport.on_stale_session = [&]() { ++stale; };
+  f.transport.send_request(KeepAliveReq{}, [](const ReplyEvent&) {});
+  f.engine.run_until(sim::SimTime{} + sim::micros(150));
+  ASSERT_EQ(f.server_rx.size(), 1u);
+  // Re-registration with a new incarnation that happens to hand out the
+  // same epoch number.
+  f.transport.set_epoch(1);
+  Frame reply;
+  reply.kind = FrameKind::kAck;
+  reply.sender = NodeId{1};
+  reply.msg_id = f.server_rx[0].msg_id;
+  reply.epoch = 1;  // numerically current, but the request predates the session
+  reply.body = ReplyBody{ErrReply{ErrorCode::kStaleSession}};
+  f.net.send(NodeId{1}, NodeId{100}, encode(reply));
+  f.engine.run();
+  EXPECT_EQ(stale, 0);
+}
+
+// Same collision for NACKs: one aimed at a prior-session request must not
+// latch the rebuilt lease into ride-down.
+TEST(ClientTransport, NackFromPriorSessionIgnored) {
+  Fixture f;
+  f.transport.set_epoch(1);
+  int nacks = 0;
+  f.transport.on_nack = [&]() { ++nacks; };
+  f.transport.send_request(KeepAliveReq{}, [](const ReplyEvent&) {});
+  f.engine.run_until(sim::SimTime{} + sim::micros(150));
+  ASSERT_EQ(f.server_rx.size(), 1u);
+  f.transport.set_epoch(1);  // new session, colliding epoch number
+  Frame nack;
+  nack.kind = FrameKind::kNack;
+  nack.sender = NodeId{1};
+  nack.msg_id = f.server_rx[0].msg_id;
+  nack.epoch = 1;
+  f.net.send(NodeId{1}, NodeId{100}, encode(nack));
+  f.engine.run();
+  EXPECT_EQ(nacks, 0);
+}
+
+// Regression: the dedup window is bounded (reply_cache_size = 16 here), so a
+// duplicate older than the window would be re-delivered without the monotone
+// low-water mark. Push enough fresh server msgs to evict the first ones,
+// then replay an evicted id: it must be re-ACKed but NOT re-delivered.
+TEST(ClientTransport, DedupLowWaterSurvivesCacheEviction) {
+  Fixture f;
+  int deliveries = 0;
+  f.transport.on_server_msg = [&](const ServerBody&) { ++deliveries; };
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    f.send_server_msg_frame(ServerBody{LockDemand{FileId{1}, LockMode::kNone, 1}}, id);
+  }
+  f.engine.run();
+  EXPECT_EQ(deliveries, 20);
+  // Ids 1..4 have been evicted from the window; the low-water mark covers them.
+  f.send_server_msg_frame(ServerBody{LockDemand{FileId{1}, LockMode::kNone, 1}}, 3);
+  f.engine.run();
+  EXPECT_EQ(deliveries, 20);                    // not re-delivered
+  EXPECT_EQ(f.counters.client_acks_sent, 21u);  // but re-ACKed
+}
+
+// And the low-water mark resets per epoch: the new incarnation's id sequence
+// starts over, so id 3 under a NEW epoch is fresh, not a duplicate.
+TEST(ClientTransport, DedupLowWaterResetsOnNewEpoch) {
+  Fixture f;
+  int deliveries = 0;
+  f.transport.on_server_msg = [&](const ServerBody&) { ++deliveries; };
+  for (std::uint64_t id = 1; id <= 20; ++id) {
+    f.send_server_msg_frame(ServerBody{LockDemand{FileId{1}, LockMode::kNone, 1}}, id);
+  }
+  f.engine.run();
+  EXPECT_EQ(deliveries, 20);
+  f.transport.set_epoch(2);
+  f.send_server_msg_frame(ServerBody{LockDemand{FileId{1}, LockMode::kNone, 1}}, 3,
+                          /*epoch=*/2);
+  f.engine.run();
+  EXPECT_EQ(deliveries, 21);
+}
+
 }  // namespace
 }  // namespace stank::protocol

@@ -1,0 +1,445 @@
+// fuzz_safety — randomized protocol-safety sweep under an adversarial
+// control network.
+//
+// Each episode draws a complete installation at random — lease periods,
+// epsilon, per-node clock rates, workload pattern, a random failure plan,
+// and adversarial network parameters (duplication, FIFO-violating reorder
+// spikes, Gilbert–Elliott burst loss) — runs it end to end, and feeds the
+// omniscient history to verify::ConsistencyChecker. Under paper-valid
+// configurations (tau_c == tau_s, clocks inside the rate bound) the checker
+// must find NOTHING, whatever the network does; any violation is a protocol
+// bug.
+//
+// On a violation the driver writes a self-contained replay file (every
+// sampled parameter, fully materialized) and greedily shrinks the failure
+// plan to the minimal event subset that still violates, so the repro a
+// developer picks up is already small.
+//
+// --negative-control proves the harness has teeth: it deliberately breaks
+// the theorem's premises (tau_c >= tau_s(1+eps), or client clocks beyond the
+// rate-synchronization band) and asserts the checker DOES report violations.
+// A fuzzer whose negative control passes silently is not testing anything.
+//
+// Exit codes: 0 = expected outcome, 1 = safety violation in valid mode (or
+// a toothless negative control), 2 = usage/replay-file error.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "sim/rng.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Episode configuration
+
+struct Episode {
+  std::uint64_t seed{0};  // master-derived; identifies the episode
+  bool negative{false};
+  workload::ScenarioConfig cfg;
+};
+
+struct EpisodeResult {
+  verify::ViolationSummary violations;
+  std::vector<verify::Violation> details;
+  std::uint64_t ops{0};
+  net::NetStats net;
+  std::uint64_t lock_steals{0};
+  std::uint64_t nacks{0};
+};
+
+// Everything the episode samples, drawn from one forked RNG stream so a
+// (master seed, index) pair regenerates the identical episode.
+Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative) {
+  sim::Rng root(master_seed);
+  sim::Rng rng = root.fork(index + 1);
+
+  Episode ep;
+  ep.seed = master_seed ^ (index + 1);
+  ep.negative = negative;
+  workload::ScenarioConfig& cfg = ep.cfg;
+
+  // Workload: small and contended — contention is what makes stale caches
+  // observable.
+  cfg.workload.pattern = static_cast<workload::Pattern>(rng.uniform_int(0, 3));
+  cfg.workload.num_clients = static_cast<std::uint32_t>(rng.uniform_int(2, 4));
+  cfg.workload.num_files = static_cast<std::uint32_t>(rng.uniform_int(2, 4));
+  cfg.workload.file_blocks = 4;
+  cfg.workload.read_fraction = 0.3 + 0.5 * rng.uniform();
+  cfg.workload.mean_interarrival_s = 0.02 + 0.06 * rng.uniform();
+  cfg.workload.run_seconds = 8.0 + 6.0 * rng.uniform();
+  cfg.workload.seed = rng.next_u64();
+
+  // Lease timing: tau_s on the server; epsilon across the installation.
+  const double tau_s = 1.5 + 2.5 * rng.uniform();
+  cfg.lease.tau = sim::local_seconds_d(tau_s);
+  const double epsilons[] = {1e-6, 1e-4, 1e-2, 5e-2};
+  cfg.lease.epsilon = epsilons[rng.uniform_int(0, 3)];
+  const int skew_modes[] = {0, 0, -1, +1};  // random twice as likely
+  cfg.clock_skew_mode = skew_modes[rng.uniform_int(0, 3)];
+
+  // Adversarial network. Latency/jitter modest; the damage comes from dup,
+  // reorder spikes (up to ~2 retransmit timeouts, so stale replies overtake
+  // live ones), and loss bursts long enough to out-last retry budgets.
+  cfg.control_net.latency = sim::micros(100 + rng.uniform_int(0, 1900));
+  cfg.control_net.jitter = sim::Duration{cfg.control_net.latency.ns / 2};
+  cfg.control_net.drop_probability = 0.10 * rng.uniform();
+  cfg.control_net.dup_probability = 0.25 * rng.uniform();
+  cfg.control_net.reorder_probability = 0.40 * rng.uniform();
+  cfg.control_net.reorder_spike = sim::millis(1 + rng.uniform_int(0, 999));
+  if (rng.bernoulli(0.5)) {
+    cfg.control_net.ge_good_to_bad = 0.02 * rng.uniform();
+    cfg.control_net.ge_bad_to_good = 0.05 + 0.45 * rng.uniform();
+    cfg.control_net.burst_loss = 0.8 + 0.2 * rng.uniform();
+  }
+
+  // Failure plan: client partitions (symmetric + asymmetric), crashes, and
+  // occasionally a server crash/restart, all over the adversarial net.
+  workload::FailurePlan::RandomMix mix;
+  mix.server_restarts = rng.bernoulli(0.25);
+  const std::size_t failures = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  cfg.failures = workload::FailurePlan::random(rng, cfg.workload, failures, mix);
+
+  if (negative) {
+    // Break exactly one premise of Theorem 3.1, chosen at random; both must
+    // independently defeat the protocol for the checker to have teeth.
+    if (rng.bernoulli(0.5)) {
+      // tau_c >= tau_s(1+eps): the client believes in a longer lease than
+      // the server's provable-expiry wait covers.
+      const double factor = (1.0 + cfg.lease.epsilon) * (1.5 + 1.5 * rng.uniform());
+      cfg.client_tau = sim::local_seconds_d(tau_s * factor);
+    } else {
+      // Client clocks slower than rate synchronization permits: tau_c
+      // stretches in real time beyond tau_s(1+eps).
+      cfg.client_rate_scale = 1.0 / ((1.0 + cfg.lease.epsilon) * (1.8 + 1.2 * rng.uniform()));
+    }
+    // Guarantee the triggering scenario: one client partitioned long enough
+    // to be stolen from while it still trusts its (over-long) lease, with
+    // enough run left for other clients to rewrite its cached blocks.
+    const double at = 0.25 * cfg.workload.run_seconds;
+    const auto victim =
+        static_cast<std::uint32_t>(rng.uniform_int(0, cfg.workload.num_clients - 1));
+    cfg.failures.add(at, workload::FailureKind::kCtrlIsolate, victim);
+    cfg.failures.add(0.9 * cfg.workload.run_seconds, workload::FailureKind::kCtrlHeal, victim);
+    // Reads dominate so the stale cache actually gets consulted.
+    cfg.workload.read_fraction = 0.7;
+  }
+  return ep;
+}
+
+EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* trace_to = nullptr) {
+  workload::Scenario sc(cfg);
+  auto r = sc.run();
+  if (trace_to != nullptr) {
+    sc.trace().print(*trace_to);
+    // Raw history: lets a developer line the trace up against what the disk
+    // and caches actually saw.
+    for (const auto& w : sc.history().buffered_writes()) {
+      *trace_to << w.at.seconds() << "s  n" << w.client.value() << "  [buffered] f"
+                << w.stamp.file.value() << ":b" << w.stamp.block << " v" << w.stamp.version
+                << "\n";
+    }
+    for (const auto& w : sc.history().disk_writes()) {
+      *trace_to << w.at.seconds() << "s  n" << w.initiator.value() << "  [disk-write] f"
+                << w.stamp.file.value() << ":b" << w.stamp.block << " v" << w.stamp.version
+                << "\n";
+    }
+  }
+  EpisodeResult out;
+  out.violations = r.violations;
+  out.details = std::move(r.violation_list);
+  out.ops = r.reads_ok + r.writes_ok;
+  out.net = r.net;
+  out.lock_steals = r.server.lock_steals;
+  out.nacks = r.server.nacks_sent;
+  return out;
+}
+
+bool violates(const workload::ScenarioConfig& cfg) {
+  return run_episode(cfg).violations.total() > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Replay files: every sampled parameter, fully materialized, so the file is
+// self-contained (no re-derivation from the RNG needed — which is what lets
+// the shrinker persist a minimized plan).
+
+void write_replay(const std::string& path, const Episode& ep,
+                  const verify::ViolationSummary& v) {
+  std::ofstream f(path);
+  const workload::ScenarioConfig& c = ep.cfg;
+  f << "# stank fuzz_safety replay v1\n";
+  f << "# violations: write_order=" << v.write_order << " stale_reads=" << v.stale_reads
+    << " lost_updates=" << v.lost_updates << "\n";
+  f << "episode_seed=" << ep.seed << "\n";
+  f << "mode=" << (ep.negative ? "negative" : "valid") << "\n";
+  f << "pattern=" << static_cast<int>(c.workload.pattern) << "\n";
+  f << "num_clients=" << c.workload.num_clients << "\n";
+  f << "num_files=" << c.workload.num_files << "\n";
+  f << "file_blocks=" << c.workload.file_blocks << "\n";
+  f << "read_fraction=" << c.workload.read_fraction << "\n";
+  f << "mean_interarrival_s=" << c.workload.mean_interarrival_s << "\n";
+  f << "zipf_s=" << c.workload.zipf_s << "\n";
+  f << "run_seconds=" << c.workload.run_seconds << "\n";
+  f << "workload_seed=" << c.workload.seed << "\n";
+  f << "tau_s_ns=" << c.lease.tau.ns << "\n";
+  f << "epsilon=" << c.lease.epsilon << "\n";
+  f << "clock_skew_mode=" << c.clock_skew_mode << "\n";
+  f << "tau_c_ns=" << c.client_tau.ns << "\n";
+  f << "client_rate_scale=" << c.client_rate_scale << "\n";
+  f << "net_latency_ns=" << c.control_net.latency.ns << "\n";
+  f << "net_jitter_ns=" << c.control_net.jitter.ns << "\n";
+  f << "net_drop=" << c.control_net.drop_probability << "\n";
+  f << "net_dup=" << c.control_net.dup_probability << "\n";
+  f << "net_reorder_prob=" << c.control_net.reorder_probability << "\n";
+  f << "net_reorder_spike_ns=" << c.control_net.reorder_spike.ns << "\n";
+  f << "net_ge_good_to_bad=" << c.control_net.ge_good_to_bad << "\n";
+  f << "net_ge_bad_to_good=" << c.control_net.ge_bad_to_good << "\n";
+  f << "net_burst_loss=" << c.control_net.burst_loss << "\n";
+  for (const auto& ev : c.failures.events) {
+    f << "failure=" << ev.at_s << " " << static_cast<int>(ev.kind) << " " << ev.client_idx
+      << " " << ev.param_s << "\n";
+  }
+}
+
+std::optional<Episode> read_replay(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  Episode ep;
+  workload::ScenarioConfig& c = ep.cfg;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    std::istringstream in(val);
+    if (key == "episode_seed") in >> ep.seed;
+    else if (key == "mode") ep.negative = val == "negative";
+    else if (key == "pattern") { int p; in >> p; c.workload.pattern = static_cast<workload::Pattern>(p); }
+    else if (key == "num_clients") in >> c.workload.num_clients;
+    else if (key == "num_files") in >> c.workload.num_files;
+    else if (key == "file_blocks") in >> c.workload.file_blocks;
+    else if (key == "read_fraction") in >> c.workload.read_fraction;
+    else if (key == "mean_interarrival_s") in >> c.workload.mean_interarrival_s;
+    else if (key == "zipf_s") in >> c.workload.zipf_s;
+    else if (key == "run_seconds") in >> c.workload.run_seconds;
+    else if (key == "workload_seed") in >> c.workload.seed;
+    else if (key == "tau_s_ns") in >> c.lease.tau.ns;
+    else if (key == "epsilon") in >> c.lease.epsilon;
+    else if (key == "clock_skew_mode") in >> c.clock_skew_mode;
+    else if (key == "tau_c_ns") in >> c.client_tau.ns;
+    else if (key == "client_rate_scale") in >> c.client_rate_scale;
+    else if (key == "net_latency_ns") in >> c.control_net.latency.ns;
+    else if (key == "net_jitter_ns") in >> c.control_net.jitter.ns;
+    else if (key == "net_drop") in >> c.control_net.drop_probability;
+    else if (key == "net_dup") in >> c.control_net.dup_probability;
+    else if (key == "net_reorder_prob") in >> c.control_net.reorder_probability;
+    else if (key == "net_reorder_spike_ns") in >> c.control_net.reorder_spike.ns;
+    else if (key == "net_ge_good_to_bad") in >> c.control_net.ge_good_to_bad;
+    else if (key == "net_ge_bad_to_good") in >> c.control_net.ge_bad_to_good;
+    else if (key == "net_burst_loss") in >> c.control_net.burst_loss;
+    else if (key == "failure") {
+      workload::FailureEvent ev;
+      int kind = 0;
+      in >> ev.at_s >> kind >> ev.client_idx >> ev.param_s;
+      ev.kind = static_cast<workload::FailureKind>(kind);
+      c.failures.events.push_back(ev);
+    } else {
+      std::fprintf(stderr, "replay: unknown key '%s'\n", key.c_str());
+      return std::nullopt;
+    }
+  }
+  return ep;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy failure-plan shrinker: repeatedly drop the first event whose
+// removal keeps the episode violating, until no single removal does.
+
+workload::ScenarioConfig shrink(workload::ScenarioConfig cfg, int* runs_out) {
+  int runs = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < cfg.failures.events.size(); ++i) {
+      workload::ScenarioConfig trial = cfg;
+      trial.failures.events.erase(trial.failures.events.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+      ++runs;
+      if (violates(trial)) {
+        cfg = std::move(trial);
+        progress = true;
+        break;
+      }
+    }
+  }
+  if (runs_out != nullptr) *runs_out = runs;
+  return cfg;
+}
+
+void print_violations(const verify::ViolationSummary& v) {
+  std::printf("  write-order races: %zu\n  stale reads:       %zu\n  lost updates:      %zu\n",
+              v.write_order, v.stale_reads, v.lost_updates);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_safety [--episodes N] [--seed S] [--out FILE]\n"
+               "                   [--negative-control] [--quick] [--jobs N]\n"
+               "       fuzz_safety --replay FILE [--trace]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t episodes = 1000;
+  std::uint64_t seed = 1;
+  bool negative = false;
+  bool trace = false;
+  unsigned jobs = 0;
+  std::string out_path = "fuzz_replay.txt";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (a == "--episodes") {
+      const char* v = next();
+      if (!v) return usage();
+      episodes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (!v) return usage();
+      jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_path = v;
+    } else if (a == "--replay") {
+      const char* v = next();
+      if (!v) return usage();
+      replay_path = v;
+    } else if (a == "--negative-control") {
+      negative = true;
+    } else if (a == "--trace") {
+      trace = true;
+    } else if (a == "--quick") {
+      episodes = 150;
+    } else {
+      return usage();
+    }
+  }
+
+  // --- Replay mode ---------------------------------------------------------
+  if (!replay_path.empty()) {
+    auto ep = read_replay(replay_path);
+    if (!ep) {
+      std::fprintf(stderr, "fuzz_safety: cannot read replay file %s\n", replay_path.c_str());
+      return 2;
+    }
+    std::printf("replaying %s (episode seed %llu, %s mode, %zu failure events)\n",
+                replay_path.c_str(), static_cast<unsigned long long>(ep->seed),
+                ep->negative ? "negative" : "valid", ep->cfg.failures.events.size());
+    ep->cfg.enable_trace = trace;
+    auto r = run_episode(ep->cfg, trace ? &std::cout : nullptr);
+    std::printf("ops completed: %llu; checker result:\n",
+                static_cast<unsigned long long>(r.ops));
+    print_violations(r.violations);
+    for (const auto& v : r.details) {
+      std::printf("  [%s] t=%.4fs %s\n", verify::to_string(v.kind), v.at.seconds(),
+                  v.detail.c_str());
+    }
+    return r.violations.total() > 0 ? 1 : 0;
+  }
+
+  // --- Sweep mode ----------------------------------------------------------
+  std::printf("fuzz_safety: %zu %s episodes, master seed %llu\n", episodes,
+              negative ? "NEGATIVE-CONTROL" : "paper-valid",
+              static_cast<unsigned long long>(seed));
+
+  std::vector<EpisodeResult> results(episodes);
+  rt::parallel_for(
+      episodes,
+      [&](std::size_t i) { results[i] = run_episode(generate(seed, i, negative).cfg); },
+      jobs);
+
+  verify::ViolationSummary total;
+  std::size_t violating = 0;
+  std::uint64_t ops = 0, dup = 0, reordered = 0, burst = 0, steals = 0, nacks = 0;
+  std::size_t first_violating = episodes;
+  for (std::size_t i = 0; i < episodes; ++i) {
+    const auto& r = results[i];
+    total.write_order += r.violations.write_order;
+    total.stale_reads += r.violations.stale_reads;
+    total.lost_updates += r.violations.lost_updates;
+    if (r.violations.total() > 0) {
+      ++violating;
+      if (first_violating == episodes) first_violating = i;
+    }
+    ops += r.ops;
+    dup += r.net.duplicated;
+    reordered += r.net.reordered;
+    burst += r.net.dropped_burst;
+    steals += r.lock_steals;
+    nacks += r.nacks;
+  }
+
+  std::printf("episodes: %zu  violating: %zu  ops: %llu\n", episodes, violating,
+              static_cast<unsigned long long>(ops));
+  std::printf("adversity exercised: %llu dups, %llu reorder spikes, %llu burst drops, "
+              "%llu lock steals, %llu NACKs\n",
+              static_cast<unsigned long long>(dup), static_cast<unsigned long long>(reordered),
+              static_cast<unsigned long long>(burst), static_cast<unsigned long long>(steals),
+              static_cast<unsigned long long>(nacks));
+  print_violations(total);
+
+  if (negative) {
+    // The checker must have teeth: broken premises => observed violations.
+    if (violating == 0) {
+      std::printf("NEGATIVE CONTROL FAILED: no violations despite broken timing premises —\n"
+                  "the checker (or the fuzzer's reach) is toothless.\n");
+      return 1;
+    }
+    const Episode ep = generate(seed, first_violating, negative);
+    write_replay(out_path, ep, results[first_violating].violations);
+    std::printf("negative control OK: %zu/%zu episodes violated as expected.\n"
+                "replayable example: seed %llu -> %s\n",
+                violating, episodes, static_cast<unsigned long long>(ep.seed),
+                out_path.c_str());
+    return 0;
+  }
+
+  if (violating > 0) {
+    Episode ep = generate(seed, first_violating, negative);
+    std::printf("\nSAFETY VIOLATION at episode %zu (seed %llu). Shrinking failure plan "
+                "(%zu events)...\n",
+                first_violating, static_cast<unsigned long long>(ep.seed),
+                ep.cfg.failures.events.size());
+    int shrink_runs = 0;
+    ep.cfg = shrink(ep.cfg, &shrink_runs);
+    std::printf("shrunk to %zu events in %d runs; replay written to %s\n",
+                ep.cfg.failures.events.size(), shrink_runs, out_path.c_str());
+    write_replay(out_path, ep, results[first_violating].violations);
+    return 1;
+  }
+
+  std::printf("all clear: no violations in %zu paper-valid episodes.\n", episodes);
+  return 0;
+}
