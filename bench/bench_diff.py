@@ -18,6 +18,7 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    lat = {}
     for b in doc.get("benches", []):
         report = b.get("report")
         if not report or b.get("exit", 0) != 0:
@@ -25,7 +26,11 @@ def load(path):
         eps = report.get("events_per_sec")
         if eps:
             out[b["name"]] = float(eps)
-    return out
+        for entry in report.get("latencies", []):
+            p99 = entry.get("p99_ms")
+            if p99 is not None:
+                lat[f"{b['name']}:{entry['name']}"] = float(p99)
+    return out, lat
 
 
 def main():
@@ -37,12 +42,12 @@ def main():
     args = ap.parse_args()
 
     try:
-        base = load(args.baseline)
+        base, base_lat = load(args.baseline)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
         return 2
     try:
-        fresh = load(args.fresh)
+        fresh, fresh_lat = load(args.fresh)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read fresh results {args.fresh}: {e}", file=sys.stderr)
         return 2
@@ -64,13 +69,29 @@ def main():
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base[name]:>12.0f}  {fresh[name]:>12.0f}  {delta:>+7.1f}%{flag}")
 
+    # Latency p99 drift: simulated-time percentiles are deterministic per
+    # seed, so any drift is a real behaviour change — but one a reviewer
+    # should judge, not a gate. Warn beyond the threshold; never fail.
+    warned = 0
+    for name in sorted(base_lat.keys() & fresh_lat.keys()):
+        b, f = base_lat[name], fresh_lat[name]
+        if b <= 0:
+            continue
+        delta = 100.0 * (f - b) / b
+        if abs(delta) > args.threshold:
+            if warned == 0:
+                print(f"\nbench_diff: p99 latency drift beyond {args.threshold:.0f}%:")
+            warned += 1
+            print(f"  WARNING {name}: p99 {b:.3f}ms -> {f:.3f}ms ({delta:+.1f}%)")
+
     if regressions:
         print(f"\nbench_diff: {len(regressions)} bench(es) regressed more than "
               f"{args.threshold:.0f}% in events/s:", file=sys.stderr)
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
         return 1
-    print(f"\nbench_diff: no regression beyond {args.threshold:.0f}%")
+    print(f"\nbench_diff: no regression beyond {args.threshold:.0f}%"
+          + (f" ({warned} p99 warning(s))" if warned else ""))
     return 0
 
 

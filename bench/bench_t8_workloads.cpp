@@ -27,6 +27,7 @@ struct T8Row {
   double hit_rate{0};
   double p99_ms{0};
   std::size_t violations{0};
+  metrics::Histogram latency_ms;
 };
 
 T8Row run(workload::Pattern pattern) {
@@ -58,6 +59,7 @@ T8Row run(workload::Pattern pattern) {
                                           static_cast<double>(hits + misses);
   row.p99_ms = r.op_latency_ms.quantile(0.99);
   row.violations = r.violations.total();
+  row.latency_ms = r.op_latency_ms;
   return row;
 }
 
@@ -89,6 +91,8 @@ int main() {
         .cell(r.hit_rate, 3)
         .cell(r.p99_ms, 2)
         .cell(r.violations);
+    reporter.latency(std::string("op_latency_ms/") + to_string(patterns[idx]),
+                     r.latency_ms);
   }
   tbl.print(std::cout);
 

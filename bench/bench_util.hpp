@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "metrics/histogram.hpp"
 #include "net/control_net.hpp"
 #include "sim/engine.hpp"
 
@@ -33,6 +34,15 @@ class Reporter {
   // Records a named rate metric (e.g. one per micro-workload).
   void metric(std::string name, double per_sec, double ns_per_op) {
     metrics_.push_back({std::move(name), per_sec, ns_per_op});
+  }
+
+  // Records a latency distribution's percentiles (e.g. op latency, span
+  // histograms from the flight recorder). Emitted as a "latencies" array so
+  // bench_diff.py can watch p99 drift alongside the events/s gate.
+  void latency(std::string name, const metrics::Histogram& h) {
+    if (h.count() == 0) return;
+    latencies_.push_back({std::move(name), h.count(), h.quantile(0.5), h.quantile(0.95),
+                          h.quantile(0.99)});
   }
 
   ~Reporter() {
@@ -60,6 +70,17 @@ class Reporter {
       }
       std::fprintf(f, "]");
     }
+    if (!latencies_.empty()) {
+      std::fprintf(f, ",\"latencies\":[");
+      for (std::size_t i = 0; i < latencies_.size(); ++i) {
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"count\":%zu,\"p50_ms\":%.6g,\"p95_ms\":%.6g,"
+                     "\"p99_ms\":%.6g}",
+                     i ? "," : "", latencies_[i].name.c_str(), latencies_[i].count,
+                     latencies_[i].p50, latencies_[i].p95, latencies_[i].p99);
+      }
+      std::fprintf(f, "]");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
@@ -70,12 +91,20 @@ class Reporter {
     double per_sec;
     double ns_per_op;
   };
+  struct Latency {
+    std::string name;
+    std::size_t count;
+    double p50;
+    double p95;
+    double p99;
+  };
 
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t events0_;
   std::uint64_t datagrams0_;
   std::vector<Metric> metrics_;
+  std::vector<Latency> latencies_;
 };
 
 }  // namespace stank::bench

@@ -72,5 +72,6 @@ int main(int argc, char** argv) {
   if (r.violations.total() == 0) {
     std::printf("history is sequentially consistent: the lease protocol held.\n");
   }
+  std::printf("%s\n", r.verdict_line().c_str());
   return r.violations.total() == 0 ? 0 : 1;
 }

@@ -15,15 +15,19 @@
 //     it to client 1 — who then reads the newest data from the shared disk;
 //   * when the partition heals, client 0 re-registers under a fresh epoch.
 //
-// Build & run:  ./build/examples/partition_recovery
+// Build & run:  ./build/examples/partition_recovery [trace-out]
+//
+// Pass a path to also save the binary flight trace; render it with
+// tools/trace_dump (and `--chrome` for ui.perfetto.dev).
 #include <cstdio>
+#include <fstream>
 
 #include "verify/stamp.hpp"
 #include "workload/scenario.hpp"
 
 using namespace stank;
 
-int main() {
+int main(int argc, char** argv) {
   workload::ScenarioConfig cfg;
   cfg.workload.num_clients = 2;
   cfg.workload.num_files = 1;
@@ -100,6 +104,17 @@ int main() {
       std::printf("%8.3fs  n%-3u [%-7s] %s\n", e.at.seconds(), e.node.value(),
                   e.category.c_str(), e.detail.c_str());
     }
+  }
+
+  if (argc > 1) {
+    std::ofstream f(argv[1], std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "failed to open %s\n", argv[1]);
+      return 1;
+    }
+    sc.recorder().save(f);
+    std::printf("\nflight trace saved to %s (render with tools/trace_dump)\n",
+                argv[1]);
   }
   return 0;
 }

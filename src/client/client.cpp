@@ -45,9 +45,14 @@ Client::Client(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& sa
       cfg_(std::move(cfg)),
       clock_(engine, local_clock),
       trace_(trace),
+      rec_(trace != nullptr ? &trace->recorder() : nullptr),
       transport_(net, clock_, cfg_.id, cfg_.server, counters_, cfg_.transport),
       cache_(cfg_.block_size, cfg_.cache_capacity_pages) {
   cfg_.lease.validate();
+  if (rec_ != nullptr) {
+    rec_->bind_engine(engine);
+    transport_.set_recorder(rec_);
+  }
   wire_transport();
   build_lease_machinery();
 }
@@ -120,6 +125,9 @@ void Client::build_lease_machinery() {
         if (on_phase_change) on_phase_change(from, to);
       };
       agent_ = std::make_unique<core::ClientLeaseAgent>(clock_, cfg_.lease, std::move(hooks));
+      if (rec_ != nullptr) {
+        agent_->set_recorder(rec_, cfg_.id);
+      }
       break;
     }
     case core::LeaseStrategy::kVLeases: {
@@ -213,6 +221,9 @@ void Client::enforce_cache_limit() {
 void Client::crash() {
   if (crashed_) return;
   this->trace("node", "crash");
+  if (rec_ != nullptr) {
+    rec_->record(clock_.engine().now(), cfg_.id, obs::EventKind::kCrash);
+  }
   crashed_ = true;
   ++gen_;
   transport_.stop();
@@ -241,6 +252,9 @@ void Client::crash() {
 void Client::restart() {
   STANK_ASSERT_MSG(crashed_, "restart() is only valid after crash()");
   this->trace("node", "restart");
+  if (rec_ != nullptr) {
+    rec_->record(clock_.engine().now(), cfg_.id, obs::EventKind::kRestart, gen_);
+  }
   crashed_ = false;
   transport_.set_epoch(0);
   transport_.start();
@@ -800,6 +814,15 @@ void Client::ensure_lock(FileId file, LockMode mode, std::function<void(Status)>
   if (mode_leq(mode, fs.mode) && !blocked_by_revoke) {
     cb(Status::ok());
     return;
+  }
+  if (rec_ != nullptr) {
+    // Lock-grant latency span: queued-acquire to callback (cache hits above
+    // are free and would only dilute the percentiles).
+    const sim::SimTime start = clock_.engine().now();
+    cb = [this, start, inner = std::move(cb)](Status st) {
+      rec_->span(obs::SpanKind::kLockAcquire, (clock_.engine().now() - start).millis());
+      inner(st);
+    };
   }
   lock_waits_[file].push_back(LockWait{mode, std::move(cb)});
   pump_lock_requests(file);

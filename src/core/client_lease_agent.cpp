@@ -55,6 +55,10 @@ void ClientLeaseAgent::renew(sim::LocalTime t_c1) {
   }
   lease_start_ = t_c1;
   ++renewals_;
+  if (rec_ != nullptr) {
+    rec_->record(clock_->engine().now(), self_, obs::EventKind::kLeaseRenew,
+                 static_cast<std::uint64_t>(t_c1.ns));
+  }
   cancel_timers();
   arm_boundary_timer();
 }
@@ -82,8 +86,11 @@ void ClientLeaseAgent::deactivate() {
   cancel_timers();
   const LeasePhase old = phase_;
   phase_ = LeasePhase::kNoLease;
-  if (hooks_.phase_changed && old != phase_) {
-    hooks_.phase_changed(old, phase_);
+  if (old != phase_) {
+    note_phase(old, phase_);
+    if (hooks_.phase_changed) {
+      hooks_.phase_changed(old, phase_);
+    }
   }
 }
 
@@ -139,6 +146,7 @@ void ClientLeaseAgent::enter(LeasePhase p) {
   }
   const LeasePhase old = phase_;
   phase_ = p;
+  note_phase(old, p);
   if (hooks_.phase_changed) {
     hooks_.phase_changed(old, p);
   }
@@ -173,6 +181,27 @@ void ClientLeaseAgent::enter(LeasePhase p) {
   }
 }
 
+void ClientLeaseAgent::note_phase(LeasePhase old, LeasePhase now) {
+  if (rec_ == nullptr) {
+    return;
+  }
+  const sim::SimTime t = clock_->engine().now();
+  switch (old) {
+    case LeasePhase::kActive: rec_->span(obs::SpanKind::kPhaseActive, (t - phase_since_).millis()); break;
+    case LeasePhase::kRenewal: rec_->span(obs::SpanKind::kPhaseRenewal, (t - phase_since_).millis()); break;
+    case LeasePhase::kSuspect: rec_->span(obs::SpanKind::kPhaseSuspect, (t - phase_since_).millis()); break;
+    case LeasePhase::kFlush: rec_->span(obs::SpanKind::kPhaseFlush, (t - phase_since_).millis()); break;
+    case LeasePhase::kNoLease:
+    case LeasePhase::kExpired: break;
+  }
+  phase_since_ = t;
+  rec_->record(t, self_, obs::EventKind::kLeasePhase, static_cast<std::uint64_t>(old),
+               static_cast<std::uint64_t>(now));
+  if (now == LeasePhase::kExpired) {
+    rec_->record(t, self_, obs::EventKind::kLeaseExpire);
+  }
+}
+
 void ClientLeaseAgent::keepalive_tick() {
   const bool renewing = phase_ == LeasePhase::kRenewal;
   const bool riding_down_unlatched =
@@ -182,6 +211,9 @@ void ClientLeaseAgent::keepalive_tick() {
     return;
   }
   ++keepalives_sent_;
+  if (rec_ != nullptr) {
+    rec_->record(clock_->engine().now(), self_, obs::EventKind::kKeepaliveSend);
+  }
   if (hooks_.send_keepalive) {
     hooks_.send_keepalive();
   }

@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "core/lease_config.hpp"
+#include "obs/recorder.hpp"
 #include "sim/clock.hpp"
 
 namespace stank::core {
@@ -110,8 +111,22 @@ class ClientLeaseAgent {
 
   [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
 
+  // Attaches the flight recorder. The agent does not otherwise know which
+  // node it serves, so the owner names it here. Phase transitions become
+  // typed events and per-phase residencies become spans.
+  void set_recorder(obs::Recorder* rec, NodeId self) {
+    rec_ = rec;
+    self_ = self;
+    if (rec_ != nullptr) {
+      phase_since_ = clock_->engine().now();
+    }
+  }
+
  private:
   void enter(LeasePhase p);
+  // Records the phase transition and closes the residency span of the phase
+  // being left. No-op when detached.
+  void note_phase(LeasePhase old, LeasePhase now);
   void arm_boundary_timer();
   void cancel_timers();
   void keepalive_tick();
@@ -121,6 +136,9 @@ class ClientLeaseAgent {
   sim::NodeClock* clock_;
   LeaseConfig cfg_;
   Hooks hooks_;
+  obs::Recorder* rec_{nullptr};
+  NodeId self_{};
+  sim::SimTime phase_since_{};  // residency-span anchor while rec_ attached
 
   LeasePhase phase_{LeasePhase::kNoLease};
   sim::LocalTime lease_start_{};

@@ -29,9 +29,16 @@ void ServerLeaseAuthority::on_delivery_failure(NodeId client) {
   // Wait tau(1+eps) on OUR clock; rate synchronization guarantees that is at
   // least tau on the client's clock, so its lease has expired by the time
   // the timer fires.
-  e.timer = clock_->schedule_after(server_wait(cfg_.tau, cfg_.epsilon),
-                                   [this, client]() { fire(client); });
+  const sim::LocalDuration wait = server_wait(cfg_.tau, cfg_.epsilon);
+  e.timer = clock_->schedule_after(wait, [this, client]() { fire(client); });
   entries_.insert(client, e);
+  if (rec_ != nullptr) {
+    const sim::SimTime t = clock_->engine().now();
+    rec_->record(t, self_, obs::EventKind::kStandingChange, client.value(),
+                 static_cast<std::uint64_t>(ClientStanding::kSuspect));
+    rec_->record(t, self_, obs::EventKind::kStealTimerArm, client.value(),
+                 static_cast<std::uint64_t>(wait.ns));
+  }
   if (hooks_.standing_changed) {
     hooks_.standing_changed(client, ClientStanding::kSuspect);
   }
@@ -45,6 +52,13 @@ void ServerLeaseAuthority::fire(NodeId client) {
   ++counters_->lease_ops;
   e->timer = 0;
   e->standing = ClientStanding::kFailed;
+  e->failed_at = clock_->now();
+  if (rec_ != nullptr) {
+    const sim::SimTime t = clock_->engine().now();
+    rec_->record(t, self_, obs::EventKind::kStandingChange, client.value(),
+                 static_cast<std::uint64_t>(ClientStanding::kFailed));
+    rec_->record(t, self_, obs::EventKind::kLockSteal, client.value());
+  }
   if (hooks_.standing_changed) {
     hooks_.standing_changed(client, ClientStanding::kFailed);
   }
@@ -78,12 +92,28 @@ bool ServerLeaseAuthority::try_reregister(NodeId client) {
     clock_->cancel(e->timer);
     e->timer = 0;
     e->standing = ClientStanding::kFailed;
+    e->failed_at = clock_->now();
+    if (rec_ != nullptr) {
+      const sim::SimTime t = clock_->engine().now();
+      rec_->record(t, self_, obs::EventKind::kStandingChange, client.value(),
+                   static_cast<std::uint64_t>(ClientStanding::kFailed));
+      rec_->record(t, self_, obs::EventKind::kLockSteal, client.value());
+    }
     if (hooks_.standing_changed) {
       hooks_.standing_changed(client, ClientStanding::kFailed);
     }
     if (hooks_.steal_locks) {
       hooks_.steal_locks(client);
     }
+  }
+  if (rec_ != nullptr) {
+    if (e->standing == ClientStanding::kFailed) {
+      // Steal-to-reassert recovery: how long the client's data sat fenced
+      // before it came back.
+      rec_->span(obs::SpanKind::kStealRecovery, (clock_->now() - e->failed_at).millis());
+    }
+    rec_->record(clock_->engine().now(), self_, obs::EventKind::kStandingChange, client.value(),
+                 static_cast<std::uint64_t>(ClientStanding::kGood));
   }
   entries_.erase(client);
   if (hooks_.standing_changed) {

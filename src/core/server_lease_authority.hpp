@@ -20,6 +20,7 @@
 #include "core/lease_config.hpp"
 #include "core/lease_math.hpp"
 #include "metrics/counters.hpp"
+#include "obs/recorder.hpp"
 #include "sim/clock.hpp"
 
 namespace stank::core {
@@ -77,10 +78,21 @@ class ServerLeaseAuthority {
 
   [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
 
+  // Attaches the flight recorder; `self` is the server's own node id (the
+  // authority otherwise has no identity). Standing changes become typed
+  // events; steal -> successful re-registration becomes a recovery span.
+  void set_recorder(obs::Recorder* rec, NodeId self) {
+    rec_ = rec;
+    self_ = self;
+  }
+
  private:
   struct Entry {
     ClientStanding standing{ClientStanding::kSuspect};
     sim::TimerId timer{0};
+    // When the steal happened (server clock); anchors the steal-to-reassert
+    // recovery span. Only meaningful in the kFailed standing.
+    sim::LocalTime failed_at{};
   };
 
   void fire(NodeId client);
@@ -90,6 +102,8 @@ class ServerLeaseAuthority {
   LeaseConfig cfg_;
   metrics::Counters* counters_;
   Hooks hooks_;
+  obs::Recorder* rec_{nullptr};
+  NodeId self_{};
   // Empty during normal operation — that emptiness IS the paper's claim,
   // and bench T2 asserts it.
   FlatMap<NodeId, Entry> entries_;

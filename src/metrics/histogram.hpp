@@ -21,6 +21,9 @@ class Histogram {
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double stddev() const;
 
+  // Raw samples in insertion order (trace serialization, tests).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
   void clear();
   void merge(const Histogram& other);
 

@@ -1,6 +1,7 @@
 #include "net/control_net.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -10,6 +11,23 @@ namespace stank::net {
 namespace {
 std::atomic<std::uint64_t> g_datagrams_sent{0};
 }  // namespace
+
+std::string NetStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu delivered=%llu drop[part=%llu rand=%llu burst=%llu detach=%llu] "
+                "dup=%llu reorder=%llu bursts=%llu bytes=%llu",
+                static_cast<unsigned long long>(sent), static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(dropped_partition),
+                static_cast<unsigned long long>(dropped_random),
+                static_cast<unsigned long long>(dropped_burst),
+                static_cast<unsigned long long>(dropped_detached),
+                static_cast<unsigned long long>(duplicated),
+                static_cast<unsigned long long>(reordered),
+                static_cast<unsigned long long>(burst_episodes),
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
 
 ControlNet::ControlNet(sim::Engine& engine, sim::Rng rng, NetConfig cfg)
     : engine_(&engine), rng_(rng), cfg_(cfg) {}
@@ -33,6 +51,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
 
   if (!reach_.can_reach(from, to)) {
     ++stats_.dropped_partition;
+    note_drop(from, to, obs::DropCause::kPartition);
     return;
   }
 
@@ -51,12 +70,14 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
     }
     if (ge_bad_ && rng_.bernoulli(cfg_.burst_loss)) {
       ++stats_.dropped_burst;
+      note_drop(from, to, obs::DropCause::kBurst);
       return;
     }
   }
 
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
     ++stats_.dropped_random;
+    note_drop(from, to, obs::DropCause::kRandom);
     return;
   }
 
@@ -64,9 +85,19 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
   // itself be duplicated, as in a routing loop), each with its own latency.
   while (cfg_.dup_probability > 0.0 && rng_.bernoulli(cfg_.dup_probability)) {
     ++stats_.duplicated;
+    if (rec_ != nullptr) {
+      rec_->record(engine_->now(), from, obs::EventKind::kNetDup, to.value());
+    }
     deliver_copy(from, to, datagram);  // copies the buffer
   }
   deliver_copy(from, to, std::move(datagram));
+}
+
+void ControlNet::note_drop(NodeId from, NodeId to, obs::DropCause cause) {
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), from, obs::EventKind::kNetDrop, to.value(),
+                 static_cast<std::uint64_t>(cause));
+  }
 }
 
 void ControlNet::deliver_copy(NodeId from, NodeId to, Bytes datagram) {
@@ -80,17 +111,23 @@ void ControlNet::deliver_copy(NodeId from, NodeId to, Bytes datagram) {
     // with the base delay arrives first.
     delay += sim::Duration{rng_.uniform_int(0, cfg_.reorder_spike.ns)};
     ++stats_.reordered;
+    if (rec_ != nullptr) {
+      rec_->record(engine_->now(), from, obs::EventKind::kNetReorder, to.value(),
+                   static_cast<std::uint64_t>((delay - cfg_.latency).ns));
+    }
   }
 
   engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() mutable {
     // Partition formed while in flight?
     if (!reach_.can_reach(from, to)) {
       ++stats_.dropped_partition;
+      note_drop(from, to, obs::DropCause::kPartition);
       return;
     }
     auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       ++stats_.dropped_detached;
+      note_drop(from, to, obs::DropCause::kDetached);
       return;
     }
     ++stats_.delivered;

@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/strong_id.hpp"
 #include "net/reachability.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -75,6 +77,11 @@ struct NetStats {
   std::uint64_t reordered{0};    // datagrams given a FIFO-violating spike
   std::uint64_t burst_episodes{0};  // good->bad transitions of the GE chain
   std::uint64_t bytes{0};
+
+  // One-line human summary — what the fabric did to the traffic. Used by the
+  // Scenario verdict line and the fuzzer's replay header: a verdict without
+  // the loss/dup/reorder counts hides *why* a run went sideways.
+  [[nodiscard]] std::string summary() const;
 };
 
 class ControlNet {
@@ -105,16 +112,23 @@ class ControlNet {
   void set_config(NetConfig cfg) { cfg_ = cfg; }
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
 
+  // Attaches the flight recorder: drops, duplications and reorder spikes
+  // become typed events (node = sender) so a trace shows what the fabric
+  // did to the traffic, not just what survived.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
   // Process-wide total of datagrams sent by nets that have been destroyed;
   // accumulated only in ~ControlNet (bench reporting, no hot-path cost).
   [[nodiscard]] static std::uint64_t global_datagrams_sent();
 
  private:
   void deliver_copy(NodeId from, NodeId to, Bytes datagram);
+  void note_drop(NodeId from, NodeId to, obs::DropCause cause);
 
   sim::Engine* engine_;
   sim::Rng rng_;
   NetConfig cfg_;
+  obs::Recorder* rec_{nullptr};
   Reachability<NodeId> reach_;
   std::unordered_map<NodeId, Handler> handlers_;
   NetStats stats_;

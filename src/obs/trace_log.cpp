@@ -1,35 +1,23 @@
-#include "sim/trace.hpp"
+#include "obs/trace_log.hpp"
 
 #include <iomanip>
 
-namespace stank::sim {
-
-void TraceLog::record(SimTime at, NodeId node, std::string category, std::string detail) {
-  events_.push_back(TraceEvent{at, node, std::move(category), std::move(detail)});
-}
+namespace stank::obs {
 
 std::vector<TraceEvent> TraceLog::by_category(const std::string& category) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
-    if (e.category == category) {
-      out.push_back(e);
-    }
-  }
+  visit(category, [&out](const TraceEvent& e) { out.push_back(e); });
   return out;
 }
 
 std::vector<TraceEvent> TraceLog::by_node(NodeId node) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
-    if (e.node == node) {
-      out.push_back(e);
-    }
-  }
+  visit_node(node, [&out](const TraceEvent& e) { out.push_back(e); });
   return out;
 }
 
 const TraceEvent* TraceLog::find(const std::string& category, const std::string& needle) const {
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     if (e.category == category && e.detail.find(needle) != std::string::npos) {
       return &e;
     }
@@ -39,7 +27,7 @@ const TraceEvent* TraceLog::find(const std::string& category, const std::string&
 
 std::size_t TraceLog::count(const std::string& category, const std::string& needle) const {
   std::size_t n = 0;
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     if (e.category == category && e.detail.find(needle) != std::string::npos) {
       ++n;
     }
@@ -47,11 +35,13 @@ std::size_t TraceLog::count(const std::string& category, const std::string& need
   return n;
 }
 
+void TraceLog::clear() { rec_->clear_annotations(); }
+
 void TraceLog::print(std::ostream& os) const {
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     os << std::fixed << std::setprecision(6) << e.at.seconds() << "s  " << e.node << "  ["
        << e.category << "] " << e.detail << "\n";
   }
 }
 
-}  // namespace stank::sim
+}  // namespace stank::obs

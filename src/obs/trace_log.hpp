@@ -1,0 +1,90 @@
+// The legacy string trace API, now a thin adapter over the typed Recorder.
+//
+// Tests and examples assert on human-readable category/detail strings; the
+// hot path records typed events. Both live in one Recorder: TraceLog writes
+// the recorder's annotation channel, so a single artifact carries the typed
+// rings AND the strings, and exports interleave them by timestamp.
+//
+// A default-constructed TraceLog owns its recorder (the common test setup:
+// `sim::TraceLog trace;` then pass `&trace` around). Constructing from an
+// existing Recorder adapts it without owning (Scenario shares one recorder
+// between the typed instrumentation and this adapter).
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "obs/recorder.hpp"
+#include "sim/time.hpp"
+
+namespace stank::obs {
+
+// Streams its arguments into one string. Lazy trace sinks call this inside a
+// deferred format callable, so the stream machinery runs only when a TraceLog
+// is actually attached; steady-state runs pay a single null check per event.
+template <typename... Parts>
+[[nodiscard]] std::string cat(Parts&&... parts) {
+  std::ostringstream os;
+  (os << ... << std::forward<Parts>(parts));
+  return os.str();
+}
+
+// The legacy event shape. Annotation already has exactly the fields the old
+// TraceEvent had, so the adapter can hand out the recorder's storage without
+// copying.
+using TraceEvent = Annotation;
+
+class TraceLog {
+ public:
+  TraceLog() : owned_(std::make_unique<Recorder>()), rec_(owned_.get()) {}
+  explicit TraceLog(Recorder& shared) : rec_(&shared) {}
+
+  void record(sim::SimTime at, NodeId node, std::string category, std::string detail) {
+    rec_->annotate(at, node, std::move(category), std::move(detail));
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return rec_->annotations(); }
+
+  // Non-copying queries: visits matching events in record order.
+  template <typename Fn>
+  void visit(const std::string& category, Fn&& fn) const {
+    for (const auto& e : events()) {
+      if (e.category == category) fn(e);
+    }
+  }
+  template <typename Fn>
+  void visit_node(NodeId node, Fn&& fn) const {
+    for (const auto& e : events()) {
+      if (e.node == node) fn(e);
+    }
+  }
+
+  // Copying filters, kept for callers that want a materialized subsequence.
+  [[nodiscard]] std::vector<TraceEvent> by_category(const std::string& category) const;
+  [[nodiscard]] std::vector<TraceEvent> by_node(NodeId node) const;
+
+  // First event whose category matches and whose detail contains `needle`;
+  // returns nullptr if absent.
+  [[nodiscard]] const TraceEvent* find(const std::string& category,
+                                       const std::string& needle) const;
+  [[nodiscard]] std::size_t count(const std::string& category, const std::string& needle) const;
+
+  void clear();
+  void print(std::ostream& os) const;
+
+  // The typed recorder behind this log. Components accept a `TraceLog*` for
+  // the string API and pull the recorder from it for typed events, so one
+  // constructor argument attaches both.
+  [[nodiscard]] Recorder& recorder() { return *rec_; }
+  [[nodiscard]] const Recorder& recorder() const { return *rec_; }
+
+ private:
+  std::unique_ptr<Recorder> owned_;  // null when adapting a shared recorder
+  Recorder* rec_;
+};
+
+}  // namespace stank::obs

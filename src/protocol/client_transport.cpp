@@ -76,6 +76,15 @@ void ClientTransport::transmit(MsgId id) {
   if (p.lease_only) {
     ++counters_->lease_only_msgs;
   }
+  if (rec_ != nullptr) {
+    if (p.transmissions == 0) {
+      rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqSend, id.value(),
+                   p.body.index());
+    } else {
+      rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqRetransmit, id.value(),
+                   static_cast<std::uint64_t>(p.transmissions));
+    }
+  }
   ++p.transmissions;
   send_frame(server_, f);
   arm_retry(id);
@@ -99,6 +108,10 @@ void ClientTransport::arm_retry(MsgId id) {
       // Delivery failure: report timeout and give up.
       Pending p2 = std::move(it->second);
       pending_.erase(it);
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqTimeout, id.value(),
+                     static_cast<std::uint64_t>(p2.transmissions));
+      }
       ReplyEvent ev;
       ev.outcome = ReplyOutcome::kTimeout;
       ev.first_send = p2.first_send;
@@ -131,6 +144,10 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       Pending p = std::move(it->second);
       clock_->cancel(p.timer);
       pending_.erase(it);
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kAckRecv, f.msg_id.value());
+        rec_->span(obs::SpanKind::kRequestRtt, (clock_->now() - p.first_send).millis());
+      }
       // A kStaleSession error comes from a NEW server incarnation that holds
       // no session — and no locks — for this client. It must be detected
       // BEFORE the opportunistic renewal: extending the lease on its ACK
@@ -180,6 +197,10 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       Pending p = std::move(it->second);
       clock_->cancel(p.timer);
       pending_.erase(it);
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kNackRecv, f.msg_id.value());
+        rec_->span(obs::SpanKind::kRequestRtt, (clock_->now() - p.first_send).millis());
+      }
       // A NACK means the server is timing out our lease regardless of which
       // of our current-epoch requests it answers — but only if the request
       // really belongs to the current registration (epoch numbers repeat
@@ -230,11 +251,17 @@ void ClientTransport::note_server_msg(const Frame& f) {
   // reply_cache_size newer server msgs overtake it, far beyond any real
   // spike; and the server's retry-then-suspect path bounds the damage to a
   // delivery failure, never a safety violation.)
-  if (f.msg_id.value() <= seen_low_water_) {
-    return;  // duplicate from beyond the window: ACKed again, not re-delivered
+  if (f.msg_id.value() <= seen_low_water_ || seen_server_msgs_.contains(f.msg_id)) {
+    // Duplicate (within the window or beyond it): ACKed again, not
+    // re-delivered.
+    if (rec_ != nullptr) {
+      rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgDup,
+                   f.msg_id.value());
+    }
+    return;
   }
-  if (seen_server_msgs_.contains(f.msg_id)) {
-    return;  // duplicate: ACKed again but not re-delivered
+  if (rec_ != nullptr) {
+    rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgRecv, f.msg_id.value());
   }
   seen_server_msgs_.insert(f.msg_id);
   seen_order_.push_back(f.msg_id);

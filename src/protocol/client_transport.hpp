@@ -20,6 +20,7 @@
 
 #include "metrics/counters.hpp"
 #include "net/control_net.hpp"
+#include "obs/recorder.hpp"
 #include "protocol/codec.hpp"
 #include "protocol/transport.hpp"
 #include "sim/clock.hpp"
@@ -79,6 +80,10 @@ class ClientTransport {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] NodeId server() const { return server_; }
 
+  // Attaches (or detaches, with nullptr) the flight recorder. Null in steady
+  // state: every instrumentation site is then a single predictable branch.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
  private:
   struct Pending {
     RequestBody body;
@@ -102,6 +107,7 @@ class ClientTransport {
   NodeId self_;
   NodeId server_;
   metrics::Counters* counters_;
+  obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
   Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   std::uint32_t epoch_{0};

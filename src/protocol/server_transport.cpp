@@ -56,6 +56,10 @@ void ServerTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       OutMsg m = std::move(it->second);
       clock_->cancel(m.timer);
       out_msgs_.erase(it);
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgAcked,
+                     frame->msg_id.value(), m.client.value());
+      }
       if (m.done) {
         m.done(true);
       }
@@ -82,6 +86,10 @@ void ServerTransport::handle_request(const Frame& f) {
         reply.kind = FrameKind::kNack;
         reply.body = std::monostate{};
       }
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqReplay,
+                     f.msg_id.value(), f.sender.value());
+      }
       send_reply_frame(f.sender, reply);
     }
     // else: still executing; the eventual reply will go out once.
@@ -95,6 +103,11 @@ void ServerTransport::handle_request(const Frame& f) {
     s.order.pop_front();
   }
 
+  if (rec_ != nullptr) {
+    rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqRecv, f.msg_id.value(),
+                 f.sender.value(),
+                 static_cast<std::uint16_t>(std::get<RequestBody>(f.body).index()));
+  }
   Responder r(this, f.sender, f.msg_id, f.epoch);
   on_request(f.sender, f.epoch, std::get<RequestBody>(f.body), r);
 }
@@ -140,6 +153,12 @@ void ServerTransport::send_reply_frame(NodeId client, const Frame& f) {
   } else {
     ++counters_->nacks_sent;
   }
+  if (rec_ != nullptr) {
+    rec_->record(clock_->engine().now(), self_,
+                 f.kind == FrameKind::kAck ? obs::EventKind::kAckSend
+                                           : obs::EventKind::kNackSend,
+                 f.msg_id.value(), client.value());
+  }
   send_frame(client, f);
 }
 
@@ -175,6 +194,17 @@ void ServerTransport::transmit_server_msg(MsgId id) {
   if (m.transmissions > 0) {
     ++counters_->retransmissions;
   }
+  if (rec_ != nullptr) {
+    if (m.transmissions == 0) {
+      rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgSend, id.value(),
+                   m.client.value(),
+                   static_cast<std::uint16_t>(std::get<ServerBody>(m.frame.body).index()));
+    } else {
+      rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgRetransmit,
+                   id.value(), m.client.value(),
+                   static_cast<std::uint16_t>(m.transmissions));
+    }
+  }
   ++m.transmissions;
   send_frame(m.client, m.frame);
 
@@ -186,6 +216,10 @@ void ServerTransport::transmit_server_msg(MsgId id) {
     if (it2->second.transmissions > cfg_.max_retries) {
       OutMsg m2 = std::move(it2->second);
       out_msgs_.erase(it2);
+      if (rec_ != nullptr) {
+        rec_->record(clock_->engine().now(), self_, obs::EventKind::kDeliveryFailure,
+                     id.value(), m2.client.value());
+      }
       if (m2.done) {
         m2.done(false);  // delivery failure
       }

@@ -20,6 +20,7 @@
 
 #include "metrics/counters.hpp"
 #include "net/control_net.hpp"
+#include "obs/recorder.hpp"
 #include "protocol/codec.hpp"
 #include "protocol/transport.hpp"
 #include "sim/clock.hpp"
@@ -75,6 +76,9 @@ class ServerTransport {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::size_t outstanding_server_msgs() const { return out_msgs_.size(); }
 
+  // Attaches (or detaches, with nullptr) the flight recorder.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
  private:
   struct Session {
     // msg id -> cached reply frame; nullopt while the handler is running.
@@ -101,6 +105,7 @@ class ServerTransport {
   sim::NodeClock* clock_;
   NodeId self_;
   metrics::Counters* counters_;
+  obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
   Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   bool started_{false};

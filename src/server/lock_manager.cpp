@@ -48,6 +48,10 @@ LockManager::AcquireOutcome LockManager::acquire(NodeId client, FileId file, Loc
       fl.holders.push_back(Holder{client, mode, LockMode::kNone, false});
       index_add_held(client, file);
     }
+    if (rec_ != nullptr) {
+      rec_->record_now(client, obs::EventKind::kLockGrant, file.value(),
+                       static_cast<std::uint64_t>(mode));
+    }
     return AcquireOutcome::kGranted;
   }
 
@@ -64,6 +68,10 @@ LockManager::AcquireOutcome LockManager::acquire(NodeId client, FileId file, Loc
   if (!queued) {
     fl.waiters.push_back(Waiter{client, mode});
     index_add_waiting(client, file);
+  }
+  if (rec_ != nullptr) {
+    rec_->record_now(client, obs::EventKind::kLockQueue, file.value(),
+                     static_cast<std::uint64_t>(mode));
   }
 
   collect_demands(file, fl, demands);
@@ -82,6 +90,10 @@ void LockManager::collect_demands(FileId file, FileLocks& fl, std::vector<Demand
     }
     h.demanded = need;
     h.demand_outstanding = true;
+    if (rec_ != nullptr) {
+      rec_->record_now(h.node, obs::EventKind::kLockDemand, file.value(),
+                       static_cast<std::uint64_t>(need));
+    }
     out.push_back(Demand{h.node, file, need});
   }
 }
@@ -104,11 +116,19 @@ void LockManager::set_mode(NodeId client, FileId file, LockMode mode, Update& ou
 
   if (mode == LockMode::kNone) {
     remove_holder(file, fl, client);
+    if (rec_ != nullptr) {
+      rec_->record_now(client, obs::EventKind::kLockRelease, file.value(),
+                       static_cast<std::uint64_t>(LockMode::kNone));
+    }
   } else if (mode_leq(mode, held->mode)) {
     held->mode = mode;
     // Satisfied a demand down to `mode`? Clear bookkeeping at or above it.
     if (held->demand_outstanding && mode_leq(mode, held->demanded)) {
       held->demand_outstanding = false;
+    }
+    if (rec_ != nullptr) {
+      rec_->record_now(client, obs::EventKind::kLockRelease, file.value(),
+                       static_cast<std::uint64_t>(mode));
     }
   }
   // Upgrades via set_mode are ignored; acquire() is the only upgrade path.
@@ -129,6 +149,10 @@ void LockManager::pump_waiters(FileId file, FileLocks& fl, Update& out) {
     } else {
       fl.holders.push_back(Holder{w.client, w.mode, LockMode::kNone, false});
       index_add_held(w.client, file);
+    }
+    if (rec_ != nullptr) {
+      rec_->record_now(w.client, obs::EventKind::kLockGrant, file.value(),
+                       static_cast<std::uint64_t>(w.mode));
     }
     out.grants.push_back(Grant{w.client, file, w.mode});
     fl.waiters.erase(fl.waiters.begin());
@@ -180,6 +204,9 @@ void LockManager::steal_all(NodeId client, std::vector<FileId>& affected, Update
     for (Holder& h : fl.holders) {
       if (h.node == client) {
         fl.holders.swap_erase(&h);
+        if (rec_ != nullptr) {
+          rec_->record_now(client, obs::EventKind::kLockStolen, file.value());
+        }
         break;
       }
     }

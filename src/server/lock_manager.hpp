@@ -24,6 +24,7 @@
 #include "common/flat_map.hpp"
 #include "common/small_vec.hpp"
 #include "common/strong_id.hpp"
+#include "obs/recorder.hpp"
 #include "protocol/messages.hpp"
 
 namespace stank::server {
@@ -137,6 +138,11 @@ class LockManager {
   // have been gc'd, and the reverse index agrees with the lock table.
   [[nodiscard]] bool invariants_hold() const;
 
+  // Attaches the flight recorder. The manager is pure state with no clock of
+  // its own, so events are stamped via the recorder's bound engine; each
+  // event carries the affected client as its node.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
  private:
   struct Holder {
     NodeId node;
@@ -184,6 +190,7 @@ class LockManager {
 
   FlatMap<FileId, FileLocks> files_;
   FlatMap<NodeId, ClientFiles> clients_;
+  obs::Recorder* rec_{nullptr};
 };
 
 }  // namespace stank::server

@@ -34,8 +34,14 @@ Server::Server(sim::Engine& engine, net::ControlNet& net, storage::SanFabric& sa
       cfg_(std::move(cfg)),
       clock_(engine, local_clock),
       trace_(trace),
+      rec_(trace != nullptr ? &trace->recorder() : nullptr),
       transport_(net, clock_, cfg_.id, counters_, cfg_.transport) {
   cfg_.lease.validate();
+  if (rec_ != nullptr) {
+    rec_->bind_engine(engine);
+    transport_.set_recorder(rec_);
+    locks_.set_recorder(rec_);
+  }
   STANK_ASSERT_MSG(!cfg_.data_disks.empty(), "server needs at least one data disk");
   for (DiskId d : cfg_.data_disks) {
     allocators_.push_back(std::make_unique<BlockAllocator>(d, san_->disk(d).capacity()));
@@ -67,8 +73,10 @@ std::unique_ptr<core::ServerLeaseAuthority> Server::make_authority() {
     this->trace("lease",
                 [&] { return sim::cat("client ", c, " standing=", standing_str(s)); });
   };
-  return std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
-                                                      std::move(hooks));
+  auto authority = std::make_unique<core::ServerLeaseAuthority>(clock_, cfg_.lease, counters_,
+                                                                std::move(hooks));
+  authority->set_recorder(rec_, cfg_.id);
+  return authority;
 }
 
 Server::~Server() {
@@ -217,6 +225,9 @@ void Server::handle_register(NodeId client, ServerTransport::Responder r) {
   }
   unfence_client(client);
   ++counters_.transactions;
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), client, obs::EventKind::kRegister, s.epoch);
+  }
   trace("session",
         [&] { return sim::cat("client ", client.value(), " registered epoch ", s.epoch); });
   r.ack(protocol::RegisterReply{s.epoch, incarnation_});
@@ -408,10 +419,14 @@ bool Server::in_grace() const {
 void Server::crash() {
   if (!started_) return;
   trace("node", "server crash");
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), cfg_.id, obs::EventKind::kCrash);
+  }
   stop();  // drops transport, timers
   // Volatile state is gone. Metadata, the allocator and the incarnation
   // counter live on the server's private persistent storage.
   locks_ = LockManager{};
+  locks_.set_recorder(rec_);
   sessions_.clear();
   barred_.clear();
   fenced_clients_.clear();
@@ -435,6 +450,9 @@ void Server::restart() {
                                        ? cfg_.recovery_grace
                                        : core::server_wait(cfg_.lease.tau, cfg_.lease.epsilon);
   grace_until_ = clock_.now() + grace;
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), cfg_.id, obs::EventKind::kRestart, incarnation_);
+  }
   trace("node", [&] {
     return sim::cat("server restart incarnation ", incarnation_, ", grace until ",
                     grace_until_.seconds(), "s");
@@ -817,6 +835,9 @@ void Server::begin_recovery(NodeId client) {
 void Server::fence_client(NodeId client, std::function<void()> then) {
   ++counters_.fences_issued;
   fenced_clients_.insert(client);
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), client, obs::EventKind::kFence);
+  }
   trace("fence", [&] { return sim::cat("fencing client ", client.value()); });
 
   auto fan = std::make_shared<FanIn>();
@@ -854,6 +875,9 @@ void Server::unfence_client(NodeId client) {
   fenced_clients_.erase(client);
   const Session* session = sessions_.find(client);
   const std::uint32_t key = session == nullptr ? 0 : session->epoch;
+  if (rec_ != nullptr) {
+    rec_->record(engine_->now(), client, obs::EventKind::kUnfence, key);
+  }
   trace("fence", [&] { return sim::cat("unfencing client ", client.value(), " key ", key); });
   for (DiskId d : cfg_.data_disks) {
     san_->submit_admin(

@@ -221,6 +221,9 @@ class Server {
   ServerConfig cfg_;
   sim::NodeClock clock_;
   sim::TraceLog* trace_;
+  // Typed flight recorder behind trace_ (one ctor argument attaches both);
+  // null when tracing is off.
+  obs::Recorder* rec_{nullptr};
 
   metrics::Counters counters_;
   protocol::ServerTransport transport_;

@@ -1,58 +1,17 @@
-// Structured trace log.
+// Structured trace log — compatibility shim.
 //
-// Records protocol events with their global timestamp so tests can assert on
-// orderings ("the server stole the locks strictly after the client finished
-// its phase-4 flush") and benches can replay the paper's figures as traces.
+// The implementation moved to the observability layer: obs::TraceLog is a
+// string-annotation adapter over the typed obs::Recorder (see
+// obs/trace_log.hpp). Existing code keeps using sim::TraceLog / sim::cat
+// unchanged through these aliases.
 #pragma once
 
-#include <ostream>
-#include <sstream>
-#include <string>
-#include <vector>
-
-#include "common/strong_id.hpp"
-#include "sim/time.hpp"
+#include "obs/trace_log.hpp"
 
 namespace stank::sim {
 
-// Streams its arguments into one string. Lazy trace sinks call this inside a
-// deferred format callable, so the stream machinery runs only when a TraceLog
-// is actually attached; steady-state runs pay a single null check per event.
-template <typename... Parts>
-[[nodiscard]] std::string cat(Parts&&... parts) {
-  std::ostringstream os;
-  (os << ... << std::forward<Parts>(parts));
-  return os.str();
-}
-
-struct TraceEvent {
-  SimTime at;
-  NodeId node;
-  std::string category;  // e.g. "lease", "lock", "net", "io"
-  std::string detail;
-};
-
-class TraceLog {
- public:
-  void record(SimTime at, NodeId node, std::string category, std::string detail);
-
-  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
-
-  // All events whose category matches exactly, preserving order.
-  [[nodiscard]] std::vector<TraceEvent> by_category(const std::string& category) const;
-  [[nodiscard]] std::vector<TraceEvent> by_node(NodeId node) const;
-
-  // First event whose category matches and whose detail contains `needle`;
-  // returns nullptr if absent.
-  [[nodiscard]] const TraceEvent* find(const std::string& category,
-                                       const std::string& needle) const;
-  [[nodiscard]] std::size_t count(const std::string& category, const std::string& needle) const;
-
-  void clear() { events_.clear(); }
-  void print(std::ostream& os) const;
-
- private:
-  std::vector<TraceEvent> events_;
-};
+using obs::cat;
+using obs::TraceEvent;
+using obs::TraceLog;
 
 }  // namespace stank::sim

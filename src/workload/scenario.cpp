@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -39,6 +40,24 @@ client::Fd Scenario::fd(std::size_t client_idx, std::size_t file_idx) const {
 
 std::uint64_t Scenario::next_version(FileId file, std::uint64_t block) {
   return ++versions_[{file, block}];
+}
+
+std::string ScenarioResult::verdict_line() const {
+  char head[128];
+  if (violations.total() == 0) {
+    std::snprintf(head, sizeof(head), "verdict: CONSISTENT");
+  } else {
+    std::snprintf(head, sizeof(head),
+                  "verdict: %zu VIOLATION(S) [stale=%zu lost=%zu order=%zu]",
+                  violations.total(), violations.stale_reads, violations.lost_updates,
+                  violations.write_order);
+  }
+  char ops[96];
+  std::snprintf(ops, sizeof(ops), " | ops %llur/%lluw ok, %llu failed | net ",
+                static_cast<unsigned long long>(reads_ok),
+                static_cast<unsigned long long>(writes_ok),
+                static_cast<unsigned long long>(ops_failed));
+  return std::string(head) + ops + net.summary();
 }
 
 void Scenario::build() {
@@ -105,6 +124,32 @@ void Scenario::build() {
   for (std::size_t c = 0; c < clients_.size(); ++c) {
     drivers_[c].index = c;
     drivers_[c].rng = rng_.fork(1000 + c);
+  }
+
+  if (cfg_.enable_trace) {
+    rec_ = &trace_.recorder();
+    rec_->bind_engine(engine_);
+    net_->set_recorder(rec_);
+    // Time-series probes, snapshotted on the lease-state sampling timer.
+    sampler_ = std::make_unique<obs::Sampler>(*rec_);
+    sampler_->add_probe("lease_state_bytes",
+                        [this]() { return static_cast<double>(server_->lease_state_bytes()); });
+    sampler_->add_probe("held_files",
+                        [this]() { return static_cast<double>(server_->locks().held_files()); });
+    if (cfg_.strategy == core::LeaseStrategy::kStorageTank) {
+      sampler_->add_probe("suspect_clients", [this]() {
+        return static_cast<double>(server_->authority().suspect_count());
+      });
+    }
+    sampler_->add_delta_probe(
+        "net_sent", [this]() { return static_cast<double>(net_->stats().sent); });
+    sampler_->add_delta_probe(
+        "net_delivered", [this]() { return static_cast<double>(net_->stats().delivered); });
+    sampler_->add_delta_probe("net_dropped", [this]() {
+      const net::NetStats& s = net_->stats();
+      return static_cast<double>(s.dropped_partition + s.dropped_random + s.dropped_burst +
+                                 s.dropped_detached);
+    });
   }
 }
 
@@ -262,7 +307,9 @@ void Scenario::do_write(std::size_t ci, std::size_t fi, std::uint64_t block) {
                 if (st.is_ok()) {
                   ++writes_ok_;
                   history_.on_buffered_write(engine_.now(), node, stamp);
-                  op_latency_ms_.add((engine_.now() - t0).millis());
+                  const double ms = (engine_.now() - t0).millis();
+                  op_latency_ms_.add(ms);
+                  if (rec_ != nullptr) rec_->span(obs::SpanKind::kOpLatency, ms);
                 } else {
                   ++ops_failed_;
                 }
@@ -299,7 +346,9 @@ void Scenario::do_read(std::size_t ci, std::size_t fi, std::uint64_t block) {
               return;
             }
             ++reads_ok_;
-            op_latency_ms_.add((engine_.now() - t0).millis());
+            const double ms = (engine_.now() - t0).millis();
+            op_latency_ms_.add(ms);
+            if (rec_ != nullptr) rec_->span(obs::SpanKind::kOpLatency, ms);
             auto stamp = verify::decode_stamp(res.value());
             verify::ReadRec rec;
             rec.start = t0;
@@ -366,6 +415,9 @@ void Scenario::apply_failure(const FailureEvent& ev) {
 
 void Scenario::sample_lease_state() {
   max_lease_bytes_ = std::max(max_lease_bytes_, server_->lease_state_bytes());
+  if (sampler_) {
+    sampler_->snapshot(now_s());
+  }
   const double horizon = cfg_.workload.run_seconds + settle_seconds_;
   if (now_s() < horizon) {
     engine_.schedule_after(sim::millis(250), [this]() { sample_lease_state(); });

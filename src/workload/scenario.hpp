@@ -11,11 +11,13 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "client/client.hpp"
 #include "metrics/histogram.hpp"
 #include "net/control_net.hpp"
+#include "obs/sampler.hpp"
 #include "server/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -90,6 +92,10 @@ struct ScenarioResult {
   metrics::Histogram op_latency_ms;
   double sim_seconds{0.0};
   std::uint64_t engine_events{0};
+
+  // One-line final verdict: consistency outcome, op counts, and the network
+  // summary (what the fabric did to the traffic explains a bad run).
+  [[nodiscard]] std::string verdict_line() const;
 };
 
 class Scenario {
@@ -117,6 +123,9 @@ class Scenario {
   [[nodiscard]] net::ControlNet& control_net() { return *net_; }
   [[nodiscard]] storage::SanFabric& san() { return *san_; }
   [[nodiscard]] sim::TraceLog& trace() { return trace_; }
+  // The typed flight recorder behind the trace log (always present; only fed
+  // when cfg.enable_trace attached it to the nodes).
+  [[nodiscard]] obs::Recorder& recorder() { return trace_.recorder(); }
   [[nodiscard]] verify::HistoryRecorder& history() { return history_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] NodeId server_node() const;
@@ -162,6 +171,10 @@ class Scenario {
   sim::Engine engine_;
   sim::Rng rng_;
   sim::TraceLog trace_;
+  // Null unless cfg_.enable_trace; the same gate the nodes use, so latency
+  // spans cost one branch in untraced benches.
+  obs::Recorder* rec_{nullptr};
+  std::unique_ptr<obs::Sampler> sampler_;
   verify::HistoryRecorder history_;
 
   std::unique_ptr<net::ControlNet> net_;

@@ -67,6 +67,101 @@ TEST(Histogram, MergeAndClear) {
   EXPECT_EQ(a.count(), 0u);
 }
 
+TEST(Histogram, KnownDistributionQuantiles) {
+  // Constant distribution: every quantile is the constant.
+  Histogram c;
+  for (int i = 0; i < 50; ++i) c.add(7.0);
+  for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(c.quantile(q), 7.0) << "q=" << q;
+  }
+
+  // Two-point distribution, 90% low / 10% high: the p50..p90 plateau sits
+  // on the low mode and the tail percentiles jump to the high one.
+  Histogram two;
+  for (int i = 0; i < 90; ++i) two.add(1.0);
+  for (int i = 0; i < 10; ++i) two.add(100.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.50), 1.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.90), 1.0);   // nearest rank: exactly the 90th
+  EXPECT_DOUBLE_EQ(two.quantile(0.91), 100.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.99), 100.0);
+
+  // Uniform 1..1000: nearest-rank percentiles land on exact values.
+  Histogram u;
+  for (int i = 1; i <= 1000; ++i) u.add(i);
+  EXPECT_DOUBLE_EQ(u.quantile(0.50), 500.0);
+  EXPECT_DOUBLE_EQ(u.quantile(0.95), 950.0);
+  EXPECT_DOUBLE_EQ(u.quantile(0.99), 990.0);
+}
+
+TEST(Histogram, MergeIsAssociativeAndOrderIndependent) {
+  auto fill = [](Histogram& h, std::initializer_list<double> vs) {
+    for (double v : vs) h.add(v);
+  };
+  Histogram a1, b1, c1, a2, b2, c2;
+  fill(a1, {1.0, 9.0});
+  fill(b1, {5.0});
+  fill(c1, {3.0, 7.0, 11.0});
+  fill(a2, {1.0, 9.0});
+  fill(b2, {5.0});
+  fill(c2, {3.0, 7.0, 11.0});
+
+  // (a ∪ b) ∪ c
+  a1.merge(b1);
+  a1.merge(c1);
+  // a ∪ (b ∪ c)
+  b2.merge(c2);
+  a2.merge(b2);
+
+  ASSERT_EQ(a1.count(), a2.count());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(a1.quantile(q), a2.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a1.mean(), a2.mean());
+  EXPECT_DOUBLE_EQ(a1.stddev(), a2.stddev());
+}
+
+TEST(Histogram, MergeEmptyIsIdentity) {
+  Histogram a, empty;
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, OverflowBucketEdges) {
+  // q=1.0 must clamp to the last rank, not index one past the end.
+  Histogram one;
+  one.add(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 42.0);
+
+  Histogram h;
+  for (int i = 1; i <= 4; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // A quantile just under 1.0 still rounds up into the top rank.
+  EXPECT_DOUBLE_EQ(h.quantile(0.9999), 4.0);
+  // And q=0.0 pins to the minimum.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, SamplesExposeInsertionOrder) {
+  Histogram h;
+  h.add(3.0);
+  h.add(1.0);
+  h.add(2.0);
+  const auto& s = h.samples();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+  // Reading quantiles (which sorts a shadow copy) must not disturb the raw
+  // sample order serialization depends on.
+  (void)h.quantile(0.5);
+  EXPECT_DOUBLE_EQ(h.samples()[0], 3.0);
+}
+
 TEST(HistogramDeathTest, QuantileOutOfRangeAborts) {
   Histogram h;
   h.add(1.0);

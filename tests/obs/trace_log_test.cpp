@@ -1,0 +1,69 @@
+#include "obs/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace stank::obs {
+namespace {
+
+TEST(TraceLogAdapter, SharedRecorderIsNotCopied) {
+  Recorder rec;
+  TraceLog log(rec);
+  log.record(sim::SimTime{1}, NodeId{1}, "lease", "x");
+  // The adapter wrote straight into the shared recorder's annotation
+  // channel, and events() hands that storage back without copying.
+  ASSERT_EQ(rec.annotations().size(), 1u);
+  EXPECT_EQ(&log.events(), &rec.annotations());
+  rec.annotate(sim::SimTime{2}, NodeId{2}, "lock", "y");
+  EXPECT_EQ(log.events().size(), 2u);
+}
+
+TEST(TraceLogAdapter, OwnedRecorderWhenDefaultConstructed) {
+  TraceLog log;
+  log.record(sim::SimTime{1}, NodeId{1}, "a", "b");
+  EXPECT_EQ(log.recorder().annotations().size(), 1u);
+  EXPECT_EQ(&log.events(), &log.recorder().annotations());
+}
+
+TEST(TraceLogAdapter, VisitFiltersByCategoryInOrder) {
+  TraceLog log;
+  log.record(sim::SimTime{1}, NodeId{1}, "lease", "first");
+  log.record(sim::SimTime{2}, NodeId{1}, "lock", "other");
+  log.record(sim::SimTime{3}, NodeId{2}, "lease", "second");
+
+  std::vector<std::string> seen;
+  log.visit("lease", [&](const TraceEvent& e) { seen.push_back(e.detail); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "first");
+  EXPECT_EQ(seen[1], "second");
+}
+
+TEST(TraceLogAdapter, VisitNodeFilters) {
+  TraceLog log;
+  log.record(sim::SimTime{1}, NodeId{1}, "a", "x");
+  log.record(sim::SimTime{2}, NodeId{2}, "a", "y");
+  std::size_t n = 0;
+  log.visit_node(NodeId{2}, [&](const TraceEvent&) { ++n; });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(TraceLogAdapter, ClearLeavesTypedEventsIntact) {
+  Recorder rec;
+  TraceLog log(rec);
+  rec.record(sim::SimTime{1}, NodeId{1}, EventKind::kReqSend, 5);
+  log.record(sim::SimTime{2}, NodeId{1}, "lease", "x");
+  log.clear();
+  // The legacy clear() semantics: only the string channel empties; the
+  // typed flight-recorder rings survive.
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(rec.total_events(), 1u);
+}
+
+TEST(CatHelper, StreamsArgumentsTogether) {
+  EXPECT_EQ(cat("client ", NodeId{7}, " took ", 3, " locks"), "client n7 took 3 locks");
+}
+
+}  // namespace
+}  // namespace stank::obs

@@ -137,9 +137,14 @@ Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative) 
   return ep;
 }
 
-EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* trace_to = nullptr) {
+EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* trace_to = nullptr,
+                          const std::string& trace_save = {}) {
   workload::Scenario sc(cfg);
   auto r = sc.run();
+  if (!trace_save.empty()) {
+    std::ofstream f(trace_save, std::ios::binary);
+    sc.recorder().save(f);
+  }
   if (trace_to != nullptr) {
     sc.trace().print(*trace_to);
     // Raw history: lets a developer line the trace up against what the disk
@@ -169,18 +174,28 @@ bool violates(const workload::ScenarioConfig& cfg) {
   return run_episode(cfg).violations.total() > 0;
 }
 
+// Re-runs a (deterministic) episode with the flight recorder attached and
+// saves the binary trace next to the replay file, so a developer picking the
+// repro up can open the timeline without reconstructing anything.
+void dump_trace(workload::ScenarioConfig cfg, const std::string& path) {
+  cfg.enable_trace = true;
+  (void)run_episode(cfg, nullptr, path);
+  std::printf("flight trace written to %s (inspect with tools/trace_dump)\n", path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Replay files: every sampled parameter, fully materialized, so the file is
 // self-contained (no re-derivation from the RNG needed — which is what lets
 // the shrinker persist a minimized plan).
 
 void write_replay(const std::string& path, const Episode& ep,
-                  const verify::ViolationSummary& v) {
+                  const verify::ViolationSummary& v, const net::NetStats& net) {
   std::ofstream f(path);
   const workload::ScenarioConfig& c = ep.cfg;
   f << "# stank fuzz_safety replay v1\n";
   f << "# violations: write_order=" << v.write_order << " stale_reads=" << v.stale_reads
     << " lost_updates=" << v.lost_updates << "\n";
+  f << "# net: " << net.summary() << "\n";
   f << "episode_seed=" << ep.seed << "\n";
   f << "mode=" << (ep.negative ? "negative" : "valid") << "\n";
   f << "pattern=" << static_cast<int>(c.workload.pattern) << "\n";
@@ -358,9 +373,10 @@ int main(int argc, char** argv) {
                 replay_path.c_str(), static_cast<unsigned long long>(ep->seed),
                 ep->negative ? "negative" : "valid", ep->cfg.failures.events.size());
     ep->cfg.enable_trace = trace;
-    auto r = run_episode(ep->cfg, trace ? &std::cout : nullptr);
-    std::printf("ops completed: %llu; checker result:\n",
-                static_cast<unsigned long long>(r.ops));
+    auto r = run_episode(ep->cfg, trace ? &std::cout : nullptr,
+                         trace ? replay_path + ".trace" : std::string{});
+    std::printf("ops completed: %llu; net %s; checker result:\n",
+                static_cast<unsigned long long>(r.ops), r.net.summary().c_str());
     print_violations(r.violations);
     for (const auto& v : r.details) {
       std::printf("  [%s] t=%.4fs %s\n", verify::to_string(v.kind), v.at.seconds(),
@@ -418,7 +434,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     const Episode ep = generate(seed, first_violating, negative);
-    write_replay(out_path, ep, results[first_violating].violations);
+    write_replay(out_path, ep, results[first_violating].violations,
+                 results[first_violating].net);
+    dump_trace(ep.cfg, out_path + ".trace");
     std::printf("negative control OK: %zu/%zu episodes violated as expected.\n"
                 "replayable example: seed %llu -> %s\n",
                 violating, episodes, static_cast<unsigned long long>(ep.seed),
@@ -436,7 +454,9 @@ int main(int argc, char** argv) {
     ep.cfg = shrink(ep.cfg, &shrink_runs);
     std::printf("shrunk to %zu events in %d runs; replay written to %s\n",
                 ep.cfg.failures.events.size(), shrink_runs, out_path.c_str());
-    write_replay(out_path, ep, results[first_violating].violations);
+    write_replay(out_path, ep, results[first_violating].violations,
+                 results[first_violating].net);
+    dump_trace(ep.cfg, out_path + ".trace");
     return 1;
   }
 

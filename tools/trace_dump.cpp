@@ -1,0 +1,107 @@
+// trace_dump: render a binary flight-recorder trace (.trace, written by
+// obs::Recorder::save — e.g. the artifact fuzz_safety leaves next to a
+// replay file) as a human-readable timeline, span-latency percentiles, or
+// Chrome/Perfetto trace-event JSON.
+//
+// Usage:
+//   trace_dump <file.trace>                 merged timeline to stdout
+//   trace_dump <file.trace> --node N        timeline of node N only
+//   trace_dump <file.trace> --spans         span histograms (p50/p95/p99)
+//   trace_dump <file.trace> --series        sampled time series
+//   trace_dump <file.trace> --chrome [out]  trace-event JSON (default
+//                                           <file>.json; "-" = stdout)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "metrics/histogram.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+
+using namespace stank;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.trace> [--node N | --spans | --series | --chrome [out]]\n",
+               argv0);
+  return 2;
+}
+
+void print_spans(const obs::Recorder& rec) {
+  std::printf("%-16s %8s %10s %10s %10s %10s\n", "span", "count", "p50(ms)", "p95(ms)",
+              "p99(ms)", "max(ms)");
+  for (std::size_t k = 0; k < obs::kSpanKindCount; ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    const metrics::Histogram& h = rec.span_hist(kind);
+    if (h.count() == 0) continue;
+    std::printf("%-16s %8zu %10.3f %10.3f %10.3f %10.3f\n", obs::to_string(kind), h.count(),
+                h.quantile(0.5), h.quantile(0.95), h.quantile(0.99), h.max());
+  }
+}
+
+void print_series(const obs::Recorder& rec) {
+  for (const obs::Series& s : rec.series()) {
+    std::printf("# %s (%zu points)\n", s.name.c_str(), s.points.size());
+    for (const obs::SeriesPoint& p : s.points) {
+      std::printf("%.3f %.3f\n", p.t_s, p.value);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+
+  obs::Recorder rec;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace_dump: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    if (!rec.load(in)) {
+      std::fprintf(stderr, "trace_dump: %s is not a valid trace file\n", path.c_str());
+      return 1;
+    }
+  }
+
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode.empty()) {
+    obs::write_timeline(rec, std::cout);
+  } else if (mode == "--node") {
+    if (argc < 4) return usage(argv[0]);
+    const auto id = static_cast<std::uint32_t>(std::strtoul(argv[3], nullptr, 10));
+    obs::write_timeline(rec, std::cout, /*filter_node=*/true, NodeId{id});
+  } else if (mode == "--spans") {
+    print_spans(rec);
+  } else if (mode == "--series") {
+    print_series(rec);
+  } else if (mode == "--chrome") {
+    const std::string out = argc > 3 ? argv[3] : path + ".json";
+    if (out == "-") {
+      obs::write_chrome_trace(rec, std::cout);
+    } else {
+      std::ofstream os(out);
+      if (!os) {
+        std::fprintf(stderr, "trace_dump: cannot write %s\n", out.c_str());
+        return 1;
+      }
+      obs::write_chrome_trace(rec, os);
+      std::fprintf(stderr, "wrote %s\n", out.c_str());
+    }
+  } else {
+    return usage(argv[0]);
+  }
+
+  std::fprintf(stderr, "%zu events across %zu nodes, %llu dropped (ring overflow)\n",
+               rec.total_events(), rec.nodes().size(),
+               static_cast<unsigned long long>(rec.dropped_events()));
+  return 0;
+}
