@@ -2,15 +2,29 @@
 """Compare a fresh BENCH_core.json against the committed baseline.
 
 Usage: bench_diff.py [--baseline FILE] [--fresh FILE] [--threshold PCT]
+                     [--p99-fail-pct PCT] [--update-baseline]
 
 Prints a per-bench table of events/s deltas and exits non-zero when any
 bench regressed by more than the threshold (default 15%). Benches present
 on only one side are reported but never fail the run (added/removed
 benches are a review concern, not a perf regression).
+
+p99 latency drift always warns beyond --threshold; with --p99-fail-pct set
+it additionally becomes a soft gate: drift beyond that percentage fails the
+run. The default (unset) keeps the historical warn-only behaviour.
+
+Steady-state allocation counts ("allocs" entries) are a hard gate whenever
+both sides report them: any count above its baseline fails the run, because
+the zero-allocation invariant only has to be lost once to be lost for good.
+
+--update-baseline copies the fresh results over the baseline file with a
+provenance header recording when and from what the baseline was taken.
 """
 
 import argparse
+import datetime
 import json
+import subprocess
 import sys
 
 
@@ -19,6 +33,7 @@ def load(path):
         doc = json.load(f)
     out = {}
     lat = {}
+    allocs = {}
     for b in doc.get("benches", []):
         report = b.get("report")
         if not report or b.get("exit", 0) != 0:
@@ -30,7 +45,43 @@ def load(path):
             p99 = entry.get("p99_ms")
             if p99 is not None:
                 lat[f"{b['name']}:{entry['name']}"] = float(p99)
-    return out, lat
+        for entry in report.get("allocs", []):
+            allocs[f"{b['name']}:{entry['name']}"] = int(entry["count"])
+    return out, lat, allocs
+
+
+def update_baseline(baseline_path, fresh_path):
+    """Copy fresh results over the baseline, stamping provenance.
+
+    The provenance lives in a "provenance" key (JSON has no comments), so
+    the file stays machine-readable and the history of when the bar moved
+    stays reviewable in git.
+    """
+    with open(fresh_path) as f:
+        doc = json.load(f)
+    commit = "unknown"
+    try:
+        commit = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                                capture_output=True, text=True,
+                                check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    stamped = {
+        "schema": doc.get("schema", "stank-bench-core-v1"),
+        "provenance": {
+            "updated": datetime.datetime.now(datetime.timezone.utc)
+                       .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "source": fresh_path,
+            "commit": commit,
+            "tool": "bench_diff.py --update-baseline",
+        },
+        "benches": doc.get("benches", []),
+    }
+    with open(baseline_path, "w") as f:
+        json.dump(stamped, f, indent=2)
+        f.write("\n")
+    print(f"bench_diff: baseline {baseline_path} updated from {fresh_path} "
+          f"(commit {commit})")
 
 
 def main():
@@ -39,15 +90,29 @@ def main():
     ap.add_argument("--fresh", default="build/BENCH_core.json")
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="max allowed regression in percent (default 15)")
+    ap.add_argument("--p99-fail-pct", type=float, default=None,
+                    help="fail when any p99 drifts beyond this percent "
+                         "(default: warn only)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="overwrite the baseline with the fresh results "
+                         "(stamped with provenance) instead of comparing")
     args = ap.parse_args()
 
+    if args.update_baseline:
+        try:
+            update_baseline(args.baseline, args.fresh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: cannot update baseline: {e}", file=sys.stderr)
+            return 2
+        return 0
+
     try:
-        base, base_lat = load(args.baseline)
+        base, base_lat, base_allocs = load(args.baseline)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
         return 2
     try:
-        fresh, fresh_lat = load(args.fresh)
+        fresh, fresh_lat, fresh_allocs = load(args.fresh)
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read fresh results {args.fresh}: {e}", file=sys.stderr)
         return 2
@@ -70,25 +135,55 @@ def main():
         print(f"{name:<{width}}  {base[name]:>12.0f}  {fresh[name]:>12.0f}  {delta:>+7.1f}%{flag}")
 
     # Latency p99 drift: simulated-time percentiles are deterministic per
-    # seed, so any drift is a real behaviour change — but one a reviewer
-    # should judge, not a gate. Warn beyond the threshold; never fail.
+    # seed, so any drift is a real behaviour change. Warn beyond --threshold;
+    # fail only when the operator opted into --p99-fail-pct.
     warned = 0
+    p99_failures = []
     for name in sorted(base_lat.keys() & fresh_lat.keys()):
         b, f = base_lat[name], fresh_lat[name]
         if b <= 0:
             continue
         delta = 100.0 * (f - b) / b
-        if abs(delta) > args.threshold:
+        if args.p99_fail_pct is not None and abs(delta) > args.p99_fail_pct:
+            p99_failures.append((name, b, f, delta))
+        elif abs(delta) > args.threshold:
             if warned == 0:
                 print(f"\nbench_diff: p99 latency drift beyond {args.threshold:.0f}%:")
             warned += 1
             print(f"  WARNING {name}: p99 {b:.3f}ms -> {f:.3f}ms ({delta:+.1f}%)")
 
+    # Steady-state allocation counts: a count above baseline means a hot
+    # path started allocating again. Hard gate, no threshold.
+    alloc_failures = []
+    for name in sorted(base_allocs.keys() & fresh_allocs.keys()):
+        if fresh_allocs[name] > base_allocs[name]:
+            alloc_failures.append((name, base_allocs[name], fresh_allocs[name]))
+    for name in sorted(fresh_allocs.keys() - base_allocs.keys()):
+        if fresh_allocs[name] > 0:
+            print(f"\nbench_diff: note: new alloc gate {name} starts non-zero "
+                  f"({fresh_allocs[name]})")
+
+    failed = False
     if regressions:
         print(f"\nbench_diff: {len(regressions)} bench(es) regressed more than "
               f"{args.threshold:.0f}% in events/s:", file=sys.stderr)
         for name, delta in regressions:
             print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        failed = True
+    if p99_failures:
+        print(f"\nbench_diff: {len(p99_failures)} p99 drift(s) beyond "
+              f"{args.p99_fail_pct:.0f}% (--p99-fail-pct):", file=sys.stderr)
+        for name, b, f, delta in p99_failures:
+            print(f"  {name}: p99 {b:.3f}ms -> {f:.3f}ms ({delta:+.1f}%)",
+                  file=sys.stderr)
+        failed = True
+    if alloc_failures:
+        print(f"\nbench_diff: {len(alloc_failures)} steady-state allocation "
+              f"count(s) grew:", file=sys.stderr)
+        for name, b, f in alloc_failures:
+            print(f"  {name}: {b} -> {f} allocations", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
     print(f"\nbench_diff: no regression beyond {args.threshold:.0f}%"
           + (f" ({warned} p99 warning(s))" if warned else ""))

@@ -1,0 +1,159 @@
+// Zero-allocation steady-state gates.
+//
+// Two hot paths must run without touching the global allocator once warm:
+//
+//   renewal_tick   — the lease keep-alive cycle (phase-2 keepalive timer,
+//                    KeepAliveReq encode/send, server ACK, opportunistic
+//                    renew). This is the per-client background cost every
+//                    idle second of a deployment pays, times N clients.
+//   grant_release  — an uncontended shared lock() + release() round trip:
+//                    client transport retry state, server lock table, reply
+//                    cache ring, and the batched ControlNet delivery path.
+//
+// Each gate warms the system (registration, reply-cache rings, engine slot
+// pools, codec buffer pools, FlatMap high-water capacity), snapshots the
+// operator-new counter from alloc_hooks, runs the steady window, and FAILS
+// THE BENCH (exit 1) if a single allocation happened. The counts are also
+// reported, so BENCH_core.json records the invariant and bench_diff.py can
+// flag any regression against it.
+#include <cstdio>
+#include <cstdlib>
+
+#include "alloc_hooks.hpp"
+#include "bench_util.hpp"
+#include "workload/scenario.hpp"
+
+using namespace stank;
+
+namespace {
+
+// Keep-alive renewal traffic only: generators are never started, and the
+// tiny run_seconds horizon quiesces the lease-state sampling timer before
+// the measured window opens.
+std::uint64_t renewal_tick_allocs() {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 8;
+  cfg.workload.num_files = 2;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 0.1;
+  cfg.lease.tau = sim::local_seconds_d(0.5);  // aggressive renewal cadence
+  // Small reply-cache ring so the per-session FlatMap reaches its steady
+  // capacity within the warm-up (the default 128 would still be growing —
+  // and legitimately allocating — 30 s in at this keep-alive rate).
+  cfg.transport.reply_cache_size = 8;
+  workload::Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(5.0);  // warm: registration, rings, pools
+  const std::uint64_t snap = bench::allocs();
+  // Debug aid: abort at the first steady-window allocation so a debugger
+  // shows the site.
+  if (std::getenv("STANK_STEADY_TRAP") != nullptr) bench::trap_next_alloc(true);
+  sc.run_until_s(15.0);  // 10 simulated seconds of pure keep-alive traffic
+  bench::trap_next_alloc(false);
+  return bench::allocs() - snap;
+}
+
+struct CycleCtx {
+  client::Client* cl{nullptr};
+  client::Fd fd{0};
+  std::uint64_t remaining{0};
+  std::uint64_t completed{0};
+  std::uint64_t failed{0};
+};
+
+// One uncontended shared-lock acquire/release cycle; re-issues itself until
+// the budget is spent. Every lambda captures exactly one pointer, so the
+// std::function callbacks stay inline (no allocation from the driver).
+void cycle(CycleCtx* c) {
+  if (c->remaining == 0) return;
+  --c->remaining;
+  c->cl->lock(c->fd, protocol::LockMode::kShared, [c](Status st) {
+    if (!st.is_ok()) {
+      ++c->failed;
+      return;
+    }
+    c->cl->release(c->fd, protocol::LockMode::kNone, [c](Status st2) {
+      if (!st2.is_ok()) {
+        ++c->failed;
+        return;
+      }
+      ++c->completed;
+      cycle(c);
+    });
+  });
+}
+
+std::uint64_t grant_release_allocs(std::uint64_t iters, std::uint64_t* completed_out) {
+  workload::ScenarioConfig cfg;
+  cfg.workload.num_clients = 1;
+  cfg.workload.num_files = 1;
+  cfg.workload.file_blocks = 4;
+  cfg.workload.run_seconds = 0.1;
+  workload::Scenario sc(cfg);
+  sc.setup();
+  sc.run_until_s(1.0);
+
+  CycleCtx ctx;
+  ctx.cl = &sc.client(0);
+  ctx.fd = sc.fd(0, 0);
+  // Warm-up: enough cycles to saturate the reply-cache ring (default 128
+  // entries) on both sides and reach every FlatMap's high-water capacity.
+  ctx.remaining = 400;
+  cycle(&ctx);
+  sc.run_until_s(20.0);
+  if (ctx.remaining != 0 || ctx.failed != 0) {
+    std::fprintf(stderr, "steady: warm-up incomplete (%llu left, %llu failed)\n",
+                 static_cast<unsigned long long>(ctx.remaining),
+                 static_cast<unsigned long long>(ctx.failed));
+    return UINT64_MAX;
+  }
+
+  ctx.remaining = iters;
+  ctx.completed = 0;
+  const std::uint64_t snap = bench::allocs();
+  cycle(&ctx);
+  sc.run_until_s(60.0);
+  const std::uint64_t delta = bench::allocs() - snap;
+  if (ctx.remaining != 0 || ctx.failed != 0) {
+    std::fprintf(stderr, "steady: measured window incomplete (%llu left, %llu failed)\n",
+                 static_cast<unsigned long long>(ctx.remaining),
+                 static_cast<unsigned long long>(ctx.failed));
+    return UINT64_MAX;
+  }
+  *completed_out = ctx.completed;
+  return delta;
+}
+
+}  // namespace
+
+int main() {
+  bench::Reporter reporter("steady_alloc");
+  std::printf("Steady-state allocation gates (operator new interposition)\n\n");
+
+  int rc = 0;
+
+  const std::uint64_t renewal = renewal_tick_allocs();
+  std::printf("  renewal_tick : %llu allocations over 10 s x 8 clients of keep-alive "
+              "traffic %s\n",
+              static_cast<unsigned long long>(renewal), renewal == 0 ? "[ok]" : "[FAIL]");
+  reporter.alloc("renewal_tick", renewal);
+  if (renewal != 0) rc = 1;
+
+  std::uint64_t completed = 0;
+  const std::uint64_t grant = grant_release_allocs(2000, &completed);
+  std::printf("  grant_release: %llu allocations over %llu uncontended shared "
+              "lock/release cycles %s\n",
+              static_cast<unsigned long long>(grant),
+              static_cast<unsigned long long>(completed), grant == 0 ? "[ok]" : "[FAIL]");
+  reporter.alloc("grant_release", grant == UINT64_MAX ? 1 : grant);
+  if (grant != 0) rc = 1;
+
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "\nsteady: ZERO-ALLOCATION GATE FAILED — a hot path touched the global "
+                 "allocator after warm-up.\n");
+  } else {
+    std::printf("\nBoth steady-state paths ran allocation-free.\n");
+  }
+  return rc;
+}

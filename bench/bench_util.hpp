@@ -45,6 +45,17 @@ class Reporter {
                           h.quantile(0.99)});
   }
 
+  // Records an allocation count over a named steady-state window (see
+  // alloc_hooks.hpp). Emitted as an "allocs" array; bench_diff.py flags any
+  // count that grows against the baseline.
+  void alloc(std::string name, std::uint64_t count) {
+    allocs_.push_back({std::move(name), count});
+  }
+
+  // Records a named scalar with no rate interpretation (curve points like
+  // bytes-per-client at a given swarm size). Emitted as a "values" array.
+  void value(std::string name, double v) { values_.push_back({std::move(name), v}); }
+
   ~Reporter() {
     const char* path = std::getenv("STANK_BENCH_JSON");
     if (path == nullptr) return;
@@ -81,6 +92,23 @@ class Reporter {
       }
       std::fprintf(f, "]");
     }
+    if (!allocs_.empty()) {
+      std::fprintf(f, ",\"allocs\":[");
+      for (std::size_t i = 0; i < allocs_.size(); ++i) {
+        std::fprintf(f, "%s{\"name\":\"%s\",\"count\":%llu}", i ? "," : "",
+                     allocs_[i].name.c_str(),
+                     static_cast<unsigned long long>(allocs_[i].count));
+      }
+      std::fprintf(f, "]");
+    }
+    if (!values_.empty()) {
+      std::fprintf(f, ",\"values\":[");
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        std::fprintf(f, "%s{\"name\":\"%s\",\"value\":%.6g}", i ? "," : "",
+                     values_[i].name.c_str(), values_[i].value);
+      }
+      std::fprintf(f, "]");
+    }
     std::fprintf(f, "}\n");
     std::fclose(f);
   }
@@ -98,6 +126,14 @@ class Reporter {
     double p95;
     double p99;
   };
+  struct Alloc {
+    std::string name;
+    std::uint64_t count;
+  };
+  struct Value {
+    std::string name;
+    double value;
+  };
 
   std::string name_;
   std::chrono::steady_clock::time_point start_;
@@ -105,6 +141,8 @@ class Reporter {
   std::uint64_t datagrams0_;
   std::vector<Metric> metrics_;
   std::vector<Latency> latencies_;
+  std::vector<Alloc> allocs_;
+  std::vector<Value> values_;
 };
 
 }  // namespace stank::bench

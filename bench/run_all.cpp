@@ -74,9 +74,14 @@ int main(int argc, char** argv) {
       "bench_t1_msg_overhead", "bench_t2_server_cost", "bench_t3_availability",
       "bench_t4_safety", "bench_t5_server_txn", "bench_t6_theorem",
       "bench_t7_server_recovery", "bench_t8_workloads", "bench_m2_engine",
+      "bench_steady", "bench_swarm",
   };
   if (!skip_slow) {
     benches.push_back("bench_m1_micro");
+  } else {
+    // Quick/CI smoke: keep the swarm sweep to its two smallest points unless
+    // the caller already pinned a sweep.
+    setenv("STANK_SWARM_NS", "100,1000", 0);
   }
 
   const fs::path self_dir = fs::absolute(fs::path(argv[0])).parent_path();

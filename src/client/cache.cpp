@@ -1,6 +1,7 @@
 #include "client/cache.hpp"
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 
 namespace stank::client {
 
@@ -37,6 +38,7 @@ BlockCache::Page& BlockCache::put(FileId file, std::uint64_t fb, Bytes data, boo
     lru_.push_front(key);
     it = pages_.emplace(key, Entry{Page{std::move(data), dirty}, lru_.begin()}).first;
   } else {
+    recycle_buf(std::move(it->second.page.data));  // replaced page's buffer
     it->second.page.data = std::move(data);
     it->second.page.dirty = dirty;
     touch(it);
@@ -68,6 +70,14 @@ std::vector<std::uint64_t> BlockCache::dirty_blocks(FileId file) const {
   return out;
 }
 
+bool BlockCache::has_dirty(FileId file) const {
+  for (auto it = pages_.lower_bound({file, 0}); it != pages_.end() && it->first.first == file;
+       ++it) {
+    if (it->second.page.dirty) return true;
+  }
+  return false;
+}
+
 std::vector<BlockCache::Key> BlockCache::all_dirty() const {
   std::vector<Key> out;
   for (const auto& [key, entry] : pages_) {
@@ -81,12 +91,16 @@ std::vector<BlockCache::Key> BlockCache::all_dirty() const {
 void BlockCache::invalidate_file(FileId file) {
   auto it = pages_.lower_bound({file, 0});
   while (it != pages_.end() && it->first.first == file) {
+    recycle_buf(std::move(it->second.page.data));
     lru_.erase(it->second.lru_it);
     it = pages_.erase(it);
   }
 }
 
 void BlockCache::invalidate_all() {
+  for (auto& [key, entry] : pages_) {
+    recycle_buf(std::move(entry.page.data));
+  }
   pages_.clear();
   lru_.clear();
 }
@@ -124,6 +138,7 @@ std::optional<BlockCache::Key> BlockCache::evict_clean_lru() {
     STANK_ASSERT(it != pages_.end());
     if (!it->second.page.dirty) {
       const Key key = *rit;
+      recycle_buf(std::move(it->second.page.data));
       lru_.erase(it->second.lru_it);
       pages_.erase(it);
       ++evictions_;

@@ -45,6 +45,9 @@ class BlockCache {
 
   [[nodiscard]] std::vector<std::uint64_t> dirty_blocks(FileId file) const;
   [[nodiscard]] std::vector<Key> all_dirty() const;
+  // Allocation-free check used by the release/demand fast paths: whether any
+  // page of `file` is dirty, without materializing the block list.
+  [[nodiscard]] bool has_dirty(FileId file) const;
 
   // Drops every page of a file (dirty pages are LOST — callers must have
   // flushed first unless loss is the point, e.g. post-expiry invalidation).

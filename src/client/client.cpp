@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 #include "common/log.hpp"
+#include "common/small_vec.hpp"
 #include "protocol/layout.hpp"
 
 namespace stank::client {
@@ -35,6 +37,30 @@ struct FanIn {
     }
   }
 };
+
+// Combined fan state for read_direct: the (pooled) result buffer, the
+// caller's callback and the fan-in counters share one allocation instead of
+// a buffer shared_ptr + FanIn + a capturing done-closure.
+struct ReadFan {
+  Bytes buf;
+  std::function<void(Result<Bytes>)> cb;
+  std::size_t expected{0};
+  std::size_t seen{0};
+  Status status{Status::ok()};
+};
+
+// Same idea for write_direct: the caller's payload rides in the fan.
+struct WriteFan {
+  Bytes data;
+  std::function<void(Status)> cb;
+  std::size_t expected{0};
+  std::size_t seen{0};
+  Status status{Status::ok()};
+};
+
+// On-stack slice list: steady-state ops span a handful of blocks, so the
+// inline capacity makes slicing allocation-free.
+using SliceVec = SmallVec<protocol::BlockSlice, 8>;
 
 }  // namespace
 
@@ -246,7 +272,6 @@ void Client::crash() {
   cache_.invalidate_all();
   files_.clear();
   fds_.clear();
-  lock_waits_.clear();
 }
 
 void Client::restart() {
@@ -732,41 +757,42 @@ void Client::release(Fd fd, protocol::LockMode downgrade_to, std::function<void(
     return;
   }
 
-  auto shared_cb = std::make_shared<std::function<void(Status)>>(std::move(cb));
-  auto send_unlock = [this, file, downgrade_to, shared_cb]() {
-    auto fit = files_.find(file);
-    if (fit == files_.end()) {
-      (*shared_cb)(Status{ErrorCode::kShutdown});
-      return;
-    }
-    FileState& fs2 = fit->second;
-    fs2.mode = downgrade_to;
-    ++fs2.mode_seq;
-    if (downgrade_to == LockMode::kNone) {
-      cache_.invalidate_file(file);
-      if (v_sched_) v_sched_->object_released(file);
-    }
-    transport_.send_request(protocol::UnlockReq{file, downgrade_to, fs2.lock_gen},
-                            [shared_cb](const protocol::ReplyEvent& ev) {
-                              (*shared_cb)(ev.outcome == protocol::ReplyOutcome::kAck
-                                               ? Status::ok()
-                                               : Status{ErrorCode::kTimeout});
-                            });
-  };
-
-  if (fs->mode == LockMode::kExclusive) {
-    flush_file(file, [shared_cb, send_unlock = std::move(send_unlock)](Status st) {
+  if (fs->mode == LockMode::kExclusive && cache_.has_dirty(file)) {
+    flush_file(file, [this, file, downgrade_to, cb = std::move(cb)](Status st) mutable {
       if (!st.is_ok()) {
         // Keep the lock — dirty data must not be orphaned — but tell the
         // caller the release did not happen.
-        (*shared_cb)(st);
+        cb(st);
         return;
       }
-      send_unlock();
+      do_unlock(file, downgrade_to, std::move(cb));
     });
     return;
   }
-  send_unlock();
+  // Fast path (shared lock, or exclusive with a clean cache): no flush, no
+  // shared_ptr dance, no allocation.
+  do_unlock(file, downgrade_to, std::move(cb));
+}
+
+void Client::do_unlock(FileId file, LockMode downgrade_to, std::function<void(Status)> cb) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
+    cb(Status{ErrorCode::kShutdown});
+    return;
+  }
+  FileState& fs = fit->second;
+  fs.mode = downgrade_to;
+  ++fs.mode_seq;
+  if (downgrade_to == LockMode::kNone) {
+    cache_.invalidate_file(file);
+    if (v_sched_) v_sched_->object_released(file);
+  }
+  transport_.send_request(protocol::UnlockReq{file, downgrade_to, fs.lock_gen},
+                          [cb = std::move(cb)](const protocol::ReplyEvent& ev) {
+                            cb(ev.outcome == protocol::ReplyOutcome::kAck
+                                   ? Status::ok()
+                                   : Status{ErrorCode::kTimeout});
+                          });
 }
 
 void Client::sync_all(std::function<void(Status)> cb) {
@@ -824,7 +850,7 @@ void Client::ensure_lock(FileId file, LockMode mode, std::function<void(Status)>
       inner(st);
     };
   }
-  lock_waits_[file].push_back(LockWait{mode, std::move(cb)});
+  fs.lock_waits.push_back(LockWait{mode, std::move(cb)});
   pump_lock_requests(file);
 }
 
@@ -834,10 +860,9 @@ void Client::pump_lock_requests(FileId file) {
   FileState& fs = fit->second;
   if (fs.revoking) return;  // re-pumped when the demand completes
 
-  auto wit = lock_waits_.find(file);
-  if (wit == lock_waits_.end() || wit->second.empty()) return;
+  if (fs.lock_waits.empty()) return;
   LockMode want = LockMode::kNone;
-  for (const auto& w : wit->second) {
+  for (const auto& w : fs.lock_waits) {
     want = mode_max(want, w.mode);
   }
   if (mode_leq(want, fs.mode)) {
@@ -914,12 +939,14 @@ void Client::apply_grant(FileId file, LockMode mode, std::uint32_t gen) {
 }
 
 void Client::lock_state_changed(FileId file) {
-  auto wit = lock_waits_.find(file);
-  if (wit == lock_waits_.end()) return;
   FileState& fs = state_for(file);
-  std::vector<LockWait> ready;
-  auto& waits = wit->second;
-  for (auto it = waits.begin(); it != waits.end();) {
+  if (fs.lock_waits.empty()) return;
+  // Move satisfied waiters out before invoking: a callback may re-enter
+  // ensure_lock/pump and mutate the wait list. Inline capacity keeps the
+  // single-waiter common case allocation-free.
+  SmallVec<LockWait, 2> ready;
+  auto& waits = fs.lock_waits;
+  for (auto* it = waits.begin(); it != waits.end();) {
     if (mode_leq(it->mode, fs.mode)) {
       ready.push_back(std::move(*it));
       it = waits.erase(it);
@@ -927,31 +954,32 @@ void Client::lock_state_changed(FileId file) {
       ++it;
     }
   }
-  if (waits.empty()) {
-    lock_waits_.erase(wit);
-  }
   for (auto& w : ready) {
     w.cb(Status::ok());
   }
 }
 
 void Client::fail_lock_waits(FileId file, ErrorCode code) {
-  auto wit = lock_waits_.find(file);
-  if (wit == lock_waits_.end()) return;
-  std::vector<LockWait> failed = std::move(wit->second);
-  lock_waits_.erase(wit);
+  auto fit = files_.find(file);
+  if (fit == files_.end() || fit->second.lock_waits.empty()) return;
+  SmallVec<LockWait, 2> failed = std::move(fit->second.lock_waits);
   for (auto& w : failed) {
     w.cb(Status{code});
   }
 }
 
 void Client::fail_all_lock_waits(ErrorCode code) {
-  auto all = std::move(lock_waits_);
-  lock_waits_.clear();
-  for (auto& [file, waits] : all) {
-    for (auto& w : waits) {
-      w.cb(Status{code});
+  // Collect every waiter first: a failure callback may re-enter and mutate
+  // files_ (this is the expiry/teardown path, not a hot one).
+  std::vector<LockWait> failed;
+  for (auto& [file, fs] : files_) {
+    for (auto& w : fs.lock_waits) {
+      failed.push_back(std::move(w));
     }
+    fs.lock_waits.clear();
+  }
+  for (auto& w : failed) {
+    w.cb(Status{code});
   }
 }
 
@@ -1020,7 +1048,7 @@ void Client::process_demand(FileId file) {
     return;
   }
 
-  if (fs.mode == LockMode::kExclusive && !cache_.dirty_blocks(file).empty()) {
+  if (fs.mode == LockMode::kExclusive && cache_.has_dirty(file)) {
     // Dirty data protected by this lock must reach the disk before the lock
     // is ceded (the consistency guarantee fencing alone cannot provide).
     flush_file(file, [this, file](Status st) {
@@ -1197,25 +1225,29 @@ void Client::read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
     return;
   }
   const std::uint64_t n = end - offset;
-  bool ok = false;
-  auto slices = protocol::slice_range(fs.extents, cfg_.block_size, offset, n, ok);
-  if (!ok) {
+  SliceVec slices;
+  if (!protocol::slice_range_into(fs.extents, cfg_.block_size, offset, n, slices)) {
     cb(ErrorCode::kIoError);
     return;
   }
 
   const FileId file = fs.file;
-  auto buf = std::make_shared<Bytes>(n, 0);
-  auto fan = std::make_shared<FanIn>();
+  auto fan = std::make_shared<ReadFan>();
+  fan->buf = take_buf();
+  fan->buf.resize(n);  // slices overwrite every byte; resize just sizes it
+  fan->cb = std::move(cb);
   fan->expected = slices.size();
-  fan->done = [this, buf, cb = std::move(cb)](Status st) {
-    if (!st.is_ok()) {
-      cb(st.error());
+  auto complete = [this, fan](Status st) {
+    if (!st.is_ok() && fan->status.is_ok()) fan->status = st;
+    if (++fan->seen != fan->expected) return;
+    if (!fan->status.is_ok()) {
+      recycle_buf(std::move(fan->buf));
+      fan->cb(fan->status.error());
       return;
     }
     ++ops_completed_;
     enforce_cache_limit();
-    cb(std::move(*buf));
+    fan->cb(std::move(fan->buf));
   };
 
   // Pages fetched from disk may only enter the cache if the lock that
@@ -1226,17 +1258,17 @@ void Client::read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
   for (const auto& s : slices) {
     if (BlockCache::Page* page = cache_.find(file, s.file_block)) {
       std::copy_n(page->data.begin() + s.offset_in_block, s.len,
-                  buf->begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
-      fan->complete(Status::ok());
+                  fan->buf.begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
+      complete(Status::ok());
       continue;
     }
-    fetch_block(fs, s.file_block, [this, file, s, buf, fan, fetch_gen](Result<Bytes> res) {
+    fetch_block(fs, s.file_block, [this, file, s, fan, fetch_gen, complete](Result<Bytes> res) {
       if (!res.ok()) {
-        fan->complete(Status{res.error()});
+        complete(Status{res.error()});
         return;
       }
       std::copy_n(res.value().begin() + s.offset_in_block, s.len,
-                  buf->begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
+                  fan->buf.begin() + static_cast<std::ptrdiff_t>(s.buf_offset));
       auto fit2 = files_.find(file);
       const bool lock_intact = fit2 != files_.end() && fit2->second.lock_gen == fetch_gen &&
                                fit2->second.mode != LockMode::kNone;
@@ -1245,57 +1277,64 @@ void Client::read_direct(FileState& fs, std::uint64_t offset, std::uint32_t len,
       // Also never clobber a page that appeared (dirty) while we fetched.
       if (cacheable && cache_.peek(file, s.file_block) == nullptr) {
         cache_.put(file, s.file_block, std::move(res).value(), /*dirty=*/false);
+      } else {
+        recycle_buf(std::move(res).value());
       }
-      fan->complete(Status::ok());
+      complete(Status::ok());
     });
   }
 }
 
 void Client::write_direct(FileState& fs, std::uint64_t offset, Bytes data,
                           std::function<void(Status)> cb) {
-  bool ok = false;
-  auto slices = protocol::slice_range(fs.extents, cfg_.block_size, offset, data.size(), ok);
-  if (!ok) {
+  SliceVec slices;
+  if (!protocol::slice_range_into(fs.extents, cfg_.block_size, offset, data.size(), slices)) {
+    recycle_buf(std::move(data));
     cb(Status{ErrorCode::kIoError});
     return;
   }
 
   const FileId file = fs.file;
-  auto shared_data = std::make_shared<Bytes>(std::move(data));
-  auto fan = std::make_shared<FanIn>();
+  auto fan = std::make_shared<WriteFan>();
+  fan->data = std::move(data);
+  fan->cb = std::move(cb);
   fan->expected = slices.size();
-  fan->done = [this, cb = std::move(cb)](Status st) {
-    if (st.is_ok()) ++ops_completed_;
+  auto complete = [this, fan](Status st) {
+    if (!st.is_ok() && fan->status.is_ok()) fan->status = st;
+    if (++fan->seen != fan->expected) return;
+    if (fan->status.is_ok()) ++ops_completed_;
     enforce_cache_limit();
-    cb(st);
+    recycle_buf(std::move(fan->data));  // every slice has consumed its span
+    fan->cb(fan->status);
   };
 
   for (const auto& s : slices) {
     if (s.len == cfg_.block_size) {
-      Bytes block(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset),
-                  shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset + s.len));
+      Bytes block = take_buf();
+      block.assign(fan->data.begin() + static_cast<std::ptrdiff_t>(s.buf_offset),
+                   fan->data.begin() + static_cast<std::ptrdiff_t>(s.buf_offset + s.len));
       cache_.put(file, s.file_block, std::move(block), /*dirty=*/true);
-      fan->complete(Status::ok());
+      complete(Status::ok());
       continue;
     }
     if (BlockCache::Page* page = cache_.find(file, s.file_block)) {
-      std::copy_n(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
+      std::copy_n(fan->data.begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
                   page->data.begin() + s.offset_in_block);
       page->dirty = true;
-      fan->complete(Status::ok());
+      complete(Status::ok());
       continue;
     }
     // Partial write of an uncached block: read-modify-write. Counted as an
     // in-flight write so a concurrent lock demand waits for it.
     ++fs.writes_in_flight;
     const std::uint64_t seq = fs.mode_seq;
-    fetch_block(fs, s.file_block, [this, file, s, seq, shared_data, fan](Result<Bytes> res) {
+    fetch_block(fs, s.file_block, [this, file, s, seq, fan, complete](Result<Bytes> res) {
       auto fit2 = files_.find(file);
       if (fit2 != files_.end() && fit2->second.writes_in_flight > 0) {
         --fit2->second.writes_in_flight;
       }
       if (!res.ok()) {
-        fan->complete(Status{res.error()});
+        complete(Status{res.error()});
         return;
       }
       // Demands wait on writes_in_flight, but a lease ride-down does not:
@@ -1303,14 +1342,15 @@ void Client::write_direct(FileState& fs, std::uint64_t offset, Bytes data,
       // would outlive its serialization.
       if (fit2 == files_.end() || fit2->second.mode_seq != seq ||
           fit2->second.mode != LockMode::kExclusive) {
-        fan->complete(Status{ErrorCode::kLockConflict});
+        recycle_buf(std::move(res).value());
+        complete(Status{ErrorCode::kLockConflict});
         return;
       }
       Bytes block = std::move(res).value();
-      std::copy_n(shared_data->begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
+      std::copy_n(fan->data.begin() + static_cast<std::ptrdiff_t>(s.buf_offset), s.len,
                   block.begin() + s.offset_in_block);
       cache_.put(file, s.file_block, std::move(block), /*dirty=*/true);
-      fan->complete(Status::ok());
+      complete(Status::ok());
     });
   }
 }
@@ -1336,7 +1376,8 @@ void Client::read_shipped(FileState& fs, std::uint64_t offset, std::uint32_t len
       }
     }
     if (all_cached) {
-      Bytes out(n, 0);
+      Bytes out = take_buf();
+      out.resize(n);
       for (std::uint64_t pos = offset; pos < end;) {
         const std::uint64_t fb = pos / bs;
         const std::uint32_t in_block = static_cast<std::uint32_t>(pos % bs);
@@ -1370,8 +1411,9 @@ void Client::read_shipped(FileState& fs, std::uint64_t offset, std::uint32_t len
           const std::uint32_t bs = cfg_.block_size;
           if (offset % bs == 0) {
             for (std::uint64_t off = 0; off + bs <= rep->data.size(); off += bs) {
-              Bytes block(rep->data.begin() + static_cast<std::ptrdiff_t>(off),
-                          rep->data.begin() + static_cast<std::ptrdiff_t>(off + bs));
+              Bytes block = take_buf();
+              block.assign(rep->data.begin() + static_cast<std::ptrdiff_t>(off),
+                           rep->data.begin() + static_cast<std::ptrdiff_t>(off + bs));
               cache_.put(file, (offset + off) / bs, std::move(block), /*dirty=*/false);
             }
           }
@@ -1435,7 +1477,7 @@ void Client::flush_file(FileId file, std::function<void(Status)> cb) {
 
   auto fan = std::make_shared<FanIn>();
   fan->expected = dirty.size();
-  fan->done = [cb = std::move(cb)](Status st) { cb(st); };
+  fan->done = std::move(cb);  // same signature — no wrapping closure needed
 
   for (std::uint64_t fb : dirty) {
     const BlockCache::Page* page = cache_.peek(file, fb);
@@ -1459,22 +1501,26 @@ void Client::write_block_through(FileState& fs, std::uint64_t fb, const Bytes& d
   io.addr = addr;
   io.count = 1;
   io.io_key = transport_.epoch();
-  io.data = data;  // snapshot of the page at flush time
+  io.data = take_buf();  // snapshot of the page at flush time
+  io.data.assign(data.begin(), data.end());
 
   const FileId file = fs.file;
   const std::uint32_t gen = gen_;
-  auto snapshot = std::make_shared<Bytes>(data);
+  Bytes snapshot = take_buf();  // second copy stays behind for the compare
+  snapshot.assign(data.begin(), data.end());
   san_->submit(std::move(io),
-               [this, gen, file, fb, snapshot, cb = std::move(cb)](storage::IoResult res) {
+               [this, gen, file, fb, snapshot = std::move(snapshot),
+                cb = std::move(cb)](storage::IoResult res) mutable {
                  if (gen != gen_) return;
                  if (res.status.is_ok()) {
                    // Only mark clean if the page still holds exactly what we
                    // wrote; a concurrent process write must stay dirty.
                    const BlockCache::Page* page = cache_.peek(file, fb);
-                   if (page != nullptr && page->data == *snapshot) {
+                   if (page != nullptr && page->data == snapshot) {
                      cache_.mark_clean(file, fb);
                    }
                  }
+                 recycle_buf(std::move(snapshot));
                  cb(res.status);
                });
 }
@@ -1487,7 +1533,7 @@ void Client::flush_all(std::function<void(Status)> cb) {
   }
   auto fan = std::make_shared<FanIn>();
   fan->expected = dirty.size();
-  fan->done = [cb = std::move(cb)](Status st) { cb(st); };
+  fan->done = std::move(cb);
   for (const auto& [file, fb] : dirty) {
     auto fit = files_.find(file);
     if (fit == files_.end()) {

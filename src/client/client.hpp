@@ -33,6 +33,7 @@
 #include "baselines/heartbeat.hpp"
 #include "baselines/v_lease.hpp"
 #include "client/cache.hpp"
+#include "common/small_vec.hpp"
 #include "core/client_lease_agent.hpp"
 #include "metrics/counters.hpp"
 #include "net/control_net.hpp"
@@ -127,6 +128,14 @@ class Client {
   [[nodiscard]] BlockCache& cache() { return cache_; }
   [[nodiscard]] const BlockCache& cache() const { return cache_; }
   [[nodiscard]] const core::ClientLeaseAgent* lease_agent() const { return agent_.get(); }
+  // Snapshot of the lease-disruption counter. An op whose issue-time token
+  // still matches at completion never overlapped a suspect/expiry window —
+  // its latency belongs to the steady-state population, not the recovery
+  // tail. Always 0 for strategies without a lease agent (their ops are all
+  // "steady" by definition).
+  [[nodiscard]] std::uint64_t disruption_token() const {
+    return agent_ != nullptr ? agent_->disruptions() : 0;
+  }
   [[nodiscard]] protocol::LockMode lock_mode(Fd fd) const;
   [[nodiscard]] const ClientConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t ops_completed() const { return ops_completed_; }
@@ -139,6 +148,10 @@ class Client {
   std::function<void()> on_lease_expired;
 
  private:
+  struct LockWait {
+    protocol::LockMode mode;
+    std::function<void(Status)> cb;
+  };
   struct FileState {
     FileId file;
     protocol::FileAttr attr;
@@ -176,10 +189,9 @@ class Client {
     };
     std::vector<SizeWait> size_waiters;
     bool size_round_inflight{false};
-  };
-  struct LockWait {
-    protocol::LockMode mode;
-    std::function<void(Status)> cb;
+    // Callers blocked on a lock upgrade, inline in the file state: the
+    // uncontended acquire path never touches a side map or allocates.
+    SmallVec<LockWait, 2> lock_waits;
   };
 
   // Setup & lifecycle.
@@ -203,6 +215,9 @@ class Client {
 
   // Locking.
   void ensure_lock(FileId file, protocol::LockMode mode, std::function<void(Status)> cb);
+  // Downgrades the held mode and sends the UnlockReq (any required flush has
+  // already completed). The release() fast path reaches here directly.
+  void do_unlock(FileId file, protocol::LockMode downgrade_to, std::function<void(Status)> cb);
   // Sends a LockReq for the strongest still-unsatisfied wait, unless one is
   // already pending or a revocation is in progress.
   void pump_lock_requests(FileId file);
@@ -297,7 +312,6 @@ class Client {
   Fd next_fd_{1};
   std::unordered_map<Fd, FileId> fds_;
   std::map<FileId, FileState> files_;
-  std::map<FileId, std::vector<LockWait>> lock_waits_;
 
   std::uint64_t ops_completed_{0};
   std::uint64_t ops_rejected_{0};

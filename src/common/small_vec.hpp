@@ -106,6 +106,18 @@ class SmallVec {
     size_ = 0;
   }
 
+  // Destroys elements and returns to the empty inline state, releasing any
+  // heap buffer. clear() keeps the buffer (steady-state reuse); reset() is
+  // the episode-boundary call that actually gives memory back.
+  void reset() {
+    clear();
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = nullptr;
+      cap_ = N;
+    }
+  }
+
   void reserve(std::size_t n) {
     if (n > cap_) grow(n);
   }
@@ -140,16 +152,6 @@ class SmallVec {
     }
     data_ = heap;
     cap_ = new_cap;
-  }
-
-  // Destroys elements and returns to the empty inline state.
-  void reset() {
-    clear();
-    if (data_ != nullptr) {
-      ::operator delete(data_, std::align_val_t{alignof(T)});
-      data_ = nullptr;
-      cap_ = N;
-    }
   }
 
   void take(SmallVec&& other) {

@@ -1,15 +1,19 @@
 #include "net/control_net.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 
 namespace stank::net {
 
 namespace {
+
 std::atomic<std::uint64_t> g_datagrams_sent{0};
+
 }  // namespace
 
 std::string NetStats::summary() const {
@@ -32,11 +36,21 @@ std::string NetStats::summary() const {
 ControlNet::ControlNet(sim::Engine& engine, sim::Rng rng, NetConfig cfg)
     : engine_(&engine), rng_(rng), cfg_(cfg) {}
 
-ControlNet::~ControlNet() { g_datagrams_sent.fetch_add(stats_.sent, std::memory_order_relaxed); }
+ControlNet::~ControlNet() {
+  g_datagrams_sent.fetch_add(stats_.sent, std::memory_order_relaxed);
+  // Donate still-queued buffers: the engine may die with traffic in flight.
+  for (auto& [node, q] : queues_) {
+    for (Item& it : q.items) recycle_buf(std::move(it.bytes));
+  }
+}
 
 std::uint64_t ControlNet::global_datagrams_sent() {
   return g_datagrams_sent.load(std::memory_order_relaxed);
 }
+
+Bytes ControlNet::take_buf() { return stank::take_buf(); }
+
+void ControlNet::recycle_buf(Bytes&& b) { stank::recycle_buf(std::move(b)); }
 
 void ControlNet::attach(NodeId node, Handler handler) {
   STANK_ASSERT(handler != nullptr);
@@ -52,6 +66,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
   if (!reach_.can_reach(from, to)) {
     ++stats_.dropped_partition;
     note_drop(from, to, obs::DropCause::kPartition);
+    recycle_buf(std::move(datagram));
     return;
   }
 
@@ -71,6 +86,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
     if (ge_bad_ && rng_.bernoulli(cfg_.burst_loss)) {
       ++stats_.dropped_burst;
       note_drop(from, to, obs::DropCause::kBurst);
+      recycle_buf(std::move(datagram));
       return;
     }
   }
@@ -78,6 +94,7 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
     ++stats_.dropped_random;
     note_drop(from, to, obs::DropCause::kRandom);
+    recycle_buf(std::move(datagram));
     return;
   }
 
@@ -88,9 +105,9 @@ void ControlNet::send(NodeId from, NodeId to, Bytes datagram) {
     if (rec_ != nullptr) {
       rec_->record(engine_->now(), from, obs::EventKind::kNetDup, to.value());
     }
-    deliver_copy(from, to, datagram);  // copies the buffer
+    enqueue_copy(from, to, datagram);  // copies the buffer
   }
-  deliver_copy(from, to, std::move(datagram));
+  enqueue_copy(from, to, std::move(datagram));
 }
 
 void ControlNet::note_drop(NodeId from, NodeId to, obs::DropCause cause) {
@@ -100,7 +117,7 @@ void ControlNet::note_drop(NodeId from, NodeId to, obs::DropCause cause) {
   }
 }
 
-void ControlNet::deliver_copy(NodeId from, NodeId to, Bytes datagram) {
+void ControlNet::enqueue_copy(NodeId from, NodeId to, Bytes datagram) {
   sim::Duration delay = cfg_.latency;
   if (cfg_.jitter.ns > 0) {
     delay += sim::Duration{rng_.uniform_int(0, cfg_.jitter.ns)};
@@ -117,22 +134,103 @@ void ControlNet::deliver_copy(NodeId from, NodeId to, Bytes datagram) {
     }
   }
 
-  engine_->schedule_after(delay, [this, from, to, dg = std::move(datagram)]() mutable {
-    // Partition formed while in flight?
-    if (!reach_.can_reach(from, to)) {
-      ++stats_.dropped_partition;
-      note_drop(from, to, obs::DropCause::kPartition);
-      return;
+  const sim::SimTime at = engine_->now() + delay;
+  DestQueue& q = queues_[to];
+  q.items.push_back(Item{at, next_item_seq_++, from, std::move(datagram)});
+  const std::int64_t slot_ns = bucket_of(at);
+  if (slot_ns < q.armed_ns) arm(q, to, slot_ns);
+}
+
+void ControlNet::arm(DestQueue& q, NodeId to, std::int64_t slot_ns) {
+  if (q.armed_ns != kNotArmed) engine_->cancel(q.timer);
+  q.armed_ns = slot_ns;
+  q.timer = engine_->schedule_at(sim::SimTime{slot_ns}, [this, to]() { drain(to); });
+}
+
+void ControlNet::deliver(Item& item, NodeId to) {
+  // Partition formed while in flight? Receiver crashed mid-batch? Checked
+  // per packet, exactly as the unbatched fabric did at each delivery event.
+  if (!reach_.can_reach(item.from, to)) {
+    ++stats_.dropped_partition;
+    note_drop(item.from, to, obs::DropCause::kPartition);
+    recycle_buf(std::move(item.bytes));
+    return;
+  }
+  // Re-found per packet: a handler can detach nodes (crash handling) or
+  // attach new ones, and any attach can rehash the table.
+  Handler* h = handlers_.find(to);
+  if (h == nullptr) {
+    ++stats_.dropped_detached;
+    note_drop(item.from, to, obs::DropCause::kDetached);
+    recycle_buf(std::move(item.bytes));
+    return;
+  }
+  ++stats_.delivered;
+  (*h)(item.from, item.bytes);
+  recycle_buf(std::move(item.bytes));
+}
+
+void ControlNet::drain(NodeId to) {
+  DestQueue* q = queues_.find(to);
+  if (q == nullptr) return;
+  q->armed_ns = kNotArmed;
+  const std::int64_t now_ns = engine_->now().ns;
+
+  // Request/response traffic drains one packet at a time; deliver it without
+  // touching the scratch batch. (The queue itself must be emptied first: the
+  // handler can send to this destination and rehash queues_.)
+  if (q->items.size() == 1 && q->items.begin()->at.ns <= now_ns) {
+    Item item = std::move(*q->items.begin());
+    q->items.clear();
+    deliver(item, to);
+    q = queues_.find(to);
+    if (q == nullptr || q->items.empty()) return;
+    std::int64_t min_slot = kNotArmed;
+    for (const Item& it : q->items) min_slot = std::min(min_slot, bucket_of(it.at));
+    if (min_slot < q->armed_ns) arm(*q, to, min_slot);
+    return;
+  }
+
+  // Pull everything due into the scratch batch, compacting the remainder in
+  // place. Any item with at <= now is due: its bucket edge is <= the edge
+  // this timer fired at.
+  drain_scratch_.clear();
+  Item* keep = q->items.begin();
+  for (Item* it = q->items.begin(); it != q->items.end(); ++it) {
+    if (it->at.ns <= now_ns) {
+      drain_scratch_.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
     }
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      ++stats_.dropped_detached;
-      note_drop(from, to, obs::DropCause::kDetached);
-      return;
-    }
-    ++stats_.delivered;
-    it->second(from, std::move(dg));
-  });
+  }
+  q->items.erase(keep, q->items.end());
+
+  // Exact historical delivery order within the batch. Request/response
+  // traffic drains one packet at a time (nothing co-timed to sort); only
+  // storm-style convergence pays for the ordering.
+  if (drain_scratch_.size() > 1) {
+    std::sort(drain_scratch_.begin(), drain_scratch_.end(), [](const Item& a, const Item& b) {
+      if (a.at.ns != b.at.ns) return a.at.ns < b.at.ns;
+      return a.seq < b.seq;
+    });
+  }
+
+  for (Item& item : drain_scratch_) {
+    deliver(item, to);
+  }
+  drain_scratch_.clear();
+
+  // Re-arm for the earliest remaining bucket. Handlers may have sent (and
+  // armed) new traffic — even to this destination — and any insert can
+  // rehash queues_, so re-find before touching the queue again.
+  q = queues_.find(to);
+  if (q == nullptr || q->items.empty()) return;
+  std::int64_t min_slot = kNotArmed;
+  for (const Item& item : q->items) {
+    min_slot = std::min(min_slot, bucket_of(item.at));
+  }
+  if (min_slot < q->armed_ns) arm(*q, to, min_slot);
 }
 
 }  // namespace stank::net

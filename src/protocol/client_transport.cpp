@@ -45,7 +45,7 @@ MsgId ClientTransport::send_request(RequestBody body, ReplyHandler handler, bool
   p.lease_only = lease_only;
   p.epoch = epoch_;
   p.session_gen = session_gen_;
-  pending_.emplace(id, std::move(p));
+  pending_.insert(id, std::move(p));
   transmit(id);
   return id;
 }
@@ -58,9 +58,9 @@ void ClientTransport::abandon_pending() {
 }
 
 void ClientTransport::transmit(MsgId id) {
-  auto it = pending_.find(id);
-  STANK_ASSERT(it != pending_.end());
-  Pending& p = it->second;
+  Pending* found = pending_.find(id);
+  STANK_ASSERT(found != nullptr);
+  Pending& p = *found;
 
   Frame f;
   f.kind = FrameKind::kRequest;
@@ -91,23 +91,25 @@ void ClientTransport::transmit(MsgId id) {
 }
 
 void ClientTransport::send_frame(NodeId to, const Frame& f) {
-  // Encode into the reusable scratch buffer (exact-size reserve), then move
-  // the bytes into the net: one allocation per datagram, zero copies.
-  encode_into(f, encode_buf_);
-  net_->send(self_, to, std::move(encode_buf_));
+  // Encode into a pooled buffer (exact-size reserve into recycled capacity),
+  // then move the bytes into the net: zero allocations per datagram once the
+  // pool is warm, zero copies.
+  Bytes buf = net::ControlNet::take_buf();
+  encode_into(f, buf);
+  net_->send(self_, to, std::move(buf));
 }
 
 void ClientTransport::arm_retry(MsgId id) {
-  Pending& p = pending_.at(id);
+  Pending& p = *pending_.find(id);
   p.timer = clock_->schedule_after(cfg_.retransmit_timeout, [this, id]() {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) {
+    Pending* found = pending_.find(id);
+    if (found == nullptr) {
       return;  // already answered
     }
-    if (it->second.transmissions > cfg_.max_retries) {
+    if (found->transmissions > cfg_.max_retries) {
       // Delivery failure: report timeout and give up.
-      Pending p2 = std::move(it->second);
-      pending_.erase(it);
+      Pending p2 = std::move(*found);
+      pending_.erase(id);
       if (rec_ != nullptr) {
         rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqTimeout, id.value(),
                      static_cast<std::uint64_t>(p2.transmissions));
@@ -132,18 +134,18 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
 
   switch (f.kind) {
     case FrameKind::kAck: {
-      auto it = pending_.find(f.msg_id);
-      if (it == pending_.end()) {
+      Pending* found = pending_.find(f.msg_id);
+      if (found == nullptr) {
         return;  // duplicate ACK for an already-completed request
       }
-      if (it->second.epoch != f.epoch) {
+      if (found->epoch != f.epoch) {
         // Reply from a stale session: pretend it never arrived so the
         // retransmit/timeout machinery still resolves this request.
         return;
       }
-      Pending p = std::move(it->second);
+      Pending p = std::move(*found);
       clock_->cancel(p.timer);
-      pending_.erase(it);
+      pending_.erase(f.msg_id);
       if (rec_ != nullptr) {
         rec_->record(clock_->engine().now(), self_, obs::EventKind::kAckRecv, f.msg_id.value());
         rec_->span(obs::SpanKind::kRequestRtt, (clock_->now() - p.first_send).millis());
@@ -182,21 +184,21 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       return;
     }
     case FrameKind::kNack: {
-      auto it = pending_.find(f.msg_id);
-      if (it == pending_.end()) {
+      Pending* found = pending_.find(f.msg_id);
+      if (found == nullptr) {
         // Duplicated or delayed NACK for a request that no longer exists —
         // possibly from before a crash/recovery. Acting on it would re-latch
         // a freshly re-registered client into phase 3 forever.
         return;
       }
-      if (it->second.epoch != f.epoch) {
+      if (found->epoch != f.epoch) {
         // NACK from a stale session (pre-recovery epoch): ignore, exactly
         // like a stale ACK; retransmission/timeout resolves the request.
         return;
       }
-      Pending p = std::move(it->second);
+      Pending p = std::move(*found);
       clock_->cancel(p.timer);
-      pending_.erase(it);
+      pending_.erase(f.msg_id);
       if (rec_ != nullptr) {
         rec_->record(clock_->engine().now(), self_, obs::EventKind::kNackRecv, f.msg_id.value());
         rec_->span(obs::SpanKind::kRequestRtt, (clock_->now() - p.first_send).millis());

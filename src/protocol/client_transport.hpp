@@ -15,9 +15,9 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "common/flat_map.hpp"
 #include "metrics/counters.hpp"
 #include "net/control_net.hpp"
 #include "obs/recorder.hpp"
@@ -109,7 +109,6 @@ class ClientTransport {
   metrics::Counters* counters_;
   obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
-  Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   std::uint32_t epoch_{0};
   // Bumped on every set_epoch(): distinguishes requests of the current
   // registration from ones sent under an earlier session whose epoch NUMBER
@@ -118,7 +117,9 @@ class ClientTransport {
   std::uint64_t next_msg_{1};
   bool started_{false};
 
-  std::unordered_map<MsgId, Pending> pending_;
+  // Flat table: at steady state the in-flight set is small and churns via
+  // balanced insert/erase, so capacity — and therefore memory — stays fixed.
+  FlatMap<MsgId, Pending> pending_;
   // Recently seen server-msg ids, to suppress duplicate delivery while still
   // re-ACKing (the ACK may have been lost). The window is bounded
   // (reply_cache_size); ids evicted from it are covered by the monotone

@@ -40,15 +40,15 @@ inline bool locate_block(const std::vector<Extent>& extents, std::uint64_t fb, D
   return false;
 }
 
-// Splits [offset, offset+len) of a file into per-block slices. Returns an
-// empty vector (and sets ok=false) if the extent list does not cover the
-// range.
-inline std::vector<BlockSlice> slice_range(const std::vector<Extent>& extents,
-                                           std::uint32_t block_size, std::uint64_t offset,
-                                           std::uint64_t len, bool& ok) {
+// Splits [offset, offset+len) of a file into per-block slices appended to
+// `out` (cleared first). Returns false — with `out` emptied — if the extent
+// list does not cover the range. Templated on the container so hot callers
+// can hand in a stack-inline SmallVec and slice without touching the heap.
+template <typename Vec>
+inline bool slice_range_into(const std::vector<Extent>& extents, std::uint32_t block_size,
+                             std::uint64_t offset, std::uint64_t len, Vec& out) {
   STANK_ASSERT(block_size > 0);
-  ok = true;
-  std::vector<BlockSlice> out;
+  out.clear();
   std::uint64_t pos = offset;
   std::uint64_t buf = 0;
   while (buf < len) {
@@ -58,8 +58,8 @@ inline std::vector<BlockSlice> slice_range(const std::vector<Extent>& extents,
         static_cast<std::uint32_t>(std::min<std::uint64_t>(block_size - in_block, len - buf));
     BlockSlice s;
     if (!locate_block(extents, fb, s.disk, s.addr)) {
-      ok = false;
-      return {};
+      out.clear();
+      return false;
     }
     s.file_block = fb;
     s.offset_in_block = in_block;
@@ -69,6 +69,15 @@ inline std::vector<BlockSlice> slice_range(const std::vector<Extent>& extents,
     pos += take;
     buf += take;
   }
+  return true;
+}
+
+// Vector-returning convenience wrapper over slice_range_into.
+inline std::vector<BlockSlice> slice_range(const std::vector<Extent>& extents,
+                                           std::uint32_t block_size, std::uint64_t offset,
+                                           std::uint64_t len, bool& ok) {
+  std::vector<BlockSlice> out;
+  ok = slice_range_into(extents, block_size, offset, len, out);
   return out;
 }
 

@@ -75,13 +75,12 @@ void ServerTransport::handle_datagram(NodeId from, const Bytes& datagram) {
 
 void ServerTransport::handle_request(const Frame& f) {
   Session& s = session(f.sender, f.epoch);
-  auto it = s.executed.find(f.msg_id);
-  if (it != s.executed.end()) {
-    if (it->second.has_value()) {
+  if (std::optional<Frame>* cached = s.executed.find(f.msg_id)) {
+    if (cached->has_value()) {
       // Retransmission of a completed request: re-send the cached reply,
       // unless the ACK gate has closed in the meantime — then the client
       // must see a NACK, not a lease-renewing ACK.
-      Frame reply = *it->second;
+      Frame reply = **cached;
       if (reply.kind == FrameKind::kAck && may_ack && !may_ack(f.sender)) {
         reply.kind = FrameKind::kNack;
         reply.body = std::monostate{};
@@ -96,11 +95,15 @@ void ServerTransport::handle_request(const Frame& f) {
     return;
   }
 
-  s.executed.emplace(f.msg_id, std::nullopt);
-  s.order.push_back(f.msg_id);
-  while (s.order.size() > cfg_.reply_cache_size) {
-    s.executed.erase(s.order.front());
-    s.order.pop_front();
+  s.executed.try_emplace(f.msg_id);
+  if (s.ring.size() < cfg_.reply_cache_size) {
+    s.ring.push_back(f.msg_id);
+  } else {
+    // Recycle the oldest ring slot in place: no deque churn, no allocation
+    // once the session has seen reply_cache_size requests.
+    s.executed.erase(s.ring[s.ring_pos]);
+    s.ring[s.ring_pos] = f.msg_id;
+    s.ring_pos = (s.ring_pos + 1) % s.ring.size();
   }
 
   if (rec_ != nullptr) {
@@ -139,10 +142,9 @@ void ServerTransport::respond(NodeId client, MsgId id, std::uint32_t epoch, bool
   }
 
   Session& s = session(client, epoch);
-  auto it = s.executed.find(id);
-  if (it != s.executed.end()) {
-    STANK_ASSERT_MSG(!it->second.has_value(), "double reply to one request");
-    it->second = f;
+  if (std::optional<Frame>* cached = s.executed.find(id)) {
+    STANK_ASSERT_MSG(!cached->has_value(), "double reply to one request");
+    *cached = f;
   }
   send_reply_frame(client, f);
 }
@@ -163,10 +165,12 @@ void ServerTransport::send_reply_frame(NodeId client, const Frame& f) {
 }
 
 void ServerTransport::send_frame(NodeId to, const Frame& f) {
-  // Encode into the reusable scratch buffer (exact-size reserve), then move
-  // the bytes into the net: one allocation per datagram, zero copies.
-  encode_into(f, encode_buf_);
-  net_->send(self_, to, std::move(encode_buf_));
+  // Encode into a pooled buffer (exact-size reserve into recycled capacity),
+  // then move the bytes into the net: zero allocations per datagram once the
+  // pool is warm, zero copies.
+  Bytes buf = net::ControlNet::take_buf();
+  encode_into(f, buf);
+  net_->send(self_, to, std::move(buf));
 }
 
 void ServerTransport::send_server_msg(NodeId client, std::uint32_t epoch, ServerBody body,

@@ -17,7 +17,9 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "metrics/counters.hpp"
 #include "net/control_net.hpp"
 #include "obs/recorder.hpp"
@@ -82,8 +84,13 @@ class ServerTransport {
  private:
   struct Session {
     // msg id -> cached reply frame; nullopt while the handler is running.
-    std::unordered_map<MsgId, std::optional<Frame>> executed;
-    std::deque<MsgId> order;
+    FlatMap<MsgId, std::optional<Frame>> executed;
+    // Fixed-capacity eviction ring (FIFO). Once the session has seen
+    // reply_cache_size requests the ring stops growing and every further
+    // request recycles one slot — the steady-state server path makes zero
+    // allocations per request.
+    std::vector<MsgId> ring;
+    std::size_t ring_pos{0};
   };
   struct OutMsg {
     NodeId client;
@@ -107,7 +114,6 @@ class ServerTransport {
   metrics::Counters* counters_;
   obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
-  Bytes encode_buf_;  // reusable frame-encode scratch; moved into the net per send
   bool started_{false};
   std::uint64_t next_msg_{1};
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "common/move_fn.hpp"
 #include "protocol/messages.hpp"
 #include "sim/time.hpp"
 
@@ -34,6 +35,10 @@ struct ReplyEvent {
   sim::LocalTime first_send{};
 };
 
-using ReplyHandler = std::function<void(const ReplyEvent&)>;
+// Move-only with a generous inline buffer: reply continuations capture a
+// this-pointer, ids, and sometimes a chained user callback — std::function
+// would heap-allocate and force copyable captures (shared_ptr wrapping) on
+// the per-request path.
+using ReplyHandler = MoveFn<void(const ReplyEvent&)>;
 
 }  // namespace stank::protocol

@@ -10,9 +10,49 @@ namespace stank::sim {
 
 namespace {
 std::atomic<std::uint64_t> g_events_executed{0};
+
+// Bounds on the per-thread storage pools: 256 chunks is 64k slots (~4MB),
+// far above any tier-1 scenario's live-timer peak; overflow simply frees.
+constexpr std::size_t kMaxPooledChunks = 256;
+constexpr std::size_t kMaxPooledHeaps = 2;
 }  // namespace
 
-Engine::~Engine() { g_events_executed.fetch_add(executed_, std::memory_order_relaxed); }
+std::vector<std::unique_ptr<Engine::Slot[]>>& Engine::chunk_pool() {
+  thread_local std::vector<std::unique_ptr<Slot[]>> pool;
+  return pool;
+}
+
+std::vector<std::vector<Engine::Entry>>& Engine::heap_pool() {
+  thread_local std::vector<std::vector<Entry>> pool;
+  return pool;
+}
+
+Engine::Engine() {
+  auto& hpool = heap_pool();
+  if (!hpool.empty()) {
+    heap_ = std::move(hpool.back());
+    hpool.pop_back();
+  }
+}
+
+Engine::~Engine() {
+  g_events_executed.fetch_add(executed_, std::memory_order_relaxed);
+  auto& cpool = chunk_pool();
+  for (auto& chunk : chunks_) {
+    if (cpool.size() >= kMaxPooledChunks) break;
+    for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+      chunk[i].fn.reset();
+      chunk[i].gen = 1;
+      chunk[i].next_free = kNoSlot;
+    }
+    cpool.push_back(std::move(chunk));
+  }
+  auto& hpool = heap_pool();
+  if (hpool.size() < kMaxPooledHeaps && heap_.capacity() > 0) {
+    heap_.clear();
+    hpool.push_back(std::move(heap_));
+  }
+}
 
 std::uint64_t Engine::global_events_executed() {
   return g_events_executed.load(std::memory_order_relaxed);
@@ -26,7 +66,13 @@ std::uint32_t Engine::acquire_slot() {
   }
   STANK_ASSERT_MSG(num_slots_ < kNoSlot, "timer slot pool exhausted");
   if ((num_slots_ & (kChunkSize - 1)) == 0) {
-    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    auto& cpool = chunk_pool();
+    if (!cpool.empty()) {
+      chunks_.push_back(std::move(cpool.back()));
+      cpool.pop_back();
+    } else {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
   }
   return num_slots_++;
 }

@@ -26,7 +26,7 @@ using TimerId = std::uint64_t;
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -119,6 +119,14 @@ class Engine {
     return chunks_[i >> kChunkShift][i & (kChunkSize - 1)];
   }
   [[nodiscard]] bool entry_live(const Entry& e) const { return slot(e.slot).gen == e.gen; }
+
+  // Thread-local recycling of the two bulk allocations — slot chunks and the
+  // heap array — so back-to-back engines (fuzz episodes, bench sweeps) reuse
+  // the previous engine's memory instead of re-growing from empty. Donated
+  // chunks are scrubbed (callbacks destroyed, generations reset) in ~Engine,
+  // off every hot path.
+  static std::vector<std::unique_ptr<Slot[]>>& chunk_pool();
+  static std::vector<std::vector<Entry>>& heap_pool();
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 
 namespace stank::storage {
 
@@ -46,6 +47,7 @@ void SanFabric::submit(IoRequest req, IoCallback cb) {
 
   if (!reach_.can_reach(req.initiator, req.disk)) {
     ++stats_.ios_failed_partition;
+    recycle_buf(std::move(req.data));  // command lost before reaching the disk
     // The initiator observes a timeout, not an instant failure.
     engine_->schedule_after(cfg_.error_timeout, [cb = std::move(cb)]() {
       cb(IoResult{Status{ErrorCode::kIoError}, {}});
@@ -53,6 +55,7 @@ void SanFabric::submit(IoRequest req, IoCallback cb) {
     return;
   }
   if (cfg_.drop_probability > 0.0 && rng_.bernoulli(cfg_.drop_probability)) {
+    recycle_buf(std::move(req.data));
     engine_->schedule_after(cfg_.error_timeout, [cb = std::move(cb)]() {
       cb(IoResult{Status{ErrorCode::kIoError}, {}});
     });
@@ -64,6 +67,7 @@ void SanFabric::submit(IoRequest req, IoCallback cb) {
     // A partition that formed while the command was in flight also kills it.
     if (!reach_.can_reach(req.initiator, req.disk)) {
       ++stats_.ios_failed_partition;
+      recycle_buf(std::move(req.data));
       cb(IoResult{Status{ErrorCode::kIoError}, {}});
       return;
     }
@@ -79,6 +83,8 @@ void SanFabric::submit(IoRequest req, IoCallback cb) {
     } else if (result.status.error() == ErrorCode::kFenced) {
       ++stats_.ios_failed_fenced;
     }
+    // The disk copied a write payload into its blocks; the buffer is ours.
+    recycle_buf(std::move(req.data));
     cb(std::move(result));
   });
 }

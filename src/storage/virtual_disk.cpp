@@ -1,6 +1,7 @@
 #include "storage/virtual_disk.hpp"
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 
 namespace stank::storage {
 
@@ -36,7 +37,9 @@ IoResult VirtualDisk::execute(const IoRequest& req) {
     return IoResult{Status::ok(), {}};
   }
 
-  Bytes out(static_cast<std::size_t>(req.count) * block_size_, 0);
+  // Pooled result buffer: resize() zero-fills, which unwritten blocks need.
+  Bytes out = take_buf();
+  out.resize(static_cast<std::size_t>(req.count) * block_size_);
   for (std::uint32_t i = 0; i < req.count; ++i) {
     auto it = blocks_.find(req.addr + i);
     if (it != blocks_.end()) {

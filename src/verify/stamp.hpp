@@ -12,6 +12,7 @@
 #include <optional>
 #include <span>
 
+#include "common/byte_pool.hpp"
 #include "common/bytes.hpp"
 #include "common/strong_id.hpp"
 
@@ -33,14 +34,14 @@ inline constexpr std::size_t kStampBytes = 4 + 4 + 8 + 8 + 4;
 // bytes are a deterministic function of the stamp so corruption is
 // detectable. Requires block_size >= kStampBytes.
 [[nodiscard]] inline Bytes make_stamped_block(std::uint32_t block_size, const Stamp& s) {
-  ByteWriter w;
+  Bytes b = take_buf();  // pooled: workloads stamp one of these per write
+  b.reserve(block_size);
+  ByteWriter w(b);
   w.u32(kStampMagic);
   w.u32(s.file.value());
   w.u64(s.block);
   w.u64(s.version);
   w.u32(s.writer.value());
-  Bytes b = w.take();
-  b.reserve(block_size);
   std::uint8_t fill = static_cast<std::uint8_t>(s.version * 131 + s.block * 31 + 7);
   while (b.size() < block_size) {
     b.push_back(fill++);

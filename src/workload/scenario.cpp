@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/byte_pool.hpp"
 #include "common/log.hpp"
 
 namespace stank::workload {
@@ -289,6 +290,20 @@ Scenario::OpChoice Scenario::choose_op(ClientDriver& d) {
   return op;
 }
 
+void Scenario::note_op_latency(std::size_t ci, std::uint64_t issue_token, sim::SimTime t0) {
+  const double ms = (engine_.now() - t0).millis();
+  op_latency_ms_.add(ms);
+  // Token unchanged since issue => the op never overlapped a suspect/expiry
+  // window on its client: its latency is pure protocol steady-state cost.
+  const bool steady = clients_[ci]->disruption_token() == issue_token;
+  (steady ? op_latency_steady_ms_ : op_latency_recovery_ms_).add(ms);
+  if (rec_ != nullptr) {
+    rec_->span(obs::SpanKind::kOpLatency, ms);
+    rec_->span(steady ? obs::SpanKind::kOpLatencySteady : obs::SpanKind::kOpLatencyRecovery,
+               ms);
+  }
+}
+
 void Scenario::do_write(std::size_t ci, std::size_t fi, std::uint64_t block) {
   ClientDriver& d = drivers_[ci];
   client::Client& cl = *clients_[ci];
@@ -296,20 +311,19 @@ void Scenario::do_write(std::size_t ci, std::size_t fi, std::uint64_t block) {
   const FileId file = file_ids_.at(fi);
   const NodeId node = client_node(ci);
   const sim::SimTime t0 = engine_.now();
+  const std::uint64_t tok = cl.disruption_token();
 
-  auto perform = [this, ci, fd, file, block, node, t0]() {
+  auto perform = [this, ci, fd, file, block, node, t0, tok]() {
     client::Client& cl2 = *clients_[ci];
     const std::uint64_t version = next_version(file, block);
     verify::Stamp stamp{file, block, version, node};
     Bytes data = verify::make_stamped_block(cfg_.block_size, stamp);
     cl2.write(fd, block * cfg_.block_size, std::move(data),
-              [this, stamp, node, t0](Status st) {
+              [this, ci, stamp, node, t0, tok](Status st) {
                 if (st.is_ok()) {
                   ++writes_ok_;
                   history_.on_buffered_write(engine_.now(), node, stamp);
-                  const double ms = (engine_.now() - t0).millis();
-                  op_latency_ms_.add(ms);
-                  if (rec_ != nullptr) rec_->span(obs::SpanKind::kOpLatency, ms);
+                  note_op_latency(ci, tok, t0);
                 } else {
                   ++ops_failed_;
                 }
@@ -338,18 +352,18 @@ void Scenario::do_read(std::size_t ci, std::size_t fi, std::uint64_t block) {
   const FileId file = file_ids_.at(fi);
   const NodeId node = client_node(ci);
   const sim::SimTime t0 = engine_.now();
+  const std::uint64_t tok = cl.disruption_token();
 
   cl.read(fd, block * cfg_.block_size, cfg_.block_size,
-          [this, file, block, node, t0](Result<Bytes> res) {
+          [this, ci, file, block, node, t0, tok](Result<Bytes> res) {
             if (!res.ok() || res.value().size() != cfg_.block_size) {
               ++ops_failed_;
               return;
             }
             ++reads_ok_;
-            const double ms = (engine_.now() - t0).millis();
-            op_latency_ms_.add(ms);
-            if (rec_ != nullptr) rec_->span(obs::SpanKind::kOpLatency, ms);
+            note_op_latency(ci, tok, t0);
             auto stamp = verify::decode_stamp(res.value());
+            recycle_buf(std::move(res).value());  // stamp decoded, data done
             verify::ReadRec rec;
             rec.start = t0;
             rec.end = engine_.now();
@@ -491,6 +505,8 @@ ScenarioResult Scenario::finish() {
   r.max_lease_state_bytes = std::max(max_lease_bytes_, server_->lease_state_bytes());
   r.final_lease_state_bytes = server_->lease_state_bytes();
   r.op_latency_ms = op_latency_ms_;
+  r.op_latency_steady_ms = op_latency_steady_ms_;
+  r.op_latency_recovery_ms = op_latency_recovery_ms_;
   r.sim_seconds = now_s();
   r.engine_events = engine_.events_executed();
   return r;

@@ -158,6 +158,59 @@ TEST(FlatMapTest, RandomizedChurnAgreesWithUnorderedMap) {
   }
 }
 
+// The reply-cache ring and transport pending-table pattern: a window of W
+// live keys sliding over a monotonically increasing key space, insert one /
+// erase one per step. Once the table reaches its high-water capacity it must
+// never rehash again (that is the zero-allocation steady-state contract),
+// and backward-shift erase must keep every probe chain intact even though
+// the table sits just under the 75% growth threshold the whole time.
+TEST(FlatMapTest, SlidingWindowChurnNeverRehashesAtHighLoad) {
+  FlatMap<MsgId, std::uint64_t> m;
+  // Each churn step inserts BEFORE erasing (the reply-cache order), so the
+  // table transiently holds kWindow+1 entries; 96 is exactly the 75% growth
+  // ceiling of a 128-slot table — the densest steady window possible.
+  constexpr std::uint64_t kWindow = 95;
+  for (std::uint64_t k = 0; k < kWindow; ++k) {
+    m.insert(MsgId{k}, k * 3);
+  }
+  const std::size_t high_water = m.capacity();
+  ASSERT_EQ(high_water, 128u);
+
+  for (std::uint64_t k = kWindow; k < kWindow + 20000; ++k) {
+    m.insert(MsgId{k}, k * 3);
+    ASSERT_TRUE(m.erase(MsgId{k - kWindow}));
+    ASSERT_EQ(m.size(), kWindow);
+    ASSERT_EQ(m.capacity(), high_water) << "rehash during steady churn at key " << k;
+    // Backward-shift integrity: every live key findable, evicted key gone.
+    ASSERT_EQ(m.find(MsgId{k - kWindow}), nullptr);
+    for (std::uint64_t probe = k - kWindow + 1; probe <= k; probe += 7) {
+      const auto* v = m.find(MsgId{probe});
+      ASSERT_NE(v, nullptr) << "lost key " << probe << " at step " << k;
+      ASSERT_EQ(*v, probe * 3);
+    }
+  }
+}
+
+// Erase of absent keys while the table sits at its load-factor ceiling must
+// neither corrupt chains nor trigger growth.
+TEST(FlatMapTest, MissingEraseAtHighLoadIsInert) {
+  FlatMap<FileId, int> m;
+  for (std::uint32_t k = 0; k < 48; ++k) {
+    m.insert(FileId{k}, static_cast<int>(k));
+  }
+  const std::size_t cap = m.capacity();
+  for (std::uint32_t k = 100; k < 600; ++k) {
+    EXPECT_FALSE(m.erase(FileId{k}));
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 48u);
+  for (std::uint32_t k = 0; k < 48; ++k) {
+    const int* v = m.find(FileId{k});
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+}
+
 TEST(FlatSetTest, InsertEraseContains) {
   FlatSet<NodeId> s;
   EXPECT_TRUE(s.insert(NodeId{1}));

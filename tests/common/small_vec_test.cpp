@@ -125,5 +125,65 @@ TEST(SmallVecTest, PopBackAndBack) {
   EXPECT_TRUE(v.empty());
 }
 
+// The spill boundary is exactly the inline capacity: element N is still
+// inline, element N+1 moves everything to the heap intact.
+TEST(SmallVecTest, SpillBoundaryIsExactlyInlineCapacity) {
+  SmallVec<std::string, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back("elem-" + std::to_string(i));
+    EXPECT_TRUE(v.is_inline()) << "spilled early at " << i;
+  }
+  EXPECT_EQ(v.capacity(), 4u);
+  v.push_back("elem-4");
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_GE(v.capacity(), 5u);
+  ASSERT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], "elem-" + std::to_string(i));
+  }
+}
+
+// clear() must keep the heap buffer (that is what makes per-episode reuse
+// allocation-free); reset() is the call that actually returns to inline.
+TEST(SmallVecTest, ClearKeepsHeapCapacityResetReturnsInline) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  ASSERT_FALSE(v.is_inline());
+  const std::size_t heap_cap = v.capacity();
+
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.capacity(), heap_cap);
+  for (int i = 0; i < static_cast<int>(heap_cap); ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), heap_cap);  // refill within capacity: no regrow
+
+  v.reset();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 2u);
+  v.push_back(7);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v[0], 7);
+}
+
+// Shrinking below the inline capacity after a spill does NOT migrate back:
+// the vector stays on its heap buffer until reset(), and stays correct.
+TEST(SmallVecTest, ShrinkBelowInlineStaysOnHeap) {
+  SmallVec<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(std::make_unique<int>(i));
+  ASSERT_FALSE(v.is_inline());
+  while (v.size() > 1) v.pop_back();
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(*v[0], 0);
+  v.erase(v.begin());
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.is_inline());
+  // Still fully usable from the heap buffer.
+  v.push_back(std::make_unique<int>(42));
+  EXPECT_EQ(*v.back(), 42);
+}
+
 }  // namespace
 }  // namespace stank

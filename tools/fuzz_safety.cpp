@@ -93,6 +93,12 @@ Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative) 
   // live ones), and loss bursts long enough to out-last retry budgets.
   cfg.control_net.latency = sim::micros(100 + rng.uniform_int(0, 1900));
   cfg.control_net.jitter = sim::Duration{cfg.control_net.latency.ns / 2};
+  // Exact-time delivery: bucket rounding would shift arrival instants and
+  // make replay schedules depend on the bucket width. 1ns coalesces only
+  // datagrams with identical sampled arrival times, which is the schedule
+  // the unbatched fabric produced — replays stay verdict-identical across
+  // the batching change while still exercising the queued-drain path.
+  cfg.control_net.delivery_bucket = sim::Duration{1};
   cfg.control_net.drop_probability = 0.10 * rng.uniform();
   cfg.control_net.dup_probability = 0.25 * rng.uniform();
   cfg.control_net.reorder_probability = 0.40 * rng.uniform();
