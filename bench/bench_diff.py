@@ -2,7 +2,7 @@
 """Compare a fresh BENCH_core.json against the committed baseline.
 
 Usage: bench_diff.py [--baseline FILE] [--fresh FILE] [--threshold PCT]
-                     [--p99-fail-pct PCT] [--update-baseline]
+                     [--p99-fail-pct PCT] [--update-baseline] [--threads N]
 
 Prints a per-bench table of events/s deltas and exits non-zero when any
 bench regressed by more than the threshold (default 15%). Benches present
@@ -18,12 +18,17 @@ both sides report them: any count above its baseline fails the run, because
 the zero-allocation invariant only has to be lost once to be lost for good.
 
 --update-baseline copies the fresh results over the baseline file with a
-provenance header recording when and from what the baseline was taken.
+provenance header recording when and from what the baseline was taken,
+including the worker-thread count (--threads, default: the host's CPU
+count). Comparing against a baseline taken at a different thread count
+warns loudly: the sharded-engine events/s-vs-K curve is only comparable
+between hosts with the same parallelism.
 """
 
 import argparse
 import datetime
 import json
+import os
 import subprocess
 import sys
 
@@ -50,7 +55,7 @@ def load(path):
     return out, lat, allocs
 
 
-def update_baseline(baseline_path, fresh_path):
+def update_baseline(baseline_path, fresh_path, threads):
     """Copy fresh results over the baseline, stamping provenance.
 
     The provenance lives in a "provenance" key (JSON has no comments), so
@@ -74,6 +79,7 @@ def update_baseline(baseline_path, fresh_path):
             "source": fresh_path,
             "commit": commit,
             "tool": "bench_diff.py --update-baseline",
+            "threads": threads,
         },
         "benches": doc.get("benches", []),
     }
@@ -96,11 +102,15 @@ def main():
     ap.add_argument("--update-baseline", action="store_true",
                     help="overwrite the baseline with the fresh results "
                          "(stamped with provenance) instead of comparing")
+    ap.add_argument("--threads", type=int, default=os.cpu_count() or 1,
+                    help="worker-thread count the benches ran with; stamped "
+                         "into the baseline provenance and checked against "
+                         "it on compare (default: host CPU count)")
     args = ap.parse_args()
 
     if args.update_baseline:
         try:
-            update_baseline(args.baseline, args.fresh)
+            update_baseline(args.baseline, args.fresh, args.threads)
         except (OSError, json.JSONDecodeError) as e:
             print(f"bench_diff: cannot update baseline: {e}", file=sys.stderr)
             return 2
@@ -108,9 +118,18 @@ def main():
 
     try:
         base, base_lat, base_allocs = load(args.baseline)
+        with open(args.baseline) as f:
+            base_threads = json.load(f).get("provenance", {}).get("threads")
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_diff: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
         return 2
+    if base_threads is not None and base_threads != args.threads:
+        print("bench_diff: " + "=" * 64)
+        print(f"bench_diff: WARNING: baseline was taken with {base_threads} "
+              f"worker thread(s) but this run used {args.threads}.")
+        print("bench_diff: parallel-engine events/s numbers are NOT comparable "
+              "across thread counts; deltas below may be hardware, not code.")
+        print("bench_diff: " + "=" * 64)
     try:
         fresh, fresh_lat, fresh_allocs = load(args.fresh)
     except (OSError, json.JSONDecodeError) as e:

@@ -79,9 +79,11 @@ int main(int argc, char** argv) {
   if (!skip_slow) {
     benches.push_back("bench_m1_micro");
   } else {
-    // Quick/CI smoke: keep the swarm sweep to its two smallest points unless
-    // the caller already pinned a sweep.
+    // Quick/CI smoke: keep the swarm sweeps to their smallest points unless
+    // the caller already pinned them.
     setenv("STANK_SWARM_NS", "100,1000", 0);
+    setenv("STANK_SWARM_N_SHARDED", "2000", 0);
+    setenv("STANK_SWARM_KS", "1,2", 0);
   }
 
   const fs::path self_dir = fs::absolute(fs::path(argv[0])).parent_path();

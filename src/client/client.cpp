@@ -492,9 +492,9 @@ bool Client::gate(ErrorCode& why) const {
 }
 
 Client::FileState* Client::state_of(Fd fd) {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return nullptr;
-  auto fit = files_.find(it->second);
+  const FileId* file = fds_.find(fd);
+  if (file == nullptr) return nullptr;
+  auto fit = files_.find(*file);
   return fit == files_.end() ? nullptr : &fit->second;
 }
 
@@ -507,9 +507,9 @@ Client::FileState& Client::state_for(FileId file) {
 }
 
 protocol::LockMode Client::lock_mode(Fd fd) const {
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) return LockMode::kNone;
-  auto fit = files_.find(it->second);
+  const FileId* file = fds_.find(fd);
+  if (file == nullptr) return LockMode::kNone;
+  auto fit = files_.find(*file);
   return fit == files_.end() ? LockMode::kNone : fit->second.mode;
 }
 
@@ -546,7 +546,7 @@ void Client::open(const std::string& path, bool create, std::function<void(Resul
         fs.last_validate = clock_.now();
         ++fs.open_count;
         const Fd fd = next_fd_++;
-        fds_.emplace(fd, rep->file);
+        fds_.insert(fd, rep->file);
         ++ops_completed_;
         cb(fd);
       });

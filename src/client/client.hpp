@@ -19,20 +19,19 @@
 // always fire exactly once.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "baselines/heartbeat.hpp"
 #include "baselines/v_lease.hpp"
 #include "client/cache.hpp"
+#include "common/flat_map.hpp"
 #include "common/small_vec.hpp"
 #include "core/client_lease_agent.hpp"
 #include "metrics/counters.hpp"
@@ -310,7 +309,9 @@ class Client {
   std::uint32_t server_incarnation_{0};
 
   Fd next_fd_{1};
-  std::unordered_map<Fd, FileId> fds_;
+  // Flat open-addressing table: a handful of open fds per client at steady
+  // state, probed once per data op.
+  FlatMap<Fd, FileId> fds_;
   std::map<FileId, FileState> files_;
 
   std::uint64_t ops_completed_{0};

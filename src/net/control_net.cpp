@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "common/byte_pool.hpp"
+#include "net/sharded_net.hpp"
 
 namespace stank::net {
 
@@ -52,8 +53,14 @@ Bytes ControlNet::take_buf() { return stank::take_buf(); }
 
 void ControlNet::recycle_buf(Bytes&& b) { stank::recycle_buf(std::move(b)); }
 
+void ControlNet::bind_shard(ShardedNet* owner, unsigned shard) {
+  sharded_ = owner;
+  shard_ = shard;
+}
+
 void ControlNet::attach(NodeId node, Handler handler) {
   STANK_ASSERT(handler != nullptr);
+  if (sharded_ != nullptr) sharded_->note_attach(node, shard_);
   handlers_[node] = std::move(handler);
 }
 
@@ -135,6 +142,26 @@ void ControlNet::enqueue_copy(NodeId from, NodeId to, Bytes datagram) {
   }
 
   const sim::SimTime at = engine_->now() + delay;
+  if (sharded_ != nullptr) {
+    // Route by the static placement directory; unplaced nodes fall back to
+    // the local queue, where the drain drops them as detached — the same
+    // fate a serial net gives a send to a node that never attached.
+    const unsigned dst_shard = sharded_->owner_of(to, shard_);
+    if (dst_shard != shard_) {
+      sharded_->post(shard_, dst_shard,
+                     ShardedNet::CrossItem{at, next_item_seq_++, shard_, from, to,
+                                           std::move(datagram)});
+      return;
+    }
+  }
+  DestQueue& q = queues_[to];
+  q.items.push_back(Item{at, next_item_seq_++, from, std::move(datagram)});
+  const std::int64_t slot_ns = bucket_of(at);
+  if (slot_ns < q.armed_ns) arm(q, to, slot_ns);
+}
+
+void ControlNet::inject(NodeId from, NodeId to, sim::SimTime at, Bytes datagram) {
+  STANK_ASSERT_MSG(at >= engine_->now(), "cross-shard arrival in this shard's past");
   DestQueue& q = queues_[to];
   q.items.push_back(Item{at, next_item_seq_++, from, std::move(datagram)});
   const std::int64_t slot_ns = bucket_of(at);

@@ -49,6 +49,8 @@
 
 namespace stank::net {
 
+class ShardedNet;
+
 struct NetConfig {
   sim::Duration latency{sim::micros(200)};  // one-way base latency
   sim::Duration jitter{sim::micros(50)};    // uniform extra in [0, jitter]
@@ -149,6 +151,22 @@ class ControlNet {
   // accumulated only in ~ControlNet (bench reporting, no hot-path cost).
   [[nodiscard]] static std::uint64_t global_datagrams_sent();
 
+  // --- Sharded operation (installed by ShardedNet) ------------------------
+  // Marks this net as shard `shard` of a sharded fabric. send() then routes
+  // datagrams whose destination lives on another shard into the owner's SPSC
+  // mailbox instead of the local destination queue; every loss/dup/reorder
+  // draw and the latency sample still happen here, at send time, in this
+  // shard's historical RNG order.
+  void bind_shard(ShardedNet* owner, unsigned shard);
+
+  // Barrier-time insertion of a cross-shard datagram that already carries
+  // its sampled arrival time. Only ShardedNet::deliver calls this, on the
+  // destination shard's worker, strictly between windows; the item gets a
+  // fresh local sequence number so injection order (arrival time, source
+  // shard, source sequence — pre-sorted by the caller) is preserved through
+  // the drain's (arrival, seq) sort.
+  void inject(NodeId from, NodeId to, sim::SimTime at, Bytes datagram);
+
  private:
   // One queued in-flight datagram. `at` is the exact sampled arrival
   // instant (pre-bucketing) and `seq` the global send order — the pair
@@ -184,6 +202,9 @@ class ControlNet {
   sim::Engine* engine_;
   sim::Rng rng_;
   NetConfig cfg_;
+  // Non-null when this net is one shard of a ShardedNet.
+  ShardedNet* sharded_{nullptr};
+  unsigned shard_{0};
   obs::Recorder* rec_{nullptr};
   Reachability<NodeId> reach_;
   FlatMap<NodeId, Handler> handlers_;

@@ -150,6 +150,40 @@ void Recorder::visit_merged(const std::function<void(const Event&)>& fn) const {
   }
 }
 
+void Recorder::visit_merged_across(const std::vector<const Recorder*>& recs,
+                                   const std::function<void(const Event&)>& fn) {
+  struct Cursor {
+    NodeId node;
+    std::size_t rec;  // position in `recs`, the final tie-break
+    const Ring* ring;
+    std::size_t i{0};
+    [[nodiscard]] const Event& at() const {
+      return ring->buf[(ring->head + i) % ring->buf.size()];
+    }
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t r = 0; r < recs.size(); ++r) {
+    if (recs[r] == nullptr) continue;
+    for (const auto& [node, ring] : recs[r]->rings_) {
+      if (!ring.buf.empty()) cursors.push_back(Cursor{node, r, &ring});
+    }
+  }
+  std::sort(cursors.begin(), cursors.end(), [](const Cursor& a, const Cursor& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.rec < b.rec;
+  });
+  while (true) {
+    Cursor* best = nullptr;
+    for (auto& c : cursors) {
+      if (c.i >= c.ring->buf.size()) continue;
+      if (best == nullptr || c.at().at < best->at().at) best = &c;
+    }
+    if (best == nullptr) return;
+    fn(best->at());
+    ++best->i;
+  }
+}
+
 void Recorder::clear() {
   rings_.clear();
   for (auto& h : spans_) h.clear();

@@ -102,6 +102,13 @@ class Recorder {
   // Visits every retained event merged into global time order (k-way merge;
   // each ring is already time-sorted because engine time is monotone).
   void visit_merged(const std::function<void(const Event&)>& fn) const;
+  // Merges the rings of several recorders into one global timeline — the
+  // sharded engine gives every shard its own recorder (rings are not
+  // thread-safe), and this reassembles the run for export/inspection. Ties
+  // break by (node id, recorder position) so the merged order is a pure
+  // function of the recorded events.
+  static void visit_merged_across(const std::vector<const Recorder*>& recs,
+                                  const std::function<void(const Event&)>& fn);
 
   void clear();
 

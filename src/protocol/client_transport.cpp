@@ -265,12 +265,22 @@ void ClientTransport::note_server_msg(const Frame& f) {
   if (rec_ != nullptr) {
     rec_->record(clock_->engine().now(), self_, obs::EventKind::kServerMsgRecv, f.msg_id.value());
   }
-  seen_server_msgs_.insert(f.msg_id);
-  seen_order_.push_back(f.msg_id);
-  while (seen_order_.size() > cfg_.reply_cache_size) {
-    seen_low_water_ = std::max(seen_low_water_, seen_order_.front().value());
-    seen_server_msgs_.erase(seen_order_.front());
-    seen_order_.pop_front();
+  if (cfg_.reply_cache_size == 0) {
+    // Degenerate window: every id is evicted the instant it is seen, so the
+    // low-water mark alone carries the dedup.
+    seen_low_water_ = std::max(seen_low_water_, f.msg_id.value());
+  } else if (seen_order_.size() < cfg_.reply_cache_size) {
+    seen_server_msgs_.insert(f.msg_id);
+    seen_order_.push_back(f.msg_id);
+  } else {
+    // Window full: recycle the oldest ring slot in place. Steady state makes
+    // zero allocations here — the ring and the set both sit at their caps.
+    MsgId& oldest = seen_order_[seen_pos_];
+    seen_low_water_ = std::max(seen_low_water_, oldest.value());
+    seen_server_msgs_.erase(oldest);
+    seen_server_msgs_.insert(f.msg_id);
+    oldest = f.msg_id;
+    seen_pos_ = (seen_pos_ + 1) % seen_order_.size();
   }
 
   if (on_server_msg) {

@@ -13,9 +13,8 @@
 //    path converges on steal + fence.
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <unordered_set>
+#include <vector>
 
 #include "common/flat_map.hpp"
 #include "metrics/counters.hpp"
@@ -68,6 +67,7 @@ class ClientTransport {
       // both the window and its low-water mark start over.
       seen_server_msgs_.clear();
       seen_order_.clear();
+      seen_pos_ = 0;
       seen_low_water_ = 0;
     }
     // Always a new session: epoch NUMBERS collide across server
@@ -124,9 +124,12 @@ class ClientTransport {
   // re-ACKing (the ACK may have been lost). The window is bounded
   // (reply_cache_size); ids evicted from it are covered by the monotone
   // low-water mark below, so a duplicate delayed past the window is still
-  // suppressed. Both reset when the epoch changes.
-  std::unordered_set<MsgId> seen_server_msgs_;
-  std::deque<MsgId> seen_order_;
+  // suppressed. Both reset when the epoch changes. The FIFO order lives in a
+  // fixed-capacity ring (a deque would hold a ~500-byte chunk block per
+  // client just to remember 8 ids) and the membership set in a flat table.
+  FlatSet<MsgId> seen_server_msgs_;
+  std::vector<MsgId> seen_order_;
+  std::size_t seen_pos_{0};
   std::uint64_t seen_low_water_{0};
 };
 

@@ -35,7 +35,8 @@ void ServerTransport::stop() {
 }
 
 ServerTransport::Session& ServerTransport::session(NodeId client, std::uint32_t epoch) {
-  return sessions_[client][epoch];
+  const std::uint64_t key = (static_cast<std::uint64_t>(client.value()) << 32) | epoch;
+  return sessions_[key];
 }
 
 void ServerTransport::handle_datagram(NodeId from, const Bytes& datagram) {

@@ -13,7 +13,6 @@
 //    the passive lease authority.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -117,7 +116,10 @@ class ServerTransport {
   bool started_{false};
   std::uint64_t next_msg_{1};
 
-  std::unordered_map<NodeId, std::unordered_map<std::uint32_t, Session>> sessions_;
+  // Sessions keyed by packed (client, epoch): one flat table instead of a
+  // map-of-maps, so a million-client server pays one probe per request and
+  // ~56 bytes of per-session overhead instead of two bucket chains.
+  FlatMap<std::uint64_t, Session> sessions_;
   std::unordered_map<MsgId, OutMsg> out_msgs_;
 };
 

@@ -1,0 +1,66 @@
+// Reusable synchronization barrier for the sharded simulation engine.
+//
+// The window loop synchronizes K shard workers twice per 10us simulated
+// window, so a conservative parallel run crosses the barrier hundreds of
+// thousands of times. std::barrier's completion-function machinery and
+// futex round trips are measurable at that rate; this barrier spins briefly
+// (windows are short, the other workers are usually already arriving) and
+// then yields, so it degrades gracefully when workers outnumber cores.
+//
+// Memory ordering: arrive_and_wait() is a full rendezvous — every write a
+// participant made before arriving happens-before every read any participant
+// makes after leaving. That ordering is what makes the lock-free SPSC
+// mailboxes safe: producers fill them strictly before the barrier, consumers
+// drain them strictly after.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace stank::rt {
+
+class Barrier {
+ public:
+  explicit Barrier(std::uint32_t participants) : participants_(participants) {
+    STANK_ASSERT_MSG(participants > 0, "barrier needs at least one participant");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  void arrive_and_wait() {
+    if (participants_ == 1) return;  // single worker: every window is a no-op
+    const std::uint64_t phase = phase_.load(std::memory_order_relaxed);
+    // The release on the last arrival publishes this worker's writes; the
+    // acquire in the spin loop (and in the fetch_add itself) pulls in every
+    // other worker's writes from the previous phase.
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_acq_rel);
+      return;
+    }
+    // Spin a little first — at dense event rates the other shards arrive
+    // within a microsecond — then yield so an oversubscribed machine (more
+    // workers than cores) does not burn whole scheduler quanta.
+    for (std::uint32_t spins = 0; phase_.load(std::memory_order_acquire) == phase;) {
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint32_t participants() const { return participants_; }
+
+ private:
+  static constexpr std::uint32_t kSpinLimit = 4096;
+
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace stank::rt

@@ -170,6 +170,14 @@ void Engine::discard_dead_top() {
   }
 }
 
+SimTime Engine::next_event_time() {
+  discard_dead_top();
+  if (heap_.empty()) {
+    return kNever;
+  }
+  return heap_.front().at;
+}
+
 bool Engine::step() {
   discard_dead_top();
   if (heap_.empty()) {

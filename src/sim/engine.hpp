@@ -69,6 +69,15 @@ class Engine {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t events_pending() const { return live_; }
 
+  // Sentinel for "no pending event".
+  static constexpr SimTime kNever{INT64_MAX};
+
+  // Time of the earliest live pending event, or kNever when the queue is
+  // empty. Non-const: discards dead heap tops on the way, amortized by the
+  // same tombstone accounting step() relies on. The sharded engine uses this
+  // to skip idle windows deterministically.
+  [[nodiscard]] SimTime next_event_time();
+
   // Heap entries currently held, live + tombstones. Compaction keeps this
   // O(live timers); exposed so tests can assert the bound.
   [[nodiscard]] std::size_t queue_depth() const { return heap_.size(); }

@@ -105,4 +105,30 @@ std::size_t Rng::zipf(std::size_t n, double s) {
   return lo;
 }
 
+ZipfTable::ZipfTable(std::size_t n, double s) {
+  STANK_ASSERT(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) {
+    v /= acc;
+  }
+}
+
+std::size_t ZipfTable::pick(double u) const {
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 }  // namespace stank::sim

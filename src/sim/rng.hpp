@@ -50,4 +50,20 @@ class Rng {
   std::vector<double> zipf_cdf_;
 };
 
+// Shared Zipf CDF: build once, draw with any Rng via pick(rng.uniform()).
+// Rng::zipf caches its table per instance, which is fine for a handful of
+// generators but costs n doubles *per Rng* — a million per-member Rngs
+// drawing from a 10k-entry pool would duplicate the table into tens of
+// gigabytes. pick() consumes exactly one uniform draw, the same as
+// Rng::zipf, so swapping between them preserves the RNG stream.
+class ZipfTable {
+ public:
+  ZipfTable(std::size_t n, double s);
+  // Rank in [0, n) for a uniform u in [0, 1).
+  [[nodiscard]] std::size_t pick(double u) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
 }  // namespace stank::sim

@@ -1,0 +1,105 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.hpp"
+#include "rt/barrier.hpp"
+#include "rt/parallel.hpp"
+
+namespace stank::sim {
+
+ShardedEngine::ShardedEngine(Config cfg) : cfg_(cfg) {
+  STANK_ASSERT_MSG(cfg.shards >= 1, "need at least one shard");
+  STANK_ASSERT_MSG(cfg.window.ns > 0, "window must be positive");
+  shards_.reserve(cfg.shards);
+  for (unsigned s = 0; s < cfg.shards; ++s) {
+    shards_.push_back(std::make_unique<Engine>());
+  }
+  next_event_ns_.assign(cfg.shards, Engine::kNever.ns);
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& e : shards_) total += e->events_executed();
+  return total;
+}
+
+std::size_t ShardedEngine::events_pending() const {
+  std::size_t total = 0;
+  for (const auto& e : shards_) total += e->events_pending();
+  return total;
+}
+
+void ShardedEngine::run_until(SimTime horizon) {
+  if (horizon <= frontier_) return;
+  if (shards_.size() == 1) {
+    // Serial fast path: no windows, no barriers — byte-identical to the
+    // pre-sharding engine (the determinism tests pin this).
+    shards_[0]->run_until(horizon);
+    frontier_ = horizon;
+    return;
+  }
+  unsigned workers = cfg_.threads != 0 ? cfg_.threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min<unsigned>(workers, shard_count());
+  run_windows(horizon, workers);
+  frontier_ = horizon;
+}
+
+void ShardedEngine::run_windows(SimTime horizon, unsigned workers) {
+  const unsigned k = shard_count();
+  const std::int64_t w = cfg_.window.ns;
+  rt::Barrier barrier(workers);
+  // Every worker executes the identical window loop over its own shard
+  // subset (s ≡ worker mod workers, a fixed assignment); all control-flow
+  // decisions below are functions of barrier-synchronized shared state, so
+  // every worker takes the same branches in lockstep.
+  rt::parallel_for(
+      workers,
+      [&](std::size_t worker) {
+        SimTime base = frontier_;
+        while (base < horizon) {
+          const SimTime wend{std::min(base.ns + w, horizon.ns)};
+          // Phase 1: run the window. Shard-local by construction.
+          for (unsigned s = static_cast<unsigned>(worker); s < k; s += workers) {
+            shards_[s]->run_until(wend);
+          }
+          barrier.arrive_and_wait();
+          // Phase 2: exchange. Each worker injects the cross-shard traffic
+          // destined for its own shards (SPSC mailbox drain), then publishes
+          // the shard's next pending-event time for the skip decision.
+          for (unsigned s = static_cast<unsigned>(worker); s < k; s += workers) {
+            if (exchange_ != nullptr) exchange_->deliver(s, wend);
+            next_event_ns_[s] = shards_[s]->next_event_time().ns;
+          }
+          barrier.arrive_and_wait();
+          // Phase 3: all workers compute the same skip from the same array.
+          std::int64_t earliest = Engine::kNever.ns;
+          for (unsigned s = 0; s < k; ++s) earliest = std::min(earliest, next_event_ns_[s]);
+          if (earliest > wend.ns) {
+            // No shard has work before `earliest`: jump the base over the
+            // idle gap, landing on the window-grid edge at or before the
+            // earlier of next-event and horizon (the clamp keeps kNever
+            // finite and the grid aligned).
+            const std::int64_t target = std::min(earliest, horizon.ns);
+            const std::int64_t skip = (target - wend.ns) / w;
+            base = SimTime{wend.ns + skip * w};
+          } else {
+            base = wend;
+          }
+        }
+        // The loop can exit with shard clocks short of the horizon (drained
+        // queues, or a skip that landed exactly on it). A serial run_until
+        // advances an idle engine's clock to the horizon — and runs events
+        // scheduled exactly at it — so do the same per shard. Anything these
+        // events send cross-shard arrives past the horizon and waits in its
+        // mailbox for the next run.
+        for (unsigned s = static_cast<unsigned>(worker); s < k; s += workers) {
+          shards_[s]->run_until(horizon);
+        }
+      },
+      workers);
+}
+
+}  // namespace stank::sim

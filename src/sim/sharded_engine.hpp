@@ -1,0 +1,105 @@
+// Sharded parallel discrete-event engine.
+//
+// Partitions the simulated node population across K shards, each owning a
+// full serial Engine (its own event queue, clock and — by construction of
+// the fabrics above it — its own RNG streams). Shards advance concurrently
+// under conservative time-window synchronization: simulated time is cut into
+// fixed windows of length `window` (by default the ControlNet delivery
+// bucket, 10us), every shard runs its own events for the window with no
+// cross-shard interaction, and at the window barrier cross-shard traffic is
+// exchanged through the registered ShardExchange (per-(src,dst) SPSC
+// mailboxes in net::ShardedNet). The scheme is safe iff no event on one
+// shard can affect another shard within the same window — i.e. the minimum
+// cross-shard propagation delay (the ControlNet base latency, 200us by
+// default) is at least `window`. The exchange asserts that contract per
+// datagram.
+//
+// Determinism contract:
+//  * A fixed (seed, K) run is bit-identical regardless of worker-thread
+//    count: shard execution within a window touches only shard-local state,
+//    mailboxes are single-producer/single-consumer with the barrier
+//    providing the ordering, and co-timed cross-shard arrivals are merged in
+//    (arrival time, source shard, source sequence) order at the barrier.
+//    Worker count only changes which OS thread runs a shard, never what the
+//    shard computes.
+//  * K = 1 bypasses the window loop entirely — one run_until() straight on
+//    the serial engine — so a single-shard run reproduces the pre-sharding
+//    engine byte for byte and the consistency checker, replay corpus and
+//    serial tests stay valid.
+//
+// Idle windows are skipped deterministically: at each barrier every worker
+// computes the same global earliest-pending-event time (from a plain array
+// each worker partially filled before the barrier) and jumps the window base
+// forward over gaps where no shard has work. Sparse phases therefore cost
+// O(events), not O(simulated time / window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace stank::sim {
+
+// Cross-shard input source, implemented by the sharded fabrics (ShardedNet).
+// deliver() runs once per (shard, window barrier), on the worker thread that
+// owns dst_shard, strictly after every shard finished running the window and
+// strictly before any shard starts the next one.
+class ShardExchange {
+ public:
+  virtual ~ShardExchange() = default;
+  // Must schedule all pending cross-shard input destined for dst_shard onto
+  // that shard's engine. Everything scheduled must lie at or beyond
+  // window_end — the conservative lookahead contract.
+  virtual void deliver(unsigned dst_shard, SimTime window_end) = 0;
+};
+
+class ShardedEngine {
+ public:
+  struct Config {
+    unsigned shards{1};
+    // Window length = cross-shard lookahead. Must not exceed the minimum
+    // cross-shard propagation delay of the fabrics built on top.
+    Duration window{micros(10)};
+    // Worker threads for run_until (0 = hardware_concurrency), capped at the
+    // shard count. Affects wall-clock only, never results.
+    unsigned threads{0};
+  };
+
+  explicit ShardedEngine(Config cfg);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+  [[nodiscard]] Engine& shard(unsigned s) { return *shards_[s]; }
+  [[nodiscard]] const Engine& shard(unsigned s) const { return *shards_[s]; }
+  [[nodiscard]] Duration window() const { return cfg_.window; }
+
+  // The synchronized window frontier: every shard has run to at least here.
+  [[nodiscard]] SimTime now() const { return frontier_; }
+
+  void set_exchange(ShardExchange* x) { exchange_ = x; }
+
+  // Advances every shard to `horizon` under window synchronization. With one
+  // shard this is exactly Engine::run_until on the lone shard.
+  void run_until(SimTime horizon);
+
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::size_t events_pending() const;
+
+ private:
+  void run_windows(SimTime horizon, unsigned workers);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Engine>> shards_;
+  // Per-shard next-pending-event time, refreshed at each barrier. Written by
+  // the shard's owning worker before the exchange barrier, read by every
+  // worker after it — the barrier is the synchronization.
+  std::vector<std::int64_t> next_event_ns_;
+  ShardExchange* exchange_{nullptr};
+  SimTime frontier_{};
+};
+
+}  // namespace stank::sim

@@ -1,0 +1,180 @@
+// ShardedNet: the cross-shard control fabric. Pins the delivery contract —
+// cross-shard datagrams arrive at their sampled latency, co-timed arrivals
+// drain in (arrival time, source shard, source sequence) order with the
+// destination's own traffic first, and none of it depends on the worker
+// thread count — plus the bookkeeping: aggregated stats, detached-receiver
+// drops, and survival of the engine's tombstone compaction under timer
+// churn while datagrams are in flight.
+#include "net/sharded_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace stank::net {
+namespace {
+
+NetConfig quiet_net() {
+  NetConfig cfg;
+  cfg.latency = sim::micros(200);
+  cfg.jitter = sim::Duration{0};  // exact arrival instants: ties are real ties
+  return cfg;
+}
+
+struct Fixture {
+  sim::ShardedEngine engine;
+  ShardedNet net;
+  // (from, first payload byte) in delivery order at the receiver.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> received;
+
+  explicit Fixture(unsigned shards, unsigned threads, NetConfig cfg = quiet_net())
+      : engine(make_cfg(shards, threads)), net(engine, sim::Rng(7), cfg) {}
+
+  static sim::ShardedEngine::Config make_cfg(unsigned shards, unsigned threads) {
+    sim::ShardedEngine::Config cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    return cfg;
+  }
+
+  void listen(NodeId node, unsigned shard) {
+    net.place(node, shard);
+    net.shard(shard).attach(node, [this](NodeId from, const Bytes& b) {
+      received.emplace_back(from.value(), b.empty() ? 0 : b[0]);
+    });
+  }
+};
+
+TEST(ShardedNet, CrossShardDeliveryAtExactLatency) {
+  Fixture f(2, 2);
+  f.net.place(NodeId{1}, 0);
+  f.listen(NodeId{2}, 1);
+  f.engine.shard(0).schedule_at(sim::SimTime{0},
+                                [&]() { f.net.shard(0).send(NodeId{1}, NodeId{2}, Bytes{42}); });
+  f.engine.run_until(sim::SimTime{} + sim::micros(199));
+  EXPECT_TRUE(f.received.empty());
+  f.engine.run_until(sim::SimTime{} + sim::micros(200));
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0], (std::pair<std::uint32_t, std::uint8_t>{1u, 42}));
+  EXPECT_EQ(f.net.stats().sent, 1u);
+  EXPECT_EQ(f.net.stats().delivered, 1u);
+}
+
+// Five datagrams from three shards, all sent at t=0 with zero jitter, all
+// arriving at exactly t=200us. The contract: the receiver's shard-local
+// traffic drains first (its sequence numbers predate the barrier injection),
+// then source shard 1's datagrams in send order, then source shard 2's.
+void run_co_timed(Fixture& f) {
+  f.net.place(NodeId{11}, 0);
+  f.net.place(NodeId{12}, 1);
+  f.net.place(NodeId{13}, 2);
+  f.listen(NodeId{10}, 0);
+  // Schedule the far shard first: drain order must come from the merge
+  // tie-break, never from which shard happened to send first.
+  f.engine.shard(2).schedule_at(sim::SimTime{0}, [&]() {
+    f.net.shard(2).send(NodeId{13}, NodeId{10}, Bytes{0});
+    f.net.shard(2).send(NodeId{13}, NodeId{10}, Bytes{1});
+  });
+  f.engine.shard(1).schedule_at(sim::SimTime{0}, [&]() {
+    f.net.shard(1).send(NodeId{12}, NodeId{10}, Bytes{0});
+    f.net.shard(1).send(NodeId{12}, NodeId{10}, Bytes{1});
+  });
+  f.engine.shard(0).schedule_at(sim::SimTime{0}, [&]() {
+    f.net.shard(0).send(NodeId{11}, NodeId{10}, Bytes{0});
+  });
+  f.engine.run_until(sim::SimTime{} + sim::millis(1));
+}
+
+TEST(ShardedNet, CoTimedArrivalsDrainInShardOrder) {
+  Fixture f(3, 3);
+  run_co_timed(f);
+  const std::vector<std::pair<std::uint32_t, std::uint8_t>> want = {
+      {11u, 0}, {12u, 0}, {12u, 1}, {13u, 0}, {13u, 1}};
+  EXPECT_EQ(f.received, want);
+}
+
+TEST(ShardedNet, DrainOrderIdenticalAtEveryThreadCount) {
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint8_t>>> runs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Fixture f(3, threads);
+    run_co_timed(f);
+    runs.push_back(f.received);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  EXPECT_EQ(runs[0].size(), 5u);
+}
+
+TEST(ShardedNet, TieBreakSurvivesTombstoneCompaction) {
+  // While the five datagrams are in flight, hammer the receiver shard's
+  // event queue with schedule/cancel churn so the heap compacts (tombstones
+  // outnumber live entries) with the delivery timers still pending. The
+  // drain order must be exactly what it was without the churn.
+  Fixture f(3, 2);
+  f.engine.shard(0).schedule_at(sim::SimTime{} + sim::micros(50), [&]() {
+    sim::Engine& e = f.engine.shard(0);
+    std::vector<sim::TimerId> doomed;
+    doomed.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      doomed.push_back(e.schedule_after(sim::millis(10), []() { FAIL(); }));
+    }
+    for (sim::TimerId id : doomed) e.cancel(id);
+  });
+  run_co_timed(f);
+  const std::vector<std::pair<std::uint32_t, std::uint8_t>> want = {
+      {11u, 0}, {12u, 0}, {12u, 1}, {13u, 0}, {13u, 1}};
+  EXPECT_EQ(f.received, want);
+}
+
+TEST(ShardedNet, StatsAggregateAcrossShardFabrics) {
+  Fixture f(3, 1);
+  run_co_timed(f);
+  const NetStats st = f.net.stats();
+  EXPECT_EQ(st.sent, 5u);       // counted on the three sender shards
+  EXPECT_EQ(st.delivered, 5u);  // counted on the receiver shard
+  EXPECT_GT(st.bytes, 0u);
+}
+
+TEST(ShardedNet, CrossShardToDetachedNodeCountsAsDetachedDrop) {
+  Fixture f(2, 2);
+  f.net.place(NodeId{1}, 0);
+  f.net.place(NodeId{2}, 1);  // placed but never attached: a crashed node
+  f.engine.shard(0).schedule_at(sim::SimTime{0},
+                                [&]() { f.net.shard(0).send(NodeId{1}, NodeId{2}, Bytes{9}); });
+  f.engine.run_until(sim::SimTime{} + sim::millis(1));
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().dropped_detached, 1u);
+  EXPECT_EQ(f.net.stats().delivered, 0u);
+}
+
+TEST(ShardedNet, UnplacedDestinationDropsOnSenderShard) {
+  // A destination missing from the directory falls back to the sender's
+  // local queue, whose drain drops it as detached — the same outcome a
+  // serial net gives a send to a node that never attached.
+  Fixture f(2, 2);
+  f.net.place(NodeId{1}, 0);
+  f.engine.shard(0).schedule_at(sim::SimTime{0},
+                                [&]() { f.net.shard(0).send(NodeId{1}, NodeId{99}, Bytes{9}); });
+  f.engine.run_until(sim::SimTime{} + sim::millis(1));
+  EXPECT_EQ(f.net.stats().dropped_detached, 1u);
+  EXPECT_EQ(f.net.shard(0).stats().dropped_detached, 1u);
+}
+
+TEST(ShardedNet, SingleShardFabricNeedsNoPlacement) {
+  // K=1 keeps serial semantics: attach without place(), no directory, no
+  // mailboxes — shard(0) is an ordinary ControlNet.
+  Fixture f(1, 1);
+  std::vector<std::uint8_t> got;
+  f.net.shard(0).attach(NodeId{5}, [&](NodeId, const Bytes& b) { got.push_back(b[0]); });
+  f.net.shard(0).send(NodeId{4}, NodeId{5}, Bytes{7});
+  f.engine.run_until(sim::SimTime{} + sim::millis(1));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 7);
+}
+
+}  // namespace
+}  // namespace stank::net

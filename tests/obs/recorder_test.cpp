@@ -169,6 +169,32 @@ TEST(Recorder, LoadRejectsTruncatedStream) {
   EXPECT_FALSE(back.load(cut));
 }
 
+TEST(Recorder, VisitMergedAcrossInterleavesByTimeWithStableTieBreak) {
+  // Per-shard recorders from a sharded run: the static merge must produce one
+  // time-ordered stream, breaking ties by (node, recorder index) so the result
+  // is independent of which shard recorded what first.
+  Recorder shard0;
+  Recorder shard1;
+  shard0.record(sim::SimTime{30}, NodeId{1}, EventKind::kReqSend, 100);
+  shard0.record(sim::SimTime{10}, NodeId{2}, EventKind::kReqSend, 101);
+  shard1.record(sim::SimTime{20}, NodeId{3}, EventKind::kReqSend, 102);
+  shard1.record(sim::SimTime{30}, NodeId{3}, EventKind::kReqSend, 103);
+
+  std::vector<std::pair<std::int64_t, std::uint64_t>> got;
+  Recorder::visit_merged_across({&shard0, &shard1}, [&](const Event& e) {
+    got.emplace_back(e.at.ns, e.a);
+  });
+  const std::vector<std::pair<std::int64_t, std::uint64_t>> want = {
+      {10, 101}, {20, 102}, {30, 100}, {30, 103}};
+  EXPECT_EQ(got, want);
+
+  // Null entries and empty recorders are skipped, not dereferenced.
+  Recorder empty;
+  std::size_t n = 0;
+  Recorder::visit_merged_across({nullptr, &empty, &shard1}, [&](const Event&) { ++n; });
+  EXPECT_EQ(n, 2u);
+}
+
 TEST(Recorder, ClearEmptiesEverything) {
   Recorder rec;
   rec.record(sim::SimTime{1}, NodeId{1}, EventKind::kReqSend);

@@ -124,6 +124,19 @@ TEST(Rng, ZipfAlwaysInRange) {
   }
 }
 
+TEST(Rng, ZipfTableMatchesMemberZipfDrawForDraw) {
+  // The shared table exists so a million per-member Rngs don't each cache
+  // their own n-entry CDF; swapping zipf(n, s) for table.pick(uniform())
+  // must not move the RNG stream or change a single draw.
+  const ZipfTable table(512, 0.9);
+  Rng a(31);
+  Rng b(31);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(a.zipf(512, 0.9), table.pick(b.uniform()));
+  }
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // streams still aligned
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng r(29);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
