@@ -1,0 +1,83 @@
+// Composable client misbehaviors for the adversarial-client harness.
+//
+// The paper's safety argument (section 2/6) trusts exactly two parties: the
+// server and the fence list at the network-attached disks. Clients and the
+// network are untrusted. Each flag below makes this client violate one
+// protocol obligation an honest client keeps; tools/fuzz_safety composes
+// them and the split verdict in src/verify/ checks that HONEST clients stay
+// safe regardless (DESIGN.md §13).
+//
+// These are protocol-level lies — late I/O under a superseded registration,
+// timestamp lies, ignored quiesce/revocation, replayed datagrams, forged
+// claims. Arbitrary data-plane forgery under a live, valid registration
+// (a registered EX holder writing garbage it never buffered) is out of
+// scope: per-initiator fencing cannot distinguish it from legitimate I/O,
+// and no lease protocol could (DESIGN.md §13, "limits of the model").
+#pragma once
+
+#include <cstdint>
+
+namespace stank::client {
+
+struct ByzantineSpec {
+  // Renew the lease from `first_send + skew` instead of the true first
+  // transmission time — the lie-about-time attack on the renewal math.
+  bool lie_send_time{false};
+  double send_time_skew_s{0.0};
+  // Ignore the agent's quiesce: keep accepting fs ops and keep renewing off
+  // their ACKs instead of going quiet, and ignore NACKs entirely.
+  bool defy_quiesce{false};
+  // At lease expiry, snapshot the dirty cache and keep re-submitting it to
+  // the SAN under the (now superseded) registration key, forever.
+  bool write_after_expiry{false};
+  // Transport-ACK lock demands but never flush, downgrade, or answer with
+  // DemandDoneReq — the revocation stalls on this client.
+  bool ack_without_release{false};
+  // Record server-initiated datagrams off the wire and re-inject captured
+  // ones from dead sessions (old epoch / old server incarnation) later.
+  bool replay_old_session{false};
+  // Periodically send UnlockReq / DemandDoneReq for locks and generations
+  // this client was never granted.
+  bool forge_lock_claims{false};
+
+  [[nodiscard]] bool any() const {
+    return lie_send_time || defy_quiesce || write_after_expiry || ack_without_release ||
+           replay_old_session || forge_lock_claims;
+  }
+
+  // Bitmask form for replay files and shrinkers (send_time_skew_s rides
+  // separately: it is a continuous parameter, not a behavior).
+  enum : std::uint32_t {
+    kLieSendTime = 1u << 0,
+    kDefyQuiesce = 1u << 1,
+    kWriteAfterExpiry = 1u << 2,
+    kAckWithoutRelease = 1u << 3,
+    kReplayOldSession = 1u << 4,
+    kForgeLockClaims = 1u << 5,
+  };
+
+  [[nodiscard]] std::uint32_t mask() const {
+    std::uint32_t m = 0;
+    if (lie_send_time) m |= kLieSendTime;
+    if (defy_quiesce) m |= kDefyQuiesce;
+    if (write_after_expiry) m |= kWriteAfterExpiry;
+    if (ack_without_release) m |= kAckWithoutRelease;
+    if (replay_old_session) m |= kReplayOldSession;
+    if (forge_lock_claims) m |= kForgeLockClaims;
+    return m;
+  }
+
+  [[nodiscard]] static ByzantineSpec from_mask(std::uint32_t m, double skew_s = 0.0) {
+    ByzantineSpec s;
+    s.lie_send_time = (m & kLieSendTime) != 0;
+    s.send_time_skew_s = skew_s;
+    s.defy_quiesce = (m & kDefyQuiesce) != 0;
+    s.write_after_expiry = (m & kWriteAfterExpiry) != 0;
+    s.ack_without_release = (m & kAckWithoutRelease) != 0;
+    s.replay_old_session = (m & kReplayOldSession) != 0;
+    s.forge_lock_claims = (m & kForgeLockClaims) != 0;
+    return s;
+  }
+};
+
+}  // namespace stank::client

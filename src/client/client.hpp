@@ -30,6 +30,7 @@
 
 #include "baselines/heartbeat.hpp"
 #include "baselines/v_lease.hpp"
+#include "client/byzantine.hpp"
 #include "client/cache.hpp"
 #include "common/flat_map.hpp"
 #include "common/small_vec.hpp"
@@ -77,6 +78,9 @@ struct ClientConfig {
   // Background write-back period (0 = off): dirty pages are flushed
   // periodically instead of only at demand/fsync/lease-phase-4 time.
   sim::LocalDuration writeback_interval{sim::LocalDuration{0}};
+  // Adversarial misbehaviors (all off for an honest client). See
+  // client/byzantine.hpp and DESIGN.md §13.
+  ByzantineSpec byzantine;
 };
 
 using Fd = std::uint32_t;
@@ -158,6 +162,9 @@ class Client {
     protocol::LockMode mode{protocol::LockMode::kNone};
     // Generation of the grant `mode` came from (see protocol/messages.hpp).
     std::uint32_t lock_gen{0};
+    // Per-grant secret issued with that grant; echoed in UnlockReq /
+    // DemandDoneReq so releases prove receipt of the grant they renounce.
+    std::uint64_t lock_cookie{0};
     // Bumped on every transition of `mode`. Generations identify steals, not
     // transfers, so async ops capture this instead to detect that the lock
     // they were issued under survived an intervening control-net round.
@@ -222,7 +229,8 @@ class Client {
   void pump_lock_requests(FileId file);
   // Applies a grant (from a LockReply or a LockGrant) if its generation is
   // newer than what we hold.
-  void apply_grant(FileId file, protocol::LockMode mode, std::uint32_t gen);
+  void apply_grant(FileId file, protocol::LockMode mode, std::uint32_t gen,
+                   std::uint64_t cookie);
   void lock_state_changed(FileId file);
   void fail_lock_waits(FileId file, ErrorCode code);
   void fail_all_lock_waits(ErrorCode code);
@@ -262,6 +270,21 @@ class Client {
 
   // NFS attribute revalidation.
   void maybe_revalidate(FileState& fs, std::function<void(Status)> cb);
+
+  // Byzantine behavior machinery (no-ops for honest clients).
+  void arm_byzantine_timers();
+  void cancel_byzantine_timers();
+  // write_after_expiry: freeze the dirty cache (with block locations and the
+  // superseded registration's io_key) at expiry time, then keep re-submitting
+  // it raw to the SAN — the slow-computer late write the fence must stop.
+  void snapshot_rogue_writes();
+  void rogue_flush_tick();
+  void replay_tick();
+  void forge_tick();
+  // Tiny deterministic generator for the forged/replayed message choices —
+  // client-local so runs stay reproducible without threading the scenario RNG
+  // through here.
+  std::uint32_t byz_rand();
 
   // Lazy, sink-gated tracing: the format callable runs — and its string
   // machinery allocates — only when a TraceLog is attached. With tracing off
@@ -319,6 +342,27 @@ class Client {
   // Incarnation counter: bumped on crash so SAN completions from a previous
   // life are discarded instead of mutating the rebooted client.
   std::uint32_t gen_{0};
+
+  // --- Byzantine state (unused when cfg_.byzantine is all-off) -------------
+  struct RogueWrite {
+    DiskId disk;
+    storage::BlockAddr addr{0};
+    Bytes data;
+  };
+  struct CapturedDatagram {
+    std::uint32_t epoch{0};
+    std::uint32_t incarnation{0};
+    Bytes bytes;
+  };
+  std::vector<RogueWrite> rogue_writes_;
+  std::uint64_t rogue_io_key_{0};  // captured at expiry; never re-keyed
+  std::uint32_t rogue_rounds_left_{0};
+  std::vector<CapturedDatagram> captured_;  // bounded ring of server msgs
+  std::size_t captured_next_{0};
+  sim::TimerId rogue_timer_{0};
+  sim::TimerId replay_timer_{0};
+  sim::TimerId forge_timer_{0};
+  std::uint32_t byz_rng_state_{0};
 };
 
 }  // namespace stank::client

@@ -34,6 +34,10 @@ struct Counters {
   std::uint64_t lock_demands{0};
   std::uint64_t lock_steals{0};
   std::uint64_t fences_issued{0};
+  // Fence rounds re-issued because a disk did not acknowledge the fence
+  // admin command (e.g. a server<->disk SAN partition). The steal is held
+  // until a round completes on every disk.
+  std::uint64_t fence_retries{0};
 
   // Metadata transactions served (server side) — the paper's section 1.1
   // argues a SAN server is measured in transactions/second.
@@ -56,6 +60,7 @@ struct Counters {
     lock_demands += o.lock_demands;
     lock_steals += o.lock_steals;
     fences_issued += o.fences_issued;
+    fence_retries += o.fence_retries;
     transactions += o.transactions;
     server_data_bytes += o.server_data_bytes;
     return *this;

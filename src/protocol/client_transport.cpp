@@ -217,6 +217,9 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
       return;
     }
     case FrameKind::kServerMsg: {
+      if (wiretap_server_msg) {
+        wiretap_server_msg(datagram);
+      }
       note_server_msg(f);
       return;
     }
@@ -228,6 +231,15 @@ void ClientTransport::handle_datagram(NodeId from, const Bytes& datagram) {
 }
 
 void ClientTransport::note_server_msg(const Frame& f) {
+  if (f.incarnation != incarnation_) {
+    // Stamped by a different server incarnation than the one this session
+    // registered with. The epoch and msg_id checks below cannot catch this:
+    // both sequences restart across server reboots, so a datagram captured
+    // before a restart and replayed into the new session can collide with
+    // CURRENT numbers. Drop without ACKing — the frame is from a session
+    // that no longer exists.
+    return;
+  }
   if (accept_server_msg && !accept_server_msg(f.epoch)) {
     // Going silent is deliberate: the server's retransmissions will exhaust
     // and it will start the lease timeout for us.

@@ -59,9 +59,19 @@ class ClientTransport {
   // Consulted before ACKing/delivering a server-initiated message; default
   // accepts. Return false to drop silently (e.g. stale epoch, expired lease).
   std::function<bool(std::uint32_t epoch)> accept_server_msg;
+  // Observes the raw bytes of every decodable server-initiated datagram,
+  // BEFORE any gating. This models an on-path recorder: the byzantine-client
+  // harness uses it to capture grants/demands for later replay via
+  // inject_datagram(). Null in honest operation.
+  std::function<void(const Bytes&)> wiretap_server_msg;
 
-  void set_epoch(std::uint32_t e) {
-    if (e != epoch_) {
+  // Feeds a raw datagram through the receive path as if the network had just
+  // delivered it from the server. Adversarial-replay hook: everything the
+  // transport's gates would do to a real duplicate happens to this one too.
+  void inject_datagram(const Bytes& datagram) { handle_datagram(server_, datagram); }
+
+  void set_session(std::uint32_t e, std::uint32_t incarnation) {
+    if (e != epoch_ || incarnation != incarnation_) {
       // New session epoch: the server-msg dedup window is keyed per epoch.
       // The new incarnation's id sequence is unrelated to the old one, so
       // both the window and its low-water mark start over.
@@ -75,8 +85,11 @@ class ClientTransport {
     // stamped with a local generation that never repeats.
     ++session_gen_;
     epoch_ = e;
+    incarnation_ = incarnation;
   }
+  void set_epoch(std::uint32_t e) { set_session(e, incarnation_); }
   [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] NodeId server() const { return server_; }
 
@@ -110,6 +123,10 @@ class ClientTransport {
   obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
   std::uint32_t epoch_{0};
+  // Server incarnation of the current registration. Server-initiated
+  // messages stamped with any other incarnation are replays of a dead
+  // session (possibly injected by an adversary) and are dropped un-ACKed.
+  std::uint32_t incarnation_{0};
   // Bumped on every set_epoch(): distinguishes requests of the current
   // registration from ones sent under an earlier session whose epoch NUMBER
   // happens to repeat (incarnations each number epochs from 1).

@@ -100,11 +100,13 @@ void encode_request(W& w, const RequestBody& body) {
           w.u32(b.file.value());
           w.u8(static_cast<std::uint8_t>(b.downgrade_to));
           w.u32(b.gen);
+          w.u64(b.cookie);
         } else if constexpr (std::is_same_v<T, DemandDoneReq>) {
           w.u8(static_cast<std::uint8_t>(ReqTag::kDemandDone));
           w.u32(b.file.value());
           w.u8(static_cast<std::uint8_t>(b.new_mode));
           w.u32(b.gen);
+          w.u64(b.cookie);
         } else if constexpr (std::is_same_v<T, GetAttrReq>) {
           w.u8(static_cast<std::uint8_t>(ReqTag::kGetAttr));
           w.u32(b.file.value());
@@ -161,6 +163,7 @@ std::optional<RequestBody> decode_request(ByteReader& r) {
       b.file = FileId{r.u32()};
       b.downgrade_to = static_cast<LockMode>(r.u8());
       b.gen = r.u32();
+      b.cookie = r.u64();
       return RequestBody{b};
     }
     case ReqTag::kDemandDone: {
@@ -168,6 +171,7 @@ std::optional<RequestBody> decode_request(ByteReader& r) {
       b.file = FileId{r.u32()};
       b.new_mode = static_cast<LockMode>(r.u8());
       b.gen = r.u32();
+      b.cookie = r.u64();
       return RequestBody{b};
     }
     case ReqTag::kGetAttr:
@@ -229,6 +233,7 @@ void encode_reply(W& w, const ReplyBody& body) {
           w.boolean(b.granted);
           w.u8(static_cast<std::uint8_t>(b.mode));
           w.u32(b.gen);
+          w.u64(b.cookie);
         } else if constexpr (std::is_same_v<T, AttrReply>) {
           w.u8(static_cast<std::uint8_t>(RepTag::kAttr));
           put_attr(w, b.attr);
@@ -264,6 +269,7 @@ std::optional<ReplyBody> decode_reply(ByteReader& r) {
       b.granted = r.boolean();
       b.mode = static_cast<LockMode>(r.u8());
       b.gen = r.u32();
+      b.cookie = r.u64();
       return ReplyBody{b};
     }
     case RepTag::kAttr: {
@@ -299,6 +305,7 @@ void encode_server(W& w, const ServerBody& body) {
           w.u32(b.file.value());
           w.u8(static_cast<std::uint8_t>(b.mode));
           w.u32(b.gen);
+          w.u64(b.cookie);
         }
       },
       body);
@@ -319,6 +326,7 @@ std::optional<ServerBody> decode_server(ByteReader& r) {
       b.file = FileId{r.u32()};
       b.mode = static_cast<LockMode>(r.u8());
       b.gen = r.u32();
+      b.cookie = r.u64();
       return ServerBody{b};
     }
   }
@@ -350,6 +358,7 @@ void encode_frame(W& w, const Frame& frame) {
   w.u32(frame.sender.value());
   w.u64(frame.msg_id.value());
   w.u32(frame.epoch);
+  w.u32(frame.incarnation);
   switch (frame.kind) {
     case FrameKind::kRequest:
       encode_request(w, std::get<RequestBody>(frame.body));
@@ -420,6 +429,7 @@ std::optional<Frame> decode(const Bytes& datagram) {
   f.sender = NodeId{r.u32()};
   f.msg_id = MsgId{r.u64()};
   f.epoch = r.u32();
+  f.incarnation = r.u32();
   if (!r.ok()) {
     return std::nullopt;
   }

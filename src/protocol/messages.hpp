@@ -70,19 +70,29 @@ struct LockReq {
 };
 // Voluntarily release or downgrade. Carries the lock generation the client
 // believes it holds; the server ignores the request if a newer grant is in
-// flight (see "Lock generations" below).
+// flight (see "Lock generations" below). Also echoes the grant cookie:
+// generations are small guessable counters, so without the cookie a client
+// could forge a release for a grant it never received — the server would
+// free the lock while the real grant is still in flight, and the holder
+// would later write under a lock the server had already re-granted
+// (found by tools/fuzz_safety --byzantine, forge-lock-claims). The cookie is
+// an unguessable per-grant secret only the grant's recipient knows, so a
+// release proves receipt of the grant it renounces.
 struct UnlockReq {
   FileId file;
   LockMode downgrade_to{LockMode::kNone};
   std::uint32_t gen{0};
+  std::uint64_t cookie{0};
 };
 // Client's protocol-level answer to a LockDemand, sent after it has flushed
 // dirty data covered by the demanded lock. Echoes the demand's generation so
-// a compliance that crossed a newer grant in flight is discarded.
+// a compliance that crossed a newer grant in flight is discarded, and the
+// grant cookie so compliance cannot be forged (see UnlockReq).
 struct DemandDoneReq {
   FileId file;
   LockMode new_mode{LockMode::kNone};
   std::uint32_t gen{0};
+  std::uint64_t cookie{0};
 };
 struct GetAttrReq {
   FileId file;
@@ -147,7 +157,8 @@ struct OpenReply {
 struct LockReply {
   bool granted{false};
   LockMode mode{LockMode::kNone};
-  std::uint32_t gen{0};  // lock generation of this grant (granted only)
+  std::uint32_t gen{0};        // lock generation of this grant (granted only)
+  std::uint64_t cookie{0};     // per-grant secret to echo in releases (granted only)
 };
 struct AttrReply {
   FileAttr attr;
@@ -192,6 +203,7 @@ struct LockGrant {
   FileId file;
   LockMode mode{LockMode::kNone};
   std::uint32_t gen{0};
+  std::uint64_t cookie{0};  // per-grant secret to echo in releases
 };
 
 using ServerBody = std::variant<LockDemand, LockGrant>;
@@ -212,6 +224,12 @@ struct Frame {
   NodeId sender;
   MsgId msg_id;            // fresh id for kRequest/kServerMsg; echoed id otherwise
   std::uint32_t epoch{0};  // client session epoch
+  // Server incarnation the frame was issued under (server-originated frames
+  // only; clients send 0). Epoch numbers restart at 1 in every incarnation
+  // and server msg_ids restart on every reboot, so a replayed pre-restart
+  // server message can carry a perfectly current-looking (epoch, msg_id)
+  // pair — the incarnation stamp is what lets the client reject it.
+  std::uint32_t incarnation{0};
   std::variant<std::monostate, RequestBody, ReplyBody, ServerBody> body;
 };
 

@@ -130,6 +130,7 @@ void ServerTransport::respond(NodeId client, MsgId id, std::uint32_t epoch, bool
   f.sender = self_;
   f.msg_id = id;
   f.epoch = epoch;
+  f.incarnation = incarnation_;
   // The ACK gate is enforced HERE, unconditionally, so no server-logic bug
   // can leak a lease-renewing ACK to a client being timed out.
   if (positive && may_ack && !may_ack(client)) {
@@ -184,6 +185,7 @@ void ServerTransport::send_server_msg(NodeId client, std::uint32_t epoch, Server
   m.frame.sender = self_;
   m.frame.msg_id = id;
   m.frame.epoch = epoch;
+  m.frame.incarnation = incarnation_;
   m.frame.body = std::move(body);
   m.done = std::move(done);
   out_msgs_.emplace(id, std::move(m));

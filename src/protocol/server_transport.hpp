@@ -77,6 +77,13 @@ class ServerTransport {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::size_t outstanding_server_msgs() const { return out_msgs_.size(); }
 
+  // Stamps every outgoing frame with this server incarnation. Clients gate
+  // server-initiated messages on it: epoch numbers and server msg_ids both
+  // restart across reboots, so the incarnation is the only field that makes
+  // a captured pre-restart datagram distinguishable from a live one.
+  void set_incarnation(std::uint32_t inc) { incarnation_ = inc; }
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+
   // Attaches (or detaches, with nullptr) the flight recorder.
   void set_recorder(obs::Recorder* rec) { rec_ = rec; }
 
@@ -114,6 +121,7 @@ class ServerTransport {
   obs::Recorder* rec_{nullptr};
   TransportConfig cfg_;
   bool started_{false};
+  std::uint32_t incarnation_{0};
   std::uint64_t next_msg_{1};
 
   // Sessions keyed by packed (client, epoch): one flat table instead of a

@@ -97,6 +97,7 @@ void Server::start() {
     if (authority_ && !authority_->may_ack(c)) return false;
     return true;
   };
+  transport_.set_incarnation(incarnation_);
   transport_.start();
 }
 
@@ -214,6 +215,15 @@ void Server::handle_register(NodeId client, ServerTransport::Responder r) {
     r.nack();
     return;
   }
+  if (fencing_.contains(client)) {
+    // A fence -> steal for this client is still in flight (a disk has not
+    // acked its fence yet). Admitting a new session now would let the
+    // pending do_steal() land on the FRESH session's locks — the client
+    // would write under locks the server just handed to someone else. Make
+    // it retry registration until the steal completes.
+    r.nack();
+    return;
+  }
   barred_.erase(client);
 
   Session& s = sessions_[client];
@@ -281,13 +291,14 @@ void Server::handle_lock(NodeId client, const protocol::LockReq& req,
     // Bumping here would let the reply masquerade as a newer, weaker grant
     // and silently downgrade the client's stronger (possibly dirty) holding.
     r.ack(protocol::LockReply{true, locks_.mode_of(client, req.file),
-                              lock_gen(client, req.file)});
+                              lock_gen(client, req.file), lock_cookie(client, req.file)});
     return;
   }
   ++counters_.lock_grants;
   // A fresh grant supersedes any outstanding demand against this client's
   // previous incarnation of the lock.
   const std::uint32_t gen = bump_lock_gen(client, req.file);
+  const std::uint64_t cookie = new_lock_cookie(client, req.file);
   cancel_demand_timer(client, req.file);
   if (v_table_) {
     v_table_->renew(client, req.file, clock_.now());
@@ -296,7 +307,7 @@ void Server::handle_lock(NodeId client, const protocol::LockReq& req,
     return sim::cat("grant ", req.file, " ", protocol::to_string(req.mode), " g", gen, " -> ",
                     client);
   });
-  r.ack(protocol::LockReply{true, req.mode, gen});
+  r.ack(protocol::LockReply{true, req.mode, gen, cookie});
 }
 
 void Server::handle_unlock(NodeId client, const protocol::UnlockReq& req,
@@ -306,6 +317,13 @@ void Server::handle_unlock(NodeId client, const protocol::UnlockReq& req,
     // Release of a superseded lock incarnation: a newer grant crossed this
     // request in flight. Ignore; the client will learn the new state from
     // the grant.
+    r.ack(protocol::OkReply{});
+    return;
+  }
+  if (req.cookie != lock_cookie(client, req.file)) {
+    // Right generation but wrong grant cookie: the sender never received the
+    // grant it claims to renounce (forged or corrupted release). Acting on it
+    // would free a lock whose grant is still in flight to the real holder.
     r.ack(protocol::OkReply{});
     return;
   }
@@ -324,6 +342,13 @@ void Server::handle_demand_done(NodeId client, const protocol::DemandDoneReq& re
   if (req.gen != lock_gen(client, req.file)) {
     // Compliance for a superseded lock incarnation; the state it describes
     // no longer exists.
+    r.ack(protocol::OkReply{});
+    return;
+  }
+  if (req.cookie != lock_cookie(client, req.file)) {
+    // Compliance without the grant cookie: forged (see handle_unlock). The
+    // real holder's compliance, carrying the cookie, will settle the demand;
+    // failing that, the demand timer escalates to suspect -> fence + steal.
     r.ack(protocol::OkReply{});
     return;
   }
@@ -402,6 +427,7 @@ void Server::handle_reassert(NodeId client, const protocol::ReassertLockReq& req
   }
   ++counters_.lock_grants;
   const std::uint32_t gen = bump_lock_gen(client, req.file);
+  const std::uint64_t cookie = new_lock_cookie(client, req.file);
   if (v_table_) {
     v_table_->renew(client, req.file, clock_.now());
   }
@@ -409,7 +435,7 @@ void Server::handle_reassert(NodeId client, const protocol::ReassertLockReq& req
     return sim::cat("reassert ", req.file, " ", protocol::to_string(req.mode), " g", gen,
                     " <- ", client);
   });
-  r.ack(protocol::LockReply{true, req.mode, gen});
+  r.ack(protocol::LockReply{true, req.mode, gen, cookie});
 }
 
 bool Server::in_grace() const {
@@ -430,6 +456,7 @@ void Server::crash() {
   sessions_.clear();
   barred_.clear();
   fenced_clients_.clear();
+  fencing_.clear();
   lock_gens_.clear();
   if (authority_) {
     // Rebuild the authority empty (its timers died with stop()).
@@ -690,9 +717,28 @@ std::uint32_t Server::bump_lock_gen(NodeId client, FileId file) {
   return ++lock_gens_[DemandKey{client, file}];
 }
 
+std::uint64_t Server::lock_cookie(NodeId client, FileId file) const {
+  const std::uint64_t* c = lock_cookies_.find(DemandKey{client, file});
+  return c == nullptr ? 0 : *c;
+}
+
+std::uint64_t Server::new_lock_cookie(NodeId client, FileId file) {
+  // splitmix64 of a private sequence; incarnation folded in so cookies never
+  // repeat across server reboots. Stands in for a CSPRNG (see server.hpp).
+  std::uint64_t z = (++cookie_seq_ + (static_cast<std::uint64_t>(incarnation_) << 48)) +
+                    0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  if (z == 0) z = 1;  // 0 means "no cookie issued"
+  lock_cookies_[DemandKey{client, file}] = z;
+  return z;
+}
+
 void Server::deliver_grant(const LockManager::Grant& g) {
   ++counters_.lock_grants;
   const std::uint32_t gen = bump_lock_gen(g.client, g.file);
+  const std::uint64_t cookie = new_lock_cookie(g.client, g.file);
   cancel_demand_timer(g.client, g.file);
   if (v_table_) {
     v_table_->renew(g.client, g.file, clock_.now());
@@ -703,7 +749,7 @@ void Server::deliver_grant(const LockManager::Grant& g) {
   });
   const Session* session = sessions_.find(g.client);
   const std::uint32_t epoch = session == nullptr ? 0 : session->epoch;
-  transport_.send_server_msg(g.client, epoch, protocol::LockGrant{g.file, g.mode, gen},
+  transport_.send_server_msg(g.client, epoch, protocol::LockGrant{g.file, g.mode, gen, cookie},
                              [this, g](bool delivered) {
                                if (!delivered) {
                                  on_delivery_failure(g.client);
@@ -835,23 +881,46 @@ void Server::begin_recovery(NodeId client) {
 void Server::fence_client(NodeId client, std::function<void()> then) {
   ++counters_.fences_issued;
   fenced_clients_.insert(client);
+  fencing_.insert(client);
   if (rec_ != nullptr) {
     rec_->record(engine_->now(), client, obs::EventKind::kFence);
   }
   trace("fence", [&] { return sim::cat("fencing client ", client.value()); });
+  fence_round(client, std::move(then));
+}
 
+void Server::fence_round(NodeId client, std::function<void()> then) {
   auto fan = std::make_shared<FanIn>();
   fan->expected = cfg_.data_disks.size();
-  fan->done = [this, client, then = std::move(then)](Status st) {
-    if (!st.is_ok()) {
-      // A disk we cannot reach cannot be fenced; proceed regardless — the
-      // lease protocol, not the fence, carries the consistency guarantee.
-      trace("fence", [&] {
-        return sim::cat("fence of client ", client.value(), " incomplete: ",
-                        to_string(st.error()));
-      });
+  fan->done = [this, client, then = std::move(then)](Status st) mutable {
+    if (st.is_ok()) {
+      fencing_.erase(client);
+      if (then) then();
+      return;
     }
-    if (then) then();
+    // A disk that did not acknowledge the fence is NOT fenced. Stealing the
+    // locks anyway would hand them to a new holder while the old one's SAN
+    // path to that disk may still be live — a partitioned-but-alive (or
+    // byzantine) holder could keep writing under them, which is exactly the
+    // corruption the fence exists to rule out. Hold the steal and retry
+    // until a round completes on every disk: availability of this client's
+    // locks is sacrificed for safety, never the other way around.
+    ++counters_.fence_retries;
+    trace("fence", [&] {
+      return sim::cat("fence of client ", client.value(), " incomplete (",
+                      to_string(st.error()), "), retrying");
+    });
+    const std::uint32_t inc = incarnation_;
+    clock_.schedule_after(sim::local_millis(100),
+                          [this, client, inc, then = std::move(then)]() mutable {
+                            // A crash/restart dropped the whole fence context
+                            // (a new incarnation re-fences from scratch).
+                            if (!started_ || incarnation_ != inc ||
+                                !fencing_.contains(client)) {
+                              return;
+                            }
+                            fence_round(client, std::move(then));
+                          });
   };
   for (DiskId d : cfg_.data_disks) {
     san_->submit_admin(storage::AdminRequest{cfg_.id, d, storage::AdminOp::kFence, client},
@@ -869,12 +938,16 @@ void Server::unfence_client(NodeId client) {
   }
   // Sent unconditionally within those modes: after a server crash the fenced
   // set is forgotten, but fences persist at the disks; re-registration must
-  // clear them. The unfence installs the client's NEW session epoch as its
-  // registration key, so commands the old incarnation left crawling through
+  // clear them. The unfence installs the client's NEW registration key —
+  // (incarnation << 32) | epoch, since epoch numbers alone repeat across
+  // server reboots — so commands any earlier session left crawling through
   // the SAN stay locked out forever.
   fenced_clients_.erase(client);
   const Session* session = sessions_.find(client);
-  const std::uint32_t key = session == nullptr ? 0 : session->epoch;
+  const std::uint64_t key =
+      session == nullptr
+          ? 0
+          : (static_cast<std::uint64_t>(incarnation_) << 32) | session->epoch;
   if (rec_ != nullptr) {
     rec_->record(engine_->now(), client, obs::EventKind::kUnfence, key);
   }
@@ -887,6 +960,7 @@ void Server::unfence_client(NodeId client) {
 }
 
 void Server::do_steal(NodeId client) {
+  fencing_.erase(client);
   if (barred_.contains(client)) {
     return;
   }

@@ -183,11 +183,16 @@ class Server {
   void arm_demand_timer(NodeId holder, FileId file);
   [[nodiscard]] std::uint32_t lock_gen(NodeId client, FileId file) const;
   std::uint32_t bump_lock_gen(NodeId client, FileId file);
+  [[nodiscard]] std::uint64_t lock_cookie(NodeId client, FileId file) const;
+  std::uint64_t new_lock_cookie(NodeId client, FileId file);
 
   // Recovery.
   void on_delivery_failure(NodeId client);
   void begin_recovery(NodeId client);  // applies cfg_.recovery
   void fence_client(NodeId client, std::function<void()> then);
+  // One fence attempt across all data disks; re-arms itself until every disk
+  // acks, then runs `then` (the steal). See fence_client.
+  void fence_round(NodeId client, std::function<void()> then);
   void unfence_client(NodeId client);
   void do_steal(NodeId client);
 
@@ -243,6 +248,10 @@ class Server {
   FlatMap<NodeId, sim::TimerId> recovery_timers_;
   // Clients currently fenced at the data disks.
   FlatSet<NodeId> fenced_clients_;
+  // Clients with a fence -> steal still in flight (some disk has not acked
+  // its fence). Registration is refused for them: a new session admitted now
+  // would have its locks swept by the pending do_steal().
+  FlatSet<NodeId> fencing_;
 
   FlatMap<NodeId, Session> sessions_;
   // Persistent across crashes (kept on the server's private storage).
@@ -255,6 +264,16 @@ class Server {
   // so compliance/release messages that crossed a newer grant in flight are
   // recognizably stale (see protocol/messages.hpp).
   FlatMap<DemandKey, std::uint32_t, DemandKeyHash> lock_gens_;
+  // Per-(client, file) grant cookie: a fresh unguessable value issued with
+  // every grant and required on UnlockReq/DemandDoneReq. Generations alone
+  // are guessable counters, so a client could forge a release for a grant
+  // still in flight to it and the server would re-grant the lock while the
+  // original holder later installs the late grant and writes — the forged
+  // lock-claim hole tools/fuzz_safety --byzantine found. Here a counter mixed
+  // through splitmix64 stands in for the CSPRNG a real server would use; the
+  // model only needs clients to be unable to predict it.
+  FlatMap<DemandKey, std::uint64_t, DemandKeyHash> lock_cookies_;
+  std::uint64_t cookie_seq_{0};
   // Handler-loop scratch: lock-table results are appended here and consumed
   // in place, so steady-state requests reuse capacity instead of returning
   // fresh vectors. Never used across an event boundary.

@@ -26,11 +26,13 @@ struct IoRequest {
   BlockAddr addr{0};     // first block
   std::uint32_t count{1};
   Bytes data;            // write payload (count * block_size bytes); empty for reads
-  // Registration key (the client's session epoch). After an unfence the
-  // disk only honors commands carrying the NEW key, so a slow command
-  // issued before the fence can never land after it — SCSI-3 persistent
-  // reservation style.
-  std::uint32_t io_key{0};
+  // Registration key: (server incarnation << 32) | session epoch. After an
+  // unfence the disk only honors commands carrying the NEW key, so a slow
+  // command issued before the fence can never land after it — SCSI-3
+  // persistent reservation style. The incarnation half matters because epoch
+  // numbers restart at 1 on every server reboot: a bare-epoch key from a
+  // pre-restart session could collide with a freshly installed one.
+  std::uint64_t io_key{0};
 };
 
 struct IoResult {
@@ -52,7 +54,7 @@ struct AdminRequest {
   NodeId target;     // initiator to (un)fence
   // kUnfence: the registration key future commands must carry (0 = accept
   // any, restoring the pre-fence state).
-  std::uint32_t new_key{0};
+  std::uint64_t new_key{0};
 };
 
 using AdminCallback = std::function<void(Status)>;

@@ -18,6 +18,7 @@ IoResult VirtualDisk::execute(const IoRequest& req) {
     // Blocked outright, or a command from a superseded registration (a slow
     // computer's late I/O — exactly what the paper's fence must stop).
     ++fence_rejects_;
+    ++rejects_by_initiator_[req.initiator];
     return IoResult{Status{ErrorCode::kFenced}, {}};
   }
   if (req.count == 0 || req.addr + req.count > capacity_) {

@@ -32,7 +32,7 @@ class VirtualDisk {
   void fence(NodeId initiator) { keys_[initiator] = std::nullopt; }
   // new_key == 0 restores accept-any; otherwise only that key is honored,
   // which permanently locks out commands issued under older registrations.
-  void unfence(NodeId initiator, std::uint32_t new_key = 0) {
+  void unfence(NodeId initiator, std::uint64_t new_key = 0) {
     if (new_key == 0) {
       keys_.erase(initiator);
     } else {
@@ -61,6 +61,12 @@ class VirtualDisk {
   [[nodiscard]] std::uint64_t reads_served() const { return reads_; }
   [[nodiscard]] std::uint64_t writes_served() const { return writes_; }
   [[nodiscard]] std::uint64_t fenced_rejections() const { return fence_rejects_; }
+  // Rejections attributed to one initiator — the byzantine harness uses this
+  // to credit the trusted base with the writes each misbehavior lost.
+  [[nodiscard]] std::uint64_t fenced_rejections(NodeId initiator) const {
+    auto it = rejects_by_initiator_.find(initiator);
+    return it == rejects_by_initiator_.end() ? 0 : it->second;
+  }
 
  private:
   DiskId id_;
@@ -68,7 +74,8 @@ class VirtualDisk {
   std::uint32_t block_size_;
   std::unordered_map<BlockAddr, Bytes> blocks_;
   // nullopt = blocked; value = required io_key.
-  std::unordered_map<NodeId, std::optional<std::uint32_t>> keys_;
+  std::unordered_map<NodeId, std::optional<std::uint64_t>> keys_;
+  std::unordered_map<NodeId, std::uint64_t> rejects_by_initiator_;
   std::uint64_t reads_{0};
   std::uint64_t writes_{0};
   std::uint64_t fence_rejects_{0};

@@ -24,6 +24,15 @@ std::vector<Violation> ConsistencyChecker::check_all() const {
   return out;
 }
 
+SplitVerdict ConsistencyChecker::check_all_split() const {
+  SplitVerdict verdict;
+  const auto& byz = h_->byzantine();
+  for (auto& v : check_all()) {
+    (byz.contains(v.victim) ? verdict.byzantine : verdict.honest).push_back(std::move(v));
+  }
+  return verdict;
+}
+
 std::vector<Violation> ConsistencyChecker::check_write_order() const {
   std::vector<Violation> out;
   // Last version seen at the disk per (file, block); disk_writes_ is already
@@ -36,7 +45,10 @@ std::vector<Violation> ConsistencyChecker::check_write_order() const {
       std::ostringstream os;
       os << block_name(key) << ": v" << w.stamp.version << " by n" << w.initiator.value()
          << " landed after v" << it->second.first << " by n" << it->second.second.value();
-      out.push_back(Violation{ViolationKind::kWriteOrderRegression, w.at, os.str()});
+      // The victim is the writer whose (newer) version got clobbered, not
+      // whoever submitted the late write.
+      out.push_back(
+          Violation{ViolationKind::kWriteOrderRegression, w.at, os.str(), it->second.second});
     }
     if (it == last.end() || w.stamp.version >= it->second.first) {
       last[key] = {w.stamp.version, w.initiator};
@@ -54,7 +66,7 @@ std::vector<Violation> ConsistencyChecker::check_stale_reads() const {
       std::ostringstream os;
       os << block_name(key) << ": n" << r.client.value() << " read v" << r.observed_version
          << " but disk already held v" << on_disk;
-      out.push_back(Violation{ViolationKind::kStaleRead, r.end, os.str()});
+      out.push_back(Violation{ViolationKind::kStaleRead, r.end, os.str(), r.client});
     }
   }
   return out;
@@ -82,7 +94,7 @@ std::vector<Violation> ConsistencyChecker::check_lost_updates() const {
       std::ostringstream os;
       os << block_name(key) << ": v" << w.stamp.version << " buffered by n"
          << w.client.value() << " never superseded on disk (final v" << final_version << ")";
-      out.push_back(Violation{ViolationKind::kLostUpdate, w.at, os.str()});
+      out.push_back(Violation{ViolationKind::kLostUpdate, w.at, os.str(), w.client});
     }
   }
   return out;

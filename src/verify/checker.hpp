@@ -42,6 +42,22 @@ struct Violation {
   ViolationKind kind;
   sim::SimTime at;
   std::string detail;
+  // The party whose guarantee broke: the writer whose landed version was
+  // regressed over, the reader that observed staleness, or the client whose
+  // buffered update was lost. Drives the split verdict below.
+  NodeId victim{};
+};
+
+// The split verdict of DESIGN.md §13: violations whose victim is an HONEST
+// client break the paper's safety claim (the trusted base — server + fence
+// list — failed to protect a rule-following participant); violations whose
+// victim is a declared-byzantine client are self-inflicted and merely
+// diagnostic (e.g. a defiant client's own late writes being fenced away).
+// With no byzantine clients declared, every violation is in `honest` and the
+// verdict degenerates to check_all().
+struct SplitVerdict {
+  std::vector<Violation> honest;
+  std::vector<Violation> byzantine;
 };
 
 struct ViolationSummary {
@@ -56,6 +72,7 @@ class ConsistencyChecker {
   explicit ConsistencyChecker(const HistoryRecorder& history) : h_(&history) {}
 
   [[nodiscard]] std::vector<Violation> check_all() const;
+  [[nodiscard]] SplitVerdict check_all_split() const;
   [[nodiscard]] std::vector<Violation> check_write_order() const;
   [[nodiscard]] std::vector<Violation> check_stale_reads() const;
   [[nodiscard]] std::vector<Violation> check_lost_updates() const;

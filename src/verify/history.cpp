@@ -83,6 +83,7 @@ void HistoryRecorder::clear() {
   buffered_writes_.clear();
   reads_.clear();
   crashed_.clear();
+  byzantine_.clear();
 }
 
 }  // namespace stank::verify

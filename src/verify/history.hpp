@@ -55,6 +55,10 @@ class HistoryRecorder {
   void on_buffered_write(sim::SimTime at, NodeId client, const Stamp& stamp);
   void on_read(const ReadRec& r);
   void on_crash(NodeId client);
+  // Declares a client adversarial for the whole run: the checker's split
+  // verdict buckets violations whose victim is byzantine as diagnostic
+  // rather than safety-breaking (DESIGN.md §13).
+  void mark_byzantine(NodeId client) { byzantine_.insert(client); }
 
   using BlockKey = std::pair<FileId, std::uint64_t>;
 
@@ -64,6 +68,7 @@ class HistoryRecorder {
   }
   [[nodiscard]] const std::vector<ReadRec>& reads() const { return reads_; }
   [[nodiscard]] const std::set<NodeId>& crashed() const { return crashed_; }
+  [[nodiscard]] const std::set<NodeId>& byzantine() const { return byzantine_; }
 
   // Disk writes of one (file, block), in completion order.
   [[nodiscard]] std::vector<DiskWriteRec> disk_writes_of(BlockKey key) const;
@@ -92,6 +97,7 @@ class HistoryRecorder {
   std::vector<BufferedWriteRec> buffered_writes_;
   std::vector<ReadRec> reads_;
   std::set<NodeId> crashed_;
+  std::set<NodeId> byzantine_;
 };
 
 }  // namespace stank::verify

@@ -21,6 +21,7 @@ FailurePlan FailurePlan::random(sim::Rng& rng, const WorkloadSpec& spec, std::si
   if (mix.crashes) kinds.push_back(FailureKind::kCrash);
   if (mix.san_partitions) kinds.push_back(FailureKind::kSanIsolate);
   if (mix.server_restarts) kinds.push_back(FailureKind::kServerCrash);
+  if (mix.server_san_partitions) kinds.push_back(FailureKind::kSanIsolateServer);
 
   FailurePlan p;
   if (kinds.empty()) return p;
@@ -50,6 +51,10 @@ FailurePlan FailurePlan::random(sim::Rng& rng, const WorkloadSpec& spec, std::si
       case FailureKind::kSanIsolate:
         p.add(at, FailureKind::kSanIsolate, client);
         p.add(end, FailureKind::kSanHeal, client);
+        break;
+      case FailureKind::kSanIsolateServer:
+        p.add(at, FailureKind::kSanIsolateServer, 0);
+        p.add(end, FailureKind::kSanHealServer, 0);
         break;
       case FailureKind::kServerCrash:
         // Bound the downtime: past-horizon restarts would leave the whole

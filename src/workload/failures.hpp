@@ -25,6 +25,8 @@ enum class FailureKind : std::uint8_t {
   kSlowSan,           // add extra SAN service delay for this initiator
   kServerCrash,       // the metadata/lock server fails (volatile state lost)
   kServerRestart,     // new server incarnation; grace period for reassertion
+  kSanIsolateServer,  // cut SERVER -> disks on the SAN (fence admins fail)
+  kSanHealServer,
 };
 
 [[nodiscard]] constexpr const char* to_string(FailureKind k) {
@@ -39,6 +41,8 @@ enum class FailureKind : std::uint8_t {
     case FailureKind::kSlowSan: return "slow-san";
     case FailureKind::kServerCrash: return "server-crash";
     case FailureKind::kServerRestart: return "server-restart";
+    case FailureKind::kSanIsolateServer: return "san-isolate-server";
+    case FailureKind::kSanHealServer: return "san-heal-server";
   }
   return "?";
 }
@@ -78,6 +82,10 @@ struct FailurePlan {
     // default: benches written against the client-failure mix keep their
     // event schedules.
     bool server_restarts{false};
+    // Server -> disks SAN cuts (healed): fence admin commands fail while the
+    // cut holds, exercising the fence-retry / held-steal path. Off by
+    // default for the same schedule-stability reason.
+    bool server_san_partitions{false};
   };
 
   // `count` random failures over the middle of the run: partitions (healed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -97,6 +98,9 @@ void Scenario::build() {
   scfg.block_size = cfg_.block_size;
   scfg.data_disks = disks;
   scfg.recovery_grace = cfg_.recovery_grace;
+  if (cfg_.demand_timeout.ns > 0) {
+    scfg.demand_timeout = cfg_.demand_timeout;
+  }
   server_ = std::make_unique<server::Server>(engine_, *net_, *san_,
                                              sim::LocalClock(draw_rate(true)), scfg,
                                              cfg_.enable_trace ? &trace_ : nullptr);
@@ -116,6 +120,10 @@ void Scenario::build() {
     ccfg.data_path = cfg_.data_path;
     ccfg.transport = cfg_.transport;
     ccfg.block_size = cfg_.block_size;
+    if (auto bit = cfg_.byzantine.find(c); bit != cfg_.byzantine.end() && bit->second.any()) {
+      ccfg.byzantine = bit->second;
+      history_.mark_byzantine(client_node(c));
+    }
     clients_.push_back(std::make_unique<client::Client>(
         engine_, *net_, *san_, sim::LocalClock(draw_rate(false) * cfg_.client_rate_scale),
         ccfg, cfg_.enable_trace ? &trace_ : nullptr));
@@ -424,6 +432,18 @@ void Scenario::apply_failure(const FailureEvent& ev) {
         server_->restart();
       }
       break;
+    case FailureKind::kSanIsolateServer:
+      // The server loses its SAN path: fence admin commands cannot reach the
+      // disks and a fence->steal must hold until the path heals.
+      for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+        san_->reachability().sever(server_node(), DiskId{d + 1});
+      }
+      break;
+    case FailureKind::kSanHealServer:
+      for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+        san_->reachability().restore(server_node(), DiskId{d + 1});
+      }
+      break;
   }
 }
 
@@ -474,16 +494,25 @@ ScenarioResult Scenario::finish() {
   // instant, so nothing can dirty a cache after the verdict. Ops still
   // queued at the stop never buffered anything and are invisible to the
   // checker. Grant up to one extra settle budget if dirt lingers.
-  const double hard_end = end_run + 2.0 * settle_seconds_;
+  // Sweep bounds in INTEGER sim time. The double-domain form
+  // (`now_s() < hard_end` with run_until targets converted through
+  // seconds_d) span a truncation gap: run_until advances now_ to the
+  // ns-truncated horizon, which sits just below the double it came from, so
+  // the comparison stays true forever with zero progress. Harmless while
+  // every client drained before the bound — a byzantine client whose stolen
+  // lock strands its dirty pages rides the sweep all the way there and spun
+  // here (found by fuzz_safety --byzantine, ack-without-release).
+  const sim::SimTime hard_end_t = sim::SimTime{} + sim::seconds_d(end_run + 2.0 * settle_seconds_);
+  const sim::Duration sweep_step = sim::seconds_d(0.1 * settle_seconds_);
   bool clean = false;
-  while (!clean && now_s() < hard_end) {
+  while (!clean && engine_.now() < hard_end_t) {
     for (auto& cl : clients_) {
       if (!cl->crashed() && cl->registered() && cl->accepting() &&
           cl->dirty_pages() > 0) {
         cl->sync_all([](Status) {});
       }
     }
-    run_until_s(std::min(now_s() + 0.1 * settle_seconds_, hard_end));
+    engine_.run_until(std::min(engine_.now() + sweep_step, hard_end_t));
     clean = true;
     for (auto& cl : clients_) {
       if (!cl->crashed() && cl->dirty_pages() > 0) clean = false;
@@ -493,12 +522,24 @@ ScenarioResult Scenario::finish() {
   ScenarioResult r;
   r.violation_list = verify::ConsistencyChecker(history_).check_all();
   r.violations = verify::ConsistencyChecker::summarize(r.violation_list);
+  auto split = verify::ConsistencyChecker(history_).check_all_split();
+  r.honest_violations = std::move(split.honest);
+  r.byzantine_violations = std::move(split.byzantine);
   r.reads_ok = reads_ok_;
   r.writes_ok = writes_ok_;
   r.ops_failed = ops_failed_;
   r.server = server_->counters();
   for (auto& cl : clients_) {
     r.clients += cl->counters();
+  }
+  for (std::uint32_t d = 0; d < cfg_.num_disks; ++d) {
+    const auto& disk = san_->disk(DiskId{d + 1});
+    for (std::size_t ci = 0; ci < clients_.size(); ++ci) {
+      const NodeId node = client_node(ci);
+      if (const auto n = disk.fenced_rejections(node); n > 0) {
+        r.fence_rejects_by_initiator[node] += n;
+      }
+    }
   }
   r.net = net_->stats();
   r.san = san_->stats();

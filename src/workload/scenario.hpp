@@ -70,11 +70,25 @@ struct ScenarioConfig {
   // run slower than rate synchronization allows, stretching tau_c in real
   // time beyond what the server's tau_s(1+eps) wait covers.
   double client_rate_scale{1.0};
+
+  // --- Adversarial clients (tools/fuzz_safety --byzantine) ----------------
+  // Client index -> misbehavior set. Marked clients are recorded in the
+  // history so the checker's split verdict (DESIGN.md §13) can separate
+  // honest-client safety from self-inflicted byzantine damage.
+  std::map<std::size_t, client::ByzantineSpec> byzantine;
+  // Override for the server's demand compliance timeout; 0 keeps the
+  // ServerConfig default. Byzantine episodes shorten it so an
+  // ack-without-release stall escalates to fence+steal within the run.
+  sim::LocalDuration demand_timeout{sim::LocalDuration{0}};
 };
 
 struct ScenarioResult {
   verify::ViolationSummary violations;
   std::vector<verify::Violation> violation_list;
+  // The same list bucketed by victim (DESIGN.md §13). With no byzantine
+  // clients configured, honest_violations == violation_list.
+  std::vector<verify::Violation> honest_violations;
+  std::vector<verify::Violation> byzantine_violations;
 
   std::uint64_t reads_ok{0};
   std::uint64_t writes_ok{0};
@@ -84,6 +98,10 @@ struct ScenarioResult {
   metrics::Counters clients;  // summed across clients
   net::NetStats net;
   storage::SanStats san;
+  // SAN commands the fence list rejected, summed over disks, per initiator.
+  // For a byzantine run this is the count of attacks the trusted base (the
+  // disks' fence lists) absorbed — the fuzzer reports it per misbehavior.
+  std::map<NodeId, std::uint64_t> fence_rejects_by_initiator;
 
   // Peak lease bookkeeping at the server (sampled), and at the end.
   std::size_t max_lease_state_bytes{0};

@@ -397,5 +397,34 @@ TEST(ClientTransport, DedupLowWaterResetsOnNewEpoch) {
   EXPECT_EQ(deliveries, 21);
 }
 
+// Regression for the cross-incarnation replay hole found by fuzz_safety
+// --byzantine (replay-old-session): epoch numbers restart at 1 in every
+// server incarnation, so a replayed server msg from a PREVIOUS incarnation
+// can collide with the live (epoch, msg_id) pair exactly. The incarnation
+// stamp on the frame is the only thing that unmasks it.
+TEST(ClientTransport, ServerMsgFromDeadIncarnationDropped) {
+  Fixture f;
+  f.transport.set_session(/*epoch=*/1, /*incarnation=*/2);
+  int deliveries = 0;
+  f.transport.on_server_msg = [&](const ServerBody&) { ++deliveries; };
+
+  Frame stale;
+  stale.kind = FrameKind::kServerMsg;
+  stale.sender = NodeId{1};
+  stale.msg_id = MsgId{1};
+  stale.epoch = 1;  // numerically identical to the live session's epoch
+  stale.incarnation = 1;  // ...but minted by the dead incarnation
+  stale.body = ServerBody{LockDemand{FileId{1}, LockMode::kNone, 1}};
+  f.net.send(NodeId{1}, NodeId{100}, encode(stale));
+  f.engine.run();
+  EXPECT_EQ(deliveries, 0);
+
+  Frame live = stale;
+  live.incarnation = 2;
+  f.net.send(NodeId{1}, NodeId{100}, encode(live));
+  f.engine.run();
+  EXPECT_EQ(deliveries, 1);
+}
+
 }  // namespace
 }  // namespace stank::protocol

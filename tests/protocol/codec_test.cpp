@@ -286,25 +286,32 @@ TEST(Codec, GoldenWireBytesStable) {
   demand.body = ServerBody{LockDemand{FileId{4}, LockMode::kNone, 8}};
   Frame nack = mk_reply(ReplyBody{}, FrameKind::kNack);
 
+  // Conscious wire changes to date: the header carries a u32 server
+  // incarnation after the epoch (cross-incarnation replay fix), and
+  // UnlockReq/DemandDoneReq/LockReply/LockGrant carry a u64 per-grant cookie
+  // (forged-release fix found by fuzz_safety --byzantine).
   const std::vector<Golden> goldens = {
       {"keepalive", req,
        {0x01, 0x64, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00, 0x08}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08}},
       {"lockreq", lock,
        {0x01, 0x64, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00, 0x03, 0x09, 0x00, 0x00, 0x00, 0x02}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x09, 0x00, 0x00, 0x00, 0x02}},
       {"demanddone", done,
        {0x01, 0x64, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00, 0x05, 0x04, 0x00, 0x00, 0x00, 0x01, 0x0C, 0x00, 0x00, 0x00}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, 0x04, 0x00, 0x00, 0x00, 0x01, 0x0C,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
       {"lockreply", reply,
        {0x02, 0x01, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00, 0x04, 0x01, 0x01, 0x05, 0x00, 0x00, 0x00}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x01, 0x01, 0x05, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
       {"demand", demand,
        {0x04, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00, 0x01, 0x04, 0x00, 0x00, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01, 0x04, 0x00, 0x00, 0x00, 0x00, 0x08,
+        0x00, 0x00, 0x00}},
       {"nack", nack,
        {0x03, 0x01, 0x00, 0x00, 0x00, 0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03,
-        0x00, 0x00, 0x00}},
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
   };
   for (const auto& g : goldens) {
     EXPECT_EQ(encode(g.frame), g.bytes) << "wire format drifted for " << g.name;

@@ -123,6 +123,36 @@ TEST(Server, StaleEpochNacked) {
   EXPECT_EQ(r->kind, FrameKind::kNack);
 }
 
+// A byzantine client replaying its own recorded datagrams from an earlier
+// session must bounce off the epoch gate even when every OTHER credential in
+// the frame (generation, grant cookie) is genuine. Without this, a release
+// captured in session 1 could tear down state re-established in session 2.
+TEST(Server, ReplayedOldSessionReleaseRejected) {
+  Fixture f;
+  f.do_register();
+  const auto old_epoch = f.epoch;
+  auto file = f.server->preallocate("/f", 64).value();
+  auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
+  const auto& rep = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body));
+  ASSERT_TRUE(rep.granted);
+
+  f.do_register();  // session 2; the lock itself survives re-registration
+  ASSERT_NE(f.epoch, old_epoch);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+
+  // Replay of the genuine release datagram, stamped with the dead epoch.
+  auto replayed =
+      f.call(protocol::UnlockReq{file, LockMode::kNone, rep.gen, rep.cookie}, NodeId{100},
+             old_epoch);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->kind, FrameKind::kNack);
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+
+  // The same body under the live epoch is honored.
+  f.call(protocol::UnlockReq{file, LockMode::kNone, rep.gen, rep.cookie});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
+}
+
 TEST(Server, OpenCreatesFile) {
   Fixture f;
   f.do_register();
@@ -210,7 +240,9 @@ TEST(Server, ConflictingLockQueuedAndDemandIssued) {
   auto file = f.server->preallocate("/f", 64).value();
   f.epoch = epoch100;
   auto r1 = f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{100});
-  ASSERT_TRUE(std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r1->body)).granted);
+  const auto& rep1 = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r1->body));
+  ASSERT_TRUE(rep1.granted);
+  const auto cookie100 = rep1.cookie;
 
   f.epoch = epoch101;
   auto r2 = f.call(protocol::LockReq{file, LockMode::kExclusive}, NodeId{101});
@@ -234,7 +266,7 @@ TEST(Server, ConflictingLockQueuedAndDemandIssued) {
 
   // 100 complies; 101 receives the grant.
   f.epoch = epoch100;
-  f.call(protocol::DemandDoneReq{file, LockMode::kNone, demand_gen}, NodeId{100});
+  f.call(protocol::DemandDoneReq{file, LockMode::kNone, demand_gen, cookie100}, NodeId{100});
   f.run_for(0.01);
   bool saw_grant = false;
   for (const auto& fr : f.rx) {
@@ -266,10 +298,37 @@ TEST(Server, StaleGenUnlockIgnored) {
   f.do_register();
   auto file = f.server->preallocate("/f", 64).value();
   auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
-  const auto gen = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body)).gen;
-  f.call(protocol::UnlockReq{file, LockMode::kNone, gen + 5});
+  const auto& rep = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body));
+  const auto gen = rep.gen;
+  f.call(protocol::UnlockReq{file, LockMode::kNone, gen + 5, rep.cookie});
   EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
-  f.call(protocol::UnlockReq{file, LockMode::kNone, gen});
+  f.call(protocol::UnlockReq{file, LockMode::kNone, gen, rep.cookie});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
+}
+
+// Regression for the forged-release hole found by `fuzz_safety --byzantine`
+// (forge-lock-claims): lock generations are small counters an attacker can
+// guess, so a gen match alone must not authorize a release. An UnlockReq or
+// DemandDoneReq with the correct generation but the wrong per-grant cookie
+// has to be dropped, or a forger can release a victim's lock while the real
+// grant is still in flight to it.
+TEST(Server, ForgedReleaseWithGuessedGenRejected) {
+  Fixture f;
+  f.do_register();
+  auto file = f.server->preallocate("/f", 64).value();
+  auto r = f.call(protocol::LockReq{file, LockMode::kExclusive});
+  const auto& rep = std::get<protocol::LockReply>(std::get<protocol::ReplyBody>(r->body));
+  ASSERT_TRUE(rep.granted);
+  ASSERT_NE(rep.cookie, 0u);
+
+  // Correct gen, forged cookie: both release paths must be no-ops.
+  f.call(protocol::UnlockReq{file, LockMode::kNone, rep.gen, rep.cookie ^ 0xdeadbeefull});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+  f.call(protocol::DemandDoneReq{file, LockMode::kNone, rep.gen, rep.cookie ^ 0x1234ull});
+  EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kExclusive);
+
+  // The genuine cookie still works.
+  f.call(protocol::UnlockReq{file, LockMode::kNone, rep.gen, rep.cookie});
   EXPECT_EQ(f.server->locks().mode_of(NodeId{100}, file), LockMode::kNone);
 }
 

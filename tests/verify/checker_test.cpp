@@ -153,5 +153,53 @@ TEST(Checker, EmptyHistoryClean) {
   EXPECT_TRUE(ConsistencyChecker(h).check_all().empty());
 }
 
+// Split verdict (DESIGN.md §13): each violation kind names its victim, and
+// the victim's byzantine mark decides the bucket.
+
+TEST(Checker, SplitVictimIsOverwrittenWriterForWriteOrder) {
+  HistoryRecorder h;
+  h.mark_byzantine(kB);
+  disk_write(h, kB, 0, 2, 10);
+  disk_write(h, kA, 0, 1, 20);  // kA's late flush clobbers kB's newer data
+  auto s = ConsistencyChecker(h).check_all_split();
+  EXPECT_TRUE(s.honest.empty());  // the overwritten writer (kB) is byzantine
+  ASSERT_EQ(s.byzantine.size(), 1u);
+  EXPECT_EQ(s.byzantine[0].victim, kB);
+}
+
+TEST(Checker, SplitVictimIsReaderForStaleRead) {
+  HistoryRecorder h;
+  h.mark_byzantine(kA);
+  disk_write(h, kA, 0, 3, 10);
+  read(h, kB, 0, 2, 20, 21);  // honest kB observes stale data
+  auto s = ConsistencyChecker(h).check_all_split();
+  ASSERT_EQ(s.honest.size(), 1u);  // the reader is the victim, and is honest
+  EXPECT_EQ(s.honest[0].victim, kB);
+  EXPECT_TRUE(s.byzantine.empty());
+}
+
+TEST(Checker, SplitVictimIsBufferingClientForLostUpdate) {
+  HistoryRecorder h;
+  h.mark_byzantine(kA);
+  buffered(h, kA, 0, 1, 10);  // byzantine kA buffers and never flushes
+  auto s = ConsistencyChecker(h).check_all_split();
+  EXPECT_TRUE(s.honest.empty());
+  ASSERT_EQ(s.byzantine.size(), 1u);
+  EXPECT_EQ(s.byzantine[0].victim, kA);
+}
+
+TEST(Checker, SplitWithNoByzantineMatchesCheckAll) {
+  HistoryRecorder h;
+  disk_write(h, kB, 0, 2, 10);
+  disk_write(h, kA, 0, 1, 20);
+  read(h, kB, 1, 0, 30, 31);
+  disk_write(h, kA, 1, 1, 25);
+  buffered(h, kA, 2, 1, 5);
+  ConsistencyChecker c(h);
+  auto s = c.check_all_split();
+  EXPECT_TRUE(s.byzantine.empty());
+  EXPECT_EQ(s.honest.size(), c.check_all().size());
+}
+
 }  // namespace
 }  // namespace stank::verify

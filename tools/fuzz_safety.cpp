@@ -20,10 +20,25 @@
 // rate-synchronization band) and asserts the checker DOES report violations.
 // A fuzzer whose negative control passes silently is not testing anything.
 //
+// --byzantine adds the adversary dimension (DESIGN.md §13): 1..n-1 clients
+// get a random composition of misbehaviors (timestamp lies, defied quiesce,
+// rogue SAN writes after expiry, swallowed demands, replayed datagrams,
+// forged lock claims), the server's demand timeout is shortened so stalls
+// escalate within the run, and server->disk SAN cuts stress the fence-retry
+// path. The verdict is gated on the checker's HONEST bucket: byzantine
+// clients may corrupt their own reads/writes (reported as diagnostics), but
+// any violation whose victim is an honest client is a protocol bug. Combined
+// with --negative-control it disables fencing (RecoveryMode::kLeaseOnly) for
+// one rogue writer and asserts honest clients DO get hurt — proving the
+// fence list, not luck, is what contains the attack in the valid runs.
+//
 // Exit codes: 0 = expected outcome, 1 = safety violation in valid mode (or
 // a toothless negative control), 2 = usage/replay-file error.
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,12 +61,25 @@ namespace {
 struct Episode {
   std::uint64_t seed{0};  // master-derived; identifies the episode
   bool negative{false};
+  bool byzantine{false};
   workload::ScenarioConfig cfg;
 };
 
 struct EpisodeResult {
   verify::ViolationSummary violations;
   std::vector<verify::Violation> details;
+  // The split verdict (DESIGN.md §13). With no byzantine clients configured
+  // `honest` equals `violations`; with them, `honest` is the pass/fail gate
+  // and `byz_violations` counts the self-inflicted diagnostics.
+  verify::ViolationSummary honest;
+  std::vector<verify::Violation> honest_details;
+  std::size_t byz_violations{0};
+  // SAN commands the fence lists rejected, attributed to byzantine
+  // initiators: total and per misbehavior bit (index = bit position in
+  // client::ByzantineSpec's mask). Nonzero means the trusted base actually
+  // absorbed attacks rather than never seeing any.
+  std::uint64_t byz_fence_rejects{0};
+  std::array<std::uint64_t, 6> fence_rejects_by_bit{};
   std::uint64_t ops{0};
   net::NetStats net;
   std::uint64_t lock_steals{0};
@@ -60,13 +88,14 @@ struct EpisodeResult {
 
 // Everything the episode samples, drawn from one forked RNG stream so a
 // (master seed, index) pair regenerates the identical episode.
-Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative) {
+Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative, bool byzantine) {
   sim::Rng root(master_seed);
   sim::Rng rng = root.fork(index + 1);
 
   Episode ep;
   ep.seed = master_seed ^ (index + 1);
   ep.negative = negative;
+  ep.byzantine = byzantine;
   workload::ScenarioConfig& cfg = ep.cfg;
 
   // Workload: small and contended — contention is what makes stale caches
@@ -113,8 +142,64 @@ Episode generate(std::uint64_t master_seed, std::uint64_t index, bool negative) 
   // occasionally a server crash/restart, all over the adversarial net.
   workload::FailurePlan::RandomMix mix;
   mix.server_restarts = rng.bernoulli(0.25);
+
+  if (byzantine && !negative) {
+    // Adversary dimension: 1..n-1 misbehaving clients (at least one honest
+    // client must remain — it is the party whose safety we are asserting).
+    // Drawn BEFORE the failure plan so the shrinker's byz dimension and the
+    // plan dimension are independent in the replay file.
+    const std::uint32_t n = cfg.workload.num_clients;
+    const auto nbyz = static_cast<std::uint32_t>(
+        rng.uniform_int(1, std::max<std::int64_t>(1, static_cast<std::int64_t>(n) - 1)));
+    const auto start = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+    bool any_forge = false;
+    for (std::uint32_t k = 0; k < nbyz; ++k) {
+      const std::size_t idx = (start + k) % n;
+      const auto behavior_mask = static_cast<std::uint32_t>(rng.uniform_int(1, 63));
+      const double skew = (2.0 * rng.uniform() - 1.0) * tau_s;
+      cfg.byzantine[idx] = client::ByzantineSpec::from_mask(behavior_mask, skew);
+      any_forge = any_forge || cfg.byzantine[idx].forge_lock_claims;
+    }
+    // A forged ReassertLockReq during the post-restart grace window is
+    // unfixable by design (DESIGN.md §13: reassertion trusts clients), so
+    // forgers and server restarts don't mix in the valid sweep.
+    if (any_forge) mix.server_restarts = false;
+    // Server->disk SAN cuts make fence admin commands fail while held,
+    // forcing the fence-retry / held-steal path under attack.
+    mix.server_san_partitions = rng.bernoulli(0.35);
+    // Short demand timeout: an ack-without-release stall must escalate to
+    // suspect -> fence+steal within the run, not outlast it.
+    cfg.demand_timeout = sim::local_seconds_d(0.8 + 1.2 * rng.uniform());
+  }
+
   const std::size_t failures = static_cast<std::size_t>(rng.uniform_int(0, 4));
   cfg.failures = workload::FailurePlan::random(rng, cfg.workload, failures, mix);
+
+  if (byzantine && negative) {
+    // Byzantine negative control: same attacker, fencing OFF. One client
+    // withholds its phase-4 flush and rogue-writes its stale snapshot after
+    // expiry; with RecoveryMode::kLeaseOnly nothing stops the stale data
+    // landing on top of the new holder's writes. The checker must report
+    // HONEST-victim violations — proving the fence list is the load-bearing
+    // defense in the valid sweep, not generator weakness.
+    cfg.recovery = server::RecoveryMode::kLeaseOnly;
+    cfg.demand_timeout = sim::local_seconds_d(1.5);
+    const auto attacker =
+        static_cast<std::uint32_t>(rng.uniform_int(0, cfg.workload.num_clients - 1));
+    client::ByzantineSpec spec;
+    spec.write_after_expiry = true;
+    spec.defy_quiesce = rng.bernoulli(0.5);
+    cfg.byzantine[attacker] = spec;
+    // Partition the attacker so its lease provably expires and the locks are
+    // stolen while its rogue flusher is still pumping the stale snapshot.
+    cfg.failures.add(0.3 * cfg.workload.run_seconds, workload::FailureKind::kCtrlIsolate,
+                     attacker);
+    cfg.failures.add(0.9 * cfg.workload.run_seconds, workload::FailureKind::kCtrlHeal, attacker);
+    // Write-heavy: honest clients must produce the newer versions the rogue
+    // writes then clobber.
+    cfg.workload.read_fraction = 0.3;
+    return ep;
+  }
 
   if (negative) {
     // Break exactly one premise of Theorem 3.1, chosen at random; both must
@@ -169,6 +254,18 @@ EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* tra
   EpisodeResult out;
   out.violations = r.violations;
   out.details = std::move(r.violation_list);
+  out.honest = verify::ConsistencyChecker::summarize(r.honest_violations);
+  out.honest_details = std::move(r.honest_violations);
+  out.byz_violations = r.byzantine_violations.size();
+  for (const auto& [idx, spec] : cfg.byzantine) {
+    const auto it = r.fence_rejects_by_initiator.find(sc.client_node(idx));
+    if (it == r.fence_rejects_by_initiator.end()) continue;
+    out.byz_fence_rejects += it->second;
+    const std::uint32_t m = spec.mask();
+    for (std::size_t b = 0; b < out.fence_rejects_by_bit.size(); ++b) {
+      if ((m & (1u << b)) != 0) out.fence_rejects_by_bit[b] += it->second;
+    }
+  }
   out.ops = r.reads_ok + r.writes_ok;
   out.net = r.net;
   out.lock_steals = r.server.lock_steals;
@@ -176,8 +273,14 @@ EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* tra
   return out;
 }
 
+// The pass/fail gate. With byzantine clients configured only honest-victim
+// violations count — the adversary corrupting its own view is expected.
+bool gate_violates(const EpisodeResult& r, const workload::ScenarioConfig& cfg) {
+  return (cfg.byzantine.empty() ? r.violations : r.honest).total() > 0;
+}
+
 bool violates(const workload::ScenarioConfig& cfg) {
-  return run_episode(cfg).violations.total() > 0;
+  return gate_violates(run_episode(cfg), cfg);
 }
 
 // Re-runs a (deterministic) episode with the flight recorder attached and
@@ -227,6 +330,11 @@ void write_replay(const std::string& path, const Episode& ep,
   f << "net_ge_good_to_bad=" << c.control_net.ge_good_to_bad << "\n";
   f << "net_ge_bad_to_good=" << c.control_net.ge_bad_to_good << "\n";
   f << "net_burst_loss=" << c.control_net.burst_loss << "\n";
+  f << "recovery=" << static_cast<int>(c.recovery) << "\n";
+  f << "demand_timeout_ns=" << c.demand_timeout.ns << "\n";
+  for (const auto& [idx, spec] : c.byzantine) {
+    f << "byzantine=" << idx << " " << spec.mask() << " " << spec.send_time_skew_s << "\n";
+  }
   for (const auto& ev : c.failures.events) {
     f << "failure=" << ev.at_s << " " << static_cast<int>(ev.kind) << " " << ev.client_idx
       << " " << ev.param_s << "\n";
@@ -271,6 +379,16 @@ std::optional<Episode> read_replay(const std::string& path) {
     else if (key == "net_ge_good_to_bad") in >> c.control_net.ge_good_to_bad;
     else if (key == "net_ge_bad_to_good") in >> c.control_net.ge_bad_to_good;
     else if (key == "net_burst_loss") in >> c.control_net.burst_loss;
+    else if (key == "recovery") { int m; in >> m; c.recovery = static_cast<server::RecoveryMode>(m); }
+    else if (key == "demand_timeout_ns") in >> c.demand_timeout.ns;
+    else if (key == "byzantine") {
+      std::size_t idx = 0;
+      std::uint32_t behavior_mask = 0;
+      double skew = 0.0;
+      in >> idx >> behavior_mask >> skew;
+      c.byzantine[idx] = client::ByzantineSpec::from_mask(behavior_mask, skew);
+      ep.byzantine = true;
+    }
     else if (key == "failure") {
       workload::FailureEvent ev;
       int kind = 0;
@@ -286,8 +404,10 @@ std::optional<Episode> read_replay(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Greedy failure-plan shrinker: repeatedly drop the first event whose
-// removal keeps the episode violating, until no single removal does.
+// Greedy shrinker over three dimensions: drop a failure event, drop a whole
+// byzantine client, or clear one behavior bit on one byzantine client —
+// whichever single removal keeps the episode violating, until none does. The
+// repro a developer picks up names the one misbehavior that matters.
 
 workload::ScenarioConfig shrink(workload::ScenarioConfig cfg, int* runs_out) {
   int runs = 0;
@@ -305,6 +425,34 @@ workload::ScenarioConfig shrink(workload::ScenarioConfig cfg, int* runs_out) {
         break;
       }
     }
+    if (progress) continue;
+    for (const auto& [idx, spec] : cfg.byzantine) {
+      workload::ScenarioConfig trial = cfg;
+      trial.byzantine.erase(idx);
+      ++runs;
+      if (violates(trial)) {
+        cfg = std::move(trial);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    for (const auto& [idx, spec] : cfg.byzantine) {
+      const std::uint32_t m = spec.mask();
+      if ((m & (m - 1)) == 0) continue;  // single bit: the erase pass covers it
+      for (std::uint32_t b = 0; b < 6 && !progress; ++b) {
+        if ((m & (1u << b)) == 0) continue;
+        workload::ScenarioConfig trial = cfg;
+        trial.byzantine[idx] =
+            client::ByzantineSpec::from_mask(m & ~(1u << b), spec.send_time_skew_s);
+        ++runs;
+        if (violates(trial)) {
+          cfg = std::move(trial);
+          progress = true;
+        }
+      }
+      if (progress) break;
+    }
   }
   if (runs_out != nullptr) *runs_out = runs;
   return cfg;
@@ -318,10 +466,13 @@ void print_violations(const verify::ViolationSummary& v) {
 int usage() {
   std::fprintf(stderr,
                "usage: fuzz_safety [--episodes N] [--seed S] [--out FILE]\n"
-               "                   [--negative-control] [--quick] [--jobs N]\n"
+               "                   [--byzantine] [--negative-control] [--quick] [--jobs N]\n"
                "       fuzz_safety --replay FILE [--trace]\n");
   return 2;
 }
+
+const char* kBehaviorNames[6] = {"lie-send-time", "defy-quiesce",       "write-after-expiry",
+                                 "ack-no-release", "replay-old-session", "forge-lock-claims"};
 
 }  // namespace
 
@@ -329,6 +480,7 @@ int main(int argc, char** argv) {
   std::size_t episodes = 1000;
   std::uint64_t seed = 1;
   bool negative = false;
+  bool byzantine = false;
   bool trace = false;
   unsigned jobs = 0;
   std::string out_path = "fuzz_replay.txt";
@@ -359,6 +511,8 @@ int main(int argc, char** argv) {
       replay_path = v;
     } else if (a == "--negative-control") {
       negative = true;
+    } else if (a == "--byzantine") {
+      byzantine = true;
     } else if (a == "--trace") {
       trace = true;
     } else if (a == "--quick") {
@@ -375,9 +529,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "fuzz_safety: cannot read replay file %s\n", replay_path.c_str());
       return 2;
     }
-    std::printf("replaying %s (episode seed %llu, %s mode, %zu failure events)\n",
+    std::printf("replaying %s (episode seed %llu, %s mode, %zu failure events, "
+                "%zu byzantine clients)\n",
                 replay_path.c_str(), static_cast<unsigned long long>(ep->seed),
-                ep->negative ? "negative" : "valid", ep->cfg.failures.events.size());
+                ep->negative ? "negative" : "valid", ep->cfg.failures.events.size(),
+                ep->cfg.byzantine.size());
     ep->cfg.enable_trace = trace;
     auto r = run_episode(ep->cfg, trace ? &std::cout : nullptr,
                          trace ? replay_path + ".trace" : std::string{});
@@ -388,32 +544,61 @@ int main(int argc, char** argv) {
       std::printf("  [%s] t=%.4fs %s\n", verify::to_string(v.kind), v.at.seconds(),
                   v.detail.c_str());
     }
-    return r.violations.total() > 0 ? 1 : 0;
+    if (!ep->cfg.byzantine.empty()) {
+      std::printf("  honest-victim violations (the gate): %zu; byzantine-victim "
+                  "diagnostics: %zu; fence rejects absorbed: %llu\n",
+                  r.honest.total(), r.byz_violations,
+                  static_cast<unsigned long long>(r.byz_fence_rejects));
+    }
+    return gate_violates(r, ep->cfg) ? 1 : 0;
   }
 
   // --- Sweep mode ----------------------------------------------------------
-  std::printf("fuzz_safety: %zu %s episodes, master seed %llu\n", episodes,
+  std::printf("fuzz_safety: %zu %s%s episodes, master seed %llu\n", episodes,
+              byzantine ? "BYZANTINE " : "",
               negative ? "NEGATIVE-CONTROL" : "paper-valid",
               static_cast<unsigned long long>(seed));
 
   std::vector<EpisodeResult> results(episodes);
   rt::parallel_for(
       episodes,
-      [&](std::size_t i) { results[i] = run_episode(generate(seed, i, negative).cfg); },
+      [&](std::size_t i) {
+        const Episode dbg = generate(seed, i, negative, byzantine);
+        if (std::getenv("STANK_FUZZ_DEBUG") != nullptr) {
+          std::fprintf(stderr, "episode %zu: clients=%u run=%.2fs", i, dbg.cfg.workload.num_clients,
+                       dbg.cfg.workload.run_seconds);
+          for (const auto& [idx, spec] : dbg.cfg.byzantine) {
+            std::fprintf(stderr, " byz[%zu]=mask%u skew=%.3f", idx, spec.mask(),
+                         spec.send_time_skew_s);
+          }
+          std::fprintf(stderr, "\n");
+        }
+        results[i] = run_episode(dbg.cfg);
+      },
       jobs);
 
   verify::ViolationSummary total;
-  std::size_t violating = 0;
+  std::size_t violating = 0, byz_diag = 0;
   std::uint64_t ops = 0, dup = 0, reordered = 0, burst = 0, steals = 0, nacks = 0;
+  std::uint64_t byz_rejects = 0;
+  std::array<std::uint64_t, 6> rejects_by_bit{};
   std::size_t first_violating = episodes;
   for (std::size_t i = 0; i < episodes; ++i) {
     const auto& r = results[i];
-    total.write_order += r.violations.write_order;
-    total.stale_reads += r.violations.stale_reads;
-    total.lost_updates += r.violations.lost_updates;
-    if (r.violations.total() > 0) {
+    // In byzantine mode the verdict tallies the HONEST bucket only; the
+    // adversary's self-inflicted damage is summarized separately below.
+    const auto& gate = byzantine ? r.honest : r.violations;
+    total.write_order += gate.write_order;
+    total.stale_reads += gate.stale_reads;
+    total.lost_updates += gate.lost_updates;
+    if (gate.total() > 0) {
       ++violating;
       if (first_violating == episodes) first_violating = i;
+    }
+    byz_diag += r.byz_violations;
+    byz_rejects += r.byz_fence_rejects;
+    for (std::size_t b = 0; b < rejects_by_bit.size(); ++b) {
+      rejects_by_bit[b] += r.fence_rejects_by_bit[b];
     }
     ops += r.ops;
     dup += r.net.duplicated;
@@ -431,15 +616,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(burst), static_cast<unsigned long long>(steals),
               static_cast<unsigned long long>(nacks));
   print_violations(total);
+  if (byzantine) {
+    std::printf("byzantine-victim diagnostics (self-inflicted, not gated): %zu\n", byz_diag);
+    std::printf("attacks absorbed by the fence lists: %llu rejected SAN commands\n",
+                static_cast<unsigned long long>(byz_rejects));
+    for (std::size_t b = 0; b < rejects_by_bit.size(); ++b) {
+      if (rejects_by_bit[b] > 0) {
+        std::printf("  with %-20s active: %llu\n", kBehaviorNames[b],
+                    static_cast<unsigned long long>(rejects_by_bit[b]));
+      }
+    }
+  }
 
   if (negative) {
     // The checker must have teeth: broken premises => observed violations.
     if (violating == 0) {
-      std::printf("NEGATIVE CONTROL FAILED: no violations despite broken timing premises —\n"
-                  "the checker (or the fuzzer's reach) is toothless.\n");
+      std::printf("NEGATIVE CONTROL FAILED: no violations despite %s —\n"
+                  "the checker (or the fuzzer's reach) is toothless.\n",
+                  byzantine ? "a rogue writer and fencing disabled"
+                            : "broken timing premises");
       return 1;
     }
-    const Episode ep = generate(seed, first_violating, negative);
+    const Episode ep = generate(seed, first_violating, negative, byzantine);
     write_replay(out_path, ep, results[first_violating].violations,
                  results[first_violating].net);
     dump_trace(ep.cfg, out_path + ".trace");
@@ -451,21 +649,25 @@ int main(int argc, char** argv) {
   }
 
   if (violating > 0) {
-    Episode ep = generate(seed, first_violating, negative);
-    std::printf("\nSAFETY VIOLATION at episode %zu (seed %llu). Shrinking failure plan "
-                "(%zu events)...\n",
+    Episode ep = generate(seed, first_violating, negative, byzantine);
+    std::printf("\nSAFETY VIOLATION at episode %zu (seed %llu). Shrinking "
+                "(%zu failure events, %zu byzantine clients)...\n",
                 first_violating, static_cast<unsigned long long>(ep.seed),
-                ep.cfg.failures.events.size());
+                ep.cfg.failures.events.size(), ep.cfg.byzantine.size());
     int shrink_runs = 0;
     ep.cfg = shrink(ep.cfg, &shrink_runs);
-    std::printf("shrunk to %zu events in %d runs; replay written to %s\n",
-                ep.cfg.failures.events.size(), shrink_runs, out_path.c_str());
+    std::printf("shrunk to %zu events + %zu byzantine clients in %d runs; "
+                "replay written to %s\n",
+                ep.cfg.failures.events.size(), ep.cfg.byzantine.size(), shrink_runs,
+                out_path.c_str());
     write_replay(out_path, ep, results[first_violating].violations,
                  results[first_violating].net);
     dump_trace(ep.cfg, out_path + ".trace");
     return 1;
   }
 
-  std::printf("all clear: no violations in %zu paper-valid episodes.\n", episodes);
+  std::printf("all clear: no %sviolations in %zu %s episodes.\n",
+              byzantine ? "honest-victim " : "", episodes,
+              byzantine ? "byzantine" : "paper-valid");
   return 0;
 }
