@@ -21,6 +21,7 @@
 
 #include "alloc_hooks.hpp"
 #include "bench_util.hpp"
+#include "obs/counters.hpp"
 #include "workload/scenario.hpp"
 
 using namespace stank;
@@ -124,6 +125,34 @@ std::uint64_t grant_release_allocs(std::uint64_t iters, std::uint64_t* completed
   return delta;
 }
 
+// The telemetry registry's hot path (add_to / gauge_max / record_hist on a
+// frozen obs::Counters) must also be allocation-free: it is called from
+// inside the sharded engine's window loop and ShardedNet::post(), both of
+// which sit on the steady-state paths gated above. Registration and
+// freeze() allocate (once, at setup); increments must not.
+std::uint64_t counter_registry_allocs(std::uint64_t iters) {
+  obs::Counters ctr;
+  const obs::Counters::Id events = ctr.add("engine.events");
+  const obs::Counters::Id bytes = ctr.add("net.xshard_bytes");
+  const obs::Counters::Id hw = ctr.add("net.mailbox_hw", obs::Counters::Merge::kMax);
+  const obs::Counters::HistId wait = ctr.add_hist("barrier.wait_ns");
+  ctr.freeze(8);
+
+  const std::uint64_t snap = bench::allocs();
+  if (std::getenv("STANK_STEADY_TRAP") != nullptr) bench::trap_next_alloc(true);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint32_t shard = static_cast<std::uint32_t>(i & 7);
+    ctr.add_to(shard, events, 1);
+    ctr.add_to(shard, bytes, 40 + (i & 63));
+    ctr.gauge_max(shard, hw, i & 31);
+    ctr.record_hist(shard, wait, 100 + (i & 8191));
+  }
+  bench::trap_next_alloc(false);
+  // Keep the registry observable so the loop cannot be dead-code-eliminated.
+  if (ctr.merged(events) != iters) return UINT64_MAX;
+  return bench::allocs() - snap;
+}
+
 }  // namespace
 
 int main() {
@@ -148,12 +177,20 @@ int main() {
   reporter.alloc("grant_release", grant == UINT64_MAX ? 1 : grant);
   if (grant != 0) rc = 1;
 
+  const std::uint64_t ctr_allocs = counter_registry_allocs(100'000);
+  std::printf("  counter_inc  : %llu allocations over 100000 armed add/gauge/hist "
+              "increments on a frozen 8-shard registry %s\n",
+              static_cast<unsigned long long>(ctr_allocs),
+              ctr_allocs == 0 ? "[ok]" : "[FAIL]");
+  reporter.alloc("counter_inc", ctr_allocs == UINT64_MAX ? 1 : ctr_allocs);
+  if (ctr_allocs != 0) rc = 1;
+
   if (rc != 0) {
     std::fprintf(stderr,
                  "\nsteady: ZERO-ALLOCATION GATE FAILED — a hot path touched the global "
                  "allocator after warm-up.\n");
   } else {
-    std::printf("\nBoth steady-state paths ran allocation-free.\n");
+    std::printf("\nAll steady-state paths ran allocation-free.\n");
   }
   return rc;
 }

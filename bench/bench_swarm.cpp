@@ -25,6 +25,10 @@
 //   STANK_SWARM_N_SHARDED single sharded N                (default 1000000)
 //   STANK_SWARM_KS        comma-separated shard counts    (default 1,2,4,8)
 //   STANK_SWARM_THREADS   worker threads for sharded runs (default: one per shard)
+//   STANK_SWARM_TELEMETRY 0 disables the per-shard counter registry and
+//                         watchdog (the overhead-gate A/B switch; default on).
+//                         Arming MUST NOT change the digest — counters add no
+//                         engine events and draw no randomness.
 #include <chrono>
 #include <cctype>
 #include <cmath>
@@ -40,6 +44,9 @@
 #include "common/table.hpp"
 #include "net/control_net.hpp"
 #include "net/sharded_net.hpp"
+#include "obs/counters.hpp"
+#include "obs/recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "server/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -318,13 +325,23 @@ struct ShardedPoint {
   std::uint64_t ops_ok;
   std::uint64_t ops_failed;
   std::uint64_t digest;
+  // Telemetry columns (zero when the registry is dark or K == 1).
+  bool telemetry{false};
+  std::vector<double> shard_events_per_window;  // per shard
+  double imbalance_permille{0.0};               // max/mean shard events, x1000
+  std::uint64_t mailbox_hw{0};                  // deepest SPSC mailbox seen
+  std::uint64_t barrier_p50_ns{0};
+  std::uint64_t barrier_p99_ns{0};
+  std::uint64_t idle_windows{0};
+  std::uint64_t watchdog_trips{0};
 };
 
 std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
   return (h ^ v) * 1099511628211ull;
 }
 
-ShardedPoint run_sharded_swarm(std::uint32_t n, std::uint32_t k, std::uint32_t threads) {
+ShardedPoint run_sharded_swarm(std::uint32_t n, std::uint32_t k, std::uint32_t threads,
+                               bool telemetry) {
   sim::ShardedEngine::Config ecfg;
   ecfg.shards = k;
   ecfg.threads = threads;
@@ -333,6 +350,41 @@ ShardedPoint run_sharded_swarm(std::uint32_t n, std::uint32_t k, std::uint32_t t
   // identical across the curve; only the partitioning changes.
   sim::Rng root(0x5Aa3F00Du ^ n);
   auto fabric = std::make_unique<net::ShardedNet>(engine, root);
+
+  // Shard-aware telemetry: the engine and fabric register their counters,
+  // the registry freezes into per-shard banks, and the watchdog rides the
+  // engine's barrier snapshot hook (worker 0, everyone else parked) so
+  // arming adds zero engine events — the digest column proves it.
+  obs::Counters ctr;
+  obs::Recorder wd_rec;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (telemetry) {
+    sim::ShardedEngine::Telemetry tel;
+    tel.counters = &ctr;
+    // ~20ms of sim time between snapshots at the 10us window default.
+    tel.snapshot_every_windows = 2048;
+    watchdog = std::make_unique<obs::Watchdog>(wd_rec);
+    obs::Watchdog* wd = watchdog.get();
+    tel.on_snapshot = [wd](sim::SimTime at) { wd->evaluate(at); };
+    engine.set_telemetry(std::move(tel));
+    fabric->set_counters(&ctr);
+    ctr.freeze(k);
+    // Probes read merged counters: legal between the snapshot barriers
+    // (every producer is parked) and after the run.
+    const obs::Counters::Id id_hw = ctr.find("net.mailbox_hw");
+    const obs::Counters::Id id_imb = ctr.find("engine.imbalance_permille");
+    // A mailbox a million datagrams deep means a consumer shard stopped
+    // draining — that is a hang signature, not load.
+    watchdog->add_probe(
+        "mailbox_hw",
+        [&ctr, id_hw]() { return static_cast<double>(ctr.merged(id_hw)); }, 0.0,
+        1 << 20);
+    // 8x mean on one shard means the placement scheme collapsed.
+    watchdog->add_probe(
+        "imbalance_permille",
+        [&ctr, id_imb]() { return static_cast<double>(ctr.merged(id_imb)); }, 0.0,
+        8000.0);
+  }
   // Burn the stream ShardedNet consumed from its copy of root, so the SAN
   // forks below line up with the serial bench's (fork(2), fork(1000+i), …).
   (void)root.fork(1);
@@ -424,6 +476,28 @@ ShardedPoint run_sharded_swarm(std::uint32_t n, std::uint32_t k, std::uint32_t t
   digest = fnv_mix(digest, st.bytes);
   digest = fnv_mix(digest, engine.events_executed());
   p.digest = digest;
+
+  if (telemetry) {
+    p.telemetry = true;
+    const obs::Counters::Id id_events = ctr.find("engine.events");
+    const obs::Counters::Id id_windows = ctr.find("engine.windows");
+    const obs::Counters::HistId id_bwait = ctr.find_hist("barrier.wait_ns");
+    const std::uint64_t windows = ctr.merged(id_windows);
+    p.shard_events_per_window.resize(k, 0.0);
+    for (std::uint32_t s = 0; s < k; ++s) {
+      p.shard_events_per_window[s] =
+          windows > 0 ? static_cast<double>(ctr.value(s, id_events)) /
+                            static_cast<double>(windows)
+                      : 0.0;
+    }
+    p.imbalance_permille =
+        static_cast<double>(ctr.merged(ctr.find("engine.imbalance_permille")));
+    p.mailbox_hw = ctr.merged(ctr.find("net.mailbox_hw"));
+    p.barrier_p50_ns = ctr.hist_quantile(id_bwait, 0.50);
+    p.barrier_p99_ns = ctr.hist_quantile(id_bwait, 0.99);
+    p.idle_windows = ctr.merged(ctr.find("engine.idle_windows"));
+    p.watchdog_trips = watchdog->trips();
+  }
   return p;
 }
 
@@ -463,44 +537,84 @@ int main() {
   const std::uint32_t sharded_n = env_u32("STANK_SWARM_N_SHARDED", 1'000'000);
   const std::uint32_t threads_override = env_u32("STANK_SWARM_THREADS", 0xFFFFFFFFu);
   const std::vector<std::uint32_t> ks = env_u32_list("STANK_SWARM_KS", {1, 2, 4, 8});
+  const char* tel_env = std::getenv("STANK_SWARM_TELEMETRY");
+  const bool telemetry = tel_env == nullptr || std::string(tel_env) != "0";
 
-  std::printf("Sharded engine: N=%u clients, K servers/shards, conservative 10 us windows\n\n",
+  std::printf("Sharded engine: N=%u clients, K servers/shards, conservative 10 us windows\n",
               sharded_n);
+  std::printf("Telemetry: %s (STANK_SWARM_TELEMETRY=0 to disable; must not change digests)\n\n",
+              telemetry ? "counters + watchdog armed" : "dark");
   Table stbl({"K", "threads", "sim events", "wall (s)", "events/s", "speedup", "bytes/client",
-              "ops ok", "ops failed", "digest"});
+              "ops ok", "ops failed", "imb", "mbox hw", "bar p50us", "bar p99us", "digest"});
   stbl.title("client i -> server i%K, shard (2i+1)%K: ~1/K co-located, rest cross-shard");
   double base_eps = 0.0;
+  std::uint64_t total_trips = 0;
   for (std::uint32_t k : ks) {
     const std::uint32_t threads = threads_override != 0xFFFFFFFFu ? threads_override : k;
-    const ShardedPoint p = run_sharded_swarm(sharded_n, k, threads);
+    const ShardedPoint p = run_sharded_swarm(sharded_n, k, threads, telemetry);
     if (k == 1) base_eps = p.events_per_sec;
     const double speedup = base_eps > 0 ? p.events_per_sec / base_eps : 0.0;
     char digest_hex[24];
     std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
                   static_cast<unsigned long long>(p.digest));
-    stbl.row()
-        .cell(p.k)
-        .cell(p.threads)
-        .cell(p.sim_events)
-        .cell(p.wall_s, 2)
-        .cell(p.events_per_sec, 0)
-        .cell(speedup, 2)
-        .cell(p.bytes_per_client, 0)
-        .cell(p.ops_ok)
-        .cell(p.ops_failed)
-        .cell(digest_hex);
-    char key[64];
+    auto& row = stbl.row()
+                    .cell(p.k)
+                    .cell(p.threads)
+                    .cell(p.sim_events)
+                    .cell(p.wall_s, 2)
+                    .cell(p.events_per_sec, 0)
+                    .cell(speedup, 2)
+                    .cell(p.bytes_per_client, 0)
+                    .cell(p.ops_ok)
+                    .cell(p.ops_failed);
+    if (p.telemetry && p.k > 1) {
+      row.cell(p.imbalance_permille / 1000.0, 2)
+          .cell(p.mailbox_hw)
+          .cell(static_cast<double>(p.barrier_p50_ns) / 1e3, 1)
+          .cell(static_cast<double>(p.barrier_p99_ns) / 1e3, 1);
+    } else {
+      row.cell("-").cell("-").cell("-").cell("-");
+    }
+    row.cell(digest_hex);
+    total_trips += p.watchdog_trips;
+    char key[96];
     std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_events_per_sec", p.n, p.k);
     reporter.value(key, p.events_per_sec);
     std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_bytes_per_client", p.n, p.k);
     reporter.value(key, p.bytes_per_client);
+    if (p.telemetry && p.k > 1) {
+      // Shard-utilization columns for BENCH_core.json: per-shard events per
+      // executed window, plus the health gauges the ROADMAP's multi-core
+      // validation item needs to see.
+      for (std::uint32_t s = 0; s < p.k; ++s) {
+        std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_s%u_events_per_window", p.n,
+                      p.k, s);
+        reporter.value(key, p.shard_events_per_window[s]);
+      }
+      std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_imbalance", p.n, p.k);
+      reporter.value(key, p.imbalance_permille / 1000.0);
+      std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_mailbox_hw", p.n, p.k);
+      reporter.value(key, static_cast<double>(p.mailbox_hw));
+      std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_barrier_wait_p50_ns", p.n, p.k);
+      reporter.value(key, static_cast<double>(p.barrier_p50_ns));
+      std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_barrier_wait_p99_ns", p.n, p.k);
+      reporter.value(key, static_cast<double>(p.barrier_p99_ns));
+      std::snprintf(key, sizeof(key), "swarm_sharded_n%u_k%u_idle_windows", p.n, p.k);
+      reporter.value(key, static_cast<double>(p.idle_windows));
+    }
   }
   stbl.print(std::cout);
 
   std::printf(
       "\nReading: speedup is events/s relative to K=1 on the same workload. The digest\n"
       "is the determinism witness: a fixed (seed, K) must print the same value on every\n"
-      "run at every worker-thread count. On a single-core host the curve stays flat —\n"
-      "the windows serialize — but the digest contract still holds.\n");
+      "run at every worker-thread count — armed or dark. imb is max/mean shard events\n"
+      "between snapshots (1.00 = perfectly balanced); mbox hw is the deepest SPSC\n"
+      "mailbox; bar p50/p99 are barrier wait quantiles per crossing.\n");
+  if (total_trips > 0) {
+    std::printf("WATCHDOG: %llu invariant probe trip(s) during the sweep — inspect before\n"
+                "trusting these numbers.\n",
+                static_cast<unsigned long long>(total_trips));
+  }
   return 0;
 }

@@ -33,6 +33,9 @@ struct Counters {
   std::uint64_t lock_grants{0};
   std::uint64_t lock_demands{0};
   std::uint64_t lock_steals{0};
+  // Duplicate requests answered from the reply cache instead of re-executed
+  // (exactly-once transport). A high rate means the fabric is eating ACKs.
+  std::uint64_t reply_cache_hits{0};
   std::uint64_t fences_issued{0};
   // Fence rounds re-issued because a disk did not acknowledge the fence
   // admin command (e.g. a server<->disk SAN partition). The steal is held
@@ -59,6 +62,7 @@ struct Counters {
     lock_grants += o.lock_grants;
     lock_demands += o.lock_demands;
     lock_steals += o.lock_steals;
+    reply_cache_hits += o.reply_cache_hits;
     fences_issued += o.fences_issued;
     fence_retries += o.fence_retries;
     transactions += o.transactions;

@@ -52,6 +52,20 @@ void ShardedNet::note_attach(NodeId node, unsigned shard) {
                    "sharded run: place() every node on its shard before running");
 }
 
+void ShardedNet::set_counters(obs::Counters* c) {
+  ctr_ = c;
+  if (c == nullptr) return;
+  const unsigned k = shard_count();
+  xshard_to_.clear();
+  xshard_to_.reserve(k);
+  for (unsigned d = 0; d < k; ++d) {
+    xshard_to_.push_back(c->add("net.xshard_to_s" + std::to_string(d)));
+  }
+  xshard_bytes_ = c->add("net.xshard_bytes");
+  xshard_in_ = c->add("net.xshard_in");
+  mail_hw_ = c->add("net.mailbox_hw", obs::Counters::Merge::kMax);
+}
+
 void ShardedNet::deliver(unsigned dst_shard, sim::SimTime window_end) {
   const unsigned k = shard_count();
   auto& scratch = merge_scratch_[dst_shard].items;
@@ -63,6 +77,9 @@ void ShardedNet::deliver(unsigned dst_shard, sim::SimTime window_end) {
     box.clear();
   }
   if (scratch.empty()) return;
+  // deliver() runs on dst_shard's owning worker, so the consumer-side count
+  // lands in the consumer's own bank — same ownership rule as post().
+  if (ctr_ != nullptr) ctr_->add_to(dst_shard, xshard_in_, scratch.size());
   // Deterministic cross-shard tie-break: co-timed arrivals drain in
   // (arrival time, source shard, source sequence) order regardless of
   // worker count. The injected items receive ascending local sequence

@@ -35,6 +35,7 @@
 #include "common/flat_map.hpp"
 #include "common/strong_id.hpp"
 #include "net/control_net.hpp"
+#include "obs/counters.hpp"
 #include "sim/rng.hpp"
 #include "sim/sharded_engine.hpp"
 
@@ -73,6 +74,18 @@ class ShardedNet final : public sim::ShardExchange {
   // Applies a config to every shard fabric (setup-time only).
   void set_config(const NetConfig& cfg);
 
+  // Arms mailbox telemetry: per-(src,dst) exchange volume, cross-shard
+  // bytes, and a mailbox-depth high-water gauge, all written into the
+  // producing shard's bank (plus an injected-count in the consumer's).
+  // Registers K + 4 counters; call before the registry's freeze(). Dark
+  // cost is the single `ctr_ != nullptr` branch in post().
+  void set_counters(obs::Counters* c);
+  // Merged mailbox-depth high-water across shards; 0 until armed. Safe to
+  // read between runs (or from a snapshot hook).
+  [[nodiscard]] std::uint64_t mailbox_high_water() const {
+    return ctr_ != nullptr ? ctr_->merged(mail_hw_) : 0;
+  }
+
  private:
   friend class ControlNet;
 
@@ -91,9 +104,17 @@ class ShardedNet final : public sim::ShardExchange {
   };
 
   // Called by shard src's ControlNet during a window (hot path: one vector
-  // push_back, no locks, no atomics).
+  // push_back, no locks, no atomics; the counter sites are plain stores
+  // into shard src's own bank behind one dark branch).
   void post(unsigned src, unsigned dst, CrossItem item) {
-    mail_[src * shard_count() + dst].items.push_back(std::move(item));
+    const std::size_t nbytes = item.bytes.size();
+    auto& box = mail_[src * shard_count() + dst].items;
+    box.push_back(std::move(item));
+    if (ctr_ != nullptr) {
+      ctr_->add_to(src, xshard_to_[dst], 1);
+      ctr_->add_to(src, xshard_bytes_, nbytes);
+      ctr_->gauge_max(src, mail_hw_, box.size());
+    }
   }
   // Attach-time placement check (see ControlNet::attach).
   void note_attach(NodeId node, unsigned shard);
@@ -104,6 +125,15 @@ class ShardedNet final : public sim::ShardExchange {
   // Per-destination-shard merge scratch, reused across barriers.
   std::vector<Mailbox> merge_scratch_;
   FlatMap<NodeId, std::uint32_t> directory_;
+
+  // Telemetry (null = dark). xshard_to_[d] is incremented in the SOURCE
+  // shard's bank, so slot (s, xshard_to_[d]) is the full (src,dst) exchange
+  // volume matrix.
+  obs::Counters* ctr_{nullptr};
+  std::vector<obs::Counters::Id> xshard_to_;
+  obs::Counters::Id xshard_bytes_;
+  obs::Counters::Id xshard_in_;
+  obs::Counters::Id mail_hw_;
 };
 
 }  // namespace stank::net

@@ -75,6 +75,11 @@ enum class EventKind : std::uint16_t {
   // in the side channel; this marker only appears in merged export views.
   kAnnotation,
 
+  // -- invariant watchdog -- (node = 0, the omniscient observer;
+  //    a = probe index, b = bit_cast<u64> of the offending double value)
+  kWatchdogTrip,   // a probe left its legal band (edge-triggered)
+  kWatchdogClear,  // the probe returned to its band
+
   kCount_,
 };
 
@@ -125,6 +130,8 @@ enum class DropCause : std::uint8_t {
     case EventKind::kNetDup: return "net-dup";
     case EventKind::kNetReorder: return "net-reorder";
     case EventKind::kAnnotation: return "annotation";
+    case EventKind::kWatchdogTrip: return "watchdog-trip";
+    case EventKind::kWatchdogClear: return "watchdog-clear";
     case EventKind::kCount_: break;
   }
   return "?";

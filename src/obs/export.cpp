@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <cstring>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -121,6 +122,14 @@ std::string detail_string(const Event& e) {
     case EventKind::kNetReorder:
       os << "to=n" << e.a;
       break;
+    case EventKind::kWatchdogTrip:
+    case EventKind::kWatchdogClear: {
+      double v = 0.0;
+      static_assert(sizeof(v) == sizeof(e.b));
+      std::memcpy(&v, &e.b, sizeof(v));
+      os << "probe=" << e.a << " value=" << v;
+      break;
+    }
     case EventKind::kLeaseRenew:
     case EventKind::kKeepaliveSend:
     case EventKind::kLeaseExpire:
@@ -141,8 +150,15 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
   os << "{\"traceEvents\":[\n";
   Sep sep;
 
-  // Process/thread naming metadata.
+  // Process/thread naming metadata. Node 0 is the omniscient observer (the
+  // watchdog records there) and doubles as the metrics pid; it gets the
+  // watchdog instant track instead of the per-node protocol tracks.
+  bool have_watchdog_node = false;
   for (NodeId node : rec.nodes()) {
+    if (node.value() == kMetricsPid) {
+      have_watchdog_node = true;
+      continue;
+    }
     sep.next(os);
     os << R"({"name":"process_name","ph":"M","pid":)" << node.value()
        << R"(,"args":{"name":"n)" << node.value() << "\"}}";
@@ -153,10 +169,15 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
     os << R"({"name":"thread_name","ph":"M","pid":)" << node.value()
        << R"(,"tid":1,"args":{"name":"events"}})";
   }
-  if (!rec.series().empty()) {
+  if (!rec.series().empty() || have_watchdog_node) {
     sep.next(os);
     os << R"({"name":"process_name","ph":"M","pid":)" << kMetricsPid
        << R"(,"args":{"name":"metrics"}})";
+  }
+  if (have_watchdog_node) {
+    sep.next(os);
+    os << R"({"name":"thread_name","ph":"M","pid":)" << kMetricsPid
+       << R"(,"tid":3,"args":{"name":"watchdog"}})";
   }
 
   // Lease-phase residency slices + instants, per node.
@@ -181,6 +202,16 @@ void write_chrome_trace(const Recorder& rec, std::ostream& os) {
         return;
       }
       sep.next(os);
+      if (e.kind == EventKind::kWatchdogTrip || e.kind == EventKind::kWatchdogClear) {
+        // Global-scope instants on the metrics process: a trip should be
+        // visible across the whole timeline, not buried in one node's lane.
+        os << R"({"name":")" << to_string(e.kind)
+           << R"(","cat":"watchdog","ph":"i","ts":)" << to_us(e.at)
+           << R"(,"s":"g","pid":)" << kMetricsPid << ",\"tid\":3,\"args\":{\"detail\":\"";
+        json_escape(os, detail_string(e));
+        os << "\"}}";
+        return;
+      }
       os << R"({"name":")" << to_string(e.kind) << R"(","cat":"event","ph":"i","ts":)"
          << to_us(e.at) << R"(,"s":"t","pid":)" << node.value() << ",\"tid\":1,\"args\":{\"a\":"
          << e.a << ",\"b\":" << e.b << ",\"detail\":\"";

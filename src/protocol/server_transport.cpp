@@ -86,6 +86,7 @@ void ServerTransport::handle_request(const Frame& f) {
         reply.kind = FrameKind::kNack;
         reply.body = std::monostate{};
       }
+      ++counters_->reply_cache_hits;
       if (rec_ != nullptr) {
         rec_->record(clock_->engine().now(), self_, obs::EventKind::kReqReplay,
                      f.msg_id.value(), f.sender.value());

@@ -68,6 +68,7 @@ LockManager::AcquireOutcome LockManager::acquire(NodeId client, FileId file, Loc
   if (!queued) {
     fl.waiters.push_back(Waiter{client, mode});
     index_add_waiting(client, file);
+    ++queued_waiters_;
   }
   if (rec_ != nullptr) {
     rec_->record_now(client, obs::EventKind::kLockQueue, file.value(),
@@ -157,6 +158,7 @@ void LockManager::pump_waiters(FileId file, FileLocks& fl, Update& out) {
     out.grants.push_back(Grant{w.client, file, w.mode});
     fl.waiters.erase(fl.waiters.begin());
     index_remove_waiting(w.client, file);
+    --queued_waiters_;
   }
   collect_demands(file, fl, out.demands);
 }
@@ -168,6 +170,7 @@ void LockManager::cancel_waiter(NodeId client, FileId file, Update& out) {
   Waiter* kept = std::remove_if(ws.begin(), ws.end(),
                                 [&](const Waiter& w) { return w.client == client; });
   if (kept != ws.end()) {
+    queued_waiters_ -= static_cast<std::size_t>(ws.end() - kept);
     ws.erase(kept, ws.end());
     index_remove_waiting(client, file);
   }
@@ -212,6 +215,7 @@ void LockManager::steal_all(NodeId client, std::vector<FileId>& affected, Update
     }
     Waiter* kept = std::remove_if(fl.waiters.begin(), fl.waiters.end(),
                                   [&](const Waiter& w) { return w.client == client; });
+    queued_waiters_ -= static_cast<std::size_t>(fl.waiters.end() - kept);
     fl.waiters.erase(kept, fl.waiters.end());
     pump_waiters(file, fl, out);
     gc(file);
@@ -372,6 +376,8 @@ bool LockManager::invariants_hold() const {
     holder_records += fl.holders.size();
     waiter_records += fl.waiters.size();
   }
+  // The O(1) convoy counter must agree with the table it summarizes.
+  if (queued_waiters_ != waiter_records) return false;
 
   // The index holds nothing beyond the lock table (no stale or empty
   // records): totals match, so index->table containment plus the per-record

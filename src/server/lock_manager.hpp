@@ -127,6 +127,10 @@ class LockManager {
   [[nodiscard]] std::vector<std::pair<NodeId, LockMode>> holders(FileId file) const;
   [[nodiscard]] bool has_waiters(FileId file) const;
   [[nodiscard]] std::size_t waiter_count(FileId file) const;
+  // Total queued (not yet granted) requests across every file, maintained
+  // incrementally — O(1), so the invariant watchdog can probe for lock
+  // convoys on every evaluation without walking the table.
+  [[nodiscard]] std::size_t queued_waiters() const { return queued_waiters_; }
   // Queued requests in FIFO order (model-based tests).
   [[nodiscard]] std::vector<Waiter> waiters_of(FileId file) const;
   [[nodiscard]] std::size_t held_files() const { return files_.size(); }
@@ -190,6 +194,10 @@ class LockManager {
 
   FlatMap<FileId, FileLocks> files_;
   FlatMap<NodeId, ClientFiles> clients_;
+  // Sum of waiters over all files; updated wherever a queue mutates (the
+  // steal path edits queues without touching the reverse index, so this
+  // cannot ride on index_add/remove_waiting).
+  std::size_t queued_waiters_{0};
   obs::Recorder* rec_{nullptr};
 };
 

@@ -35,9 +35,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "rt/barrier.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
@@ -82,6 +85,28 @@ class ShardedEngine {
 
   void set_exchange(ShardExchange* x) { exchange_ = x; }
 
+  // -- telemetry (optional; dark by default) -------------------------------
+  // When armed, the window loop feeds per-shard counters — events/window,
+  // executed and idle-skipped windows, a load-imbalance gauge, and the
+  // barrier's wait-time histogram — into the registry. Counters are written
+  // only by each shard's owning worker and read only at barrier-protected
+  // points, so arming adds zero atomics, zero engine events, and zero RNG
+  // draws: an armed run is bit-identical to a dark one (the digest tests
+  // pin this). set_telemetry() registers the counters; call it before the
+  // registry's freeze().
+  struct Telemetry {
+    obs::Counters* counters{nullptr};
+    // Snapshot cadence in executed windows; 0 disables snapshots. On a
+    // snapshot window every worker takes one extra barrier pair; worker 0
+    // refreshes the imbalance gauge and runs on_snapshot in between.
+    std::uint64_t snapshot_every_windows{0};
+    // Runs on worker 0 with every other worker parked at the barrier: all
+    // shard state is happens-before-visible and safe to read. Must not
+    // schedule engine events (that would break the determinism digest).
+    std::function<void(SimTime window_end)> on_snapshot;
+  };
+  void set_telemetry(Telemetry tel);
+
   // Advances every shard to `horizon` under window synchronization. With one
   // shard this is exactly Engine::run_until on the lone shard.
   void run_until(SimTime horizon);
@@ -90,7 +115,23 @@ class ShardedEngine {
   [[nodiscard]] std::size_t events_pending() const;
 
  private:
+  struct TelemetryIds {
+    obs::Counters::Id events;           // kSum, per shard
+    obs::Counters::Id windows;          // kMax (every shard runs every window)
+    obs::Counters::Id idle_windows;     // kSum, recorded into shard 0
+    obs::Counters::Id idle_ns;          // kSum, recorded into shard 0
+    obs::Counters::Id imbalance;        // kMax, permille of max/mean shard events
+    obs::Counters::Id barrier_waits;    // kSum, per worker
+    obs::Counters::Id barrier_last;     // kSum: arrivals that never waited
+    obs::Counters::Id barrier_spins;    // kSum: completed spin bursts
+    obs::Counters::Id barrier_yields;   // kSum
+    obs::Counters::Id barrier_wait_ns;  // kSum: total ns inside the barrier
+    obs::Counters::HistId barrier_wait_hist;
+  };
+
   void run_windows(SimTime horizon, unsigned workers);
+  void snapshot_tick(SimTime window_end);
+  void fold_wait_stats(unsigned workers);
 
   Config cfg_;
   std::vector<std::unique_ptr<Engine>> shards_;
@@ -100,6 +141,16 @@ class ShardedEngine {
   std::vector<std::int64_t> next_event_ns_;
   ShardExchange* exchange_{nullptr};
   SimTime frontier_{};
+
+  Telemetry tel_;
+  TelemetryIds tel_ids_;
+  // Per-shard events_executed at the last window accounting / snapshot.
+  // Written only by the shard's owner (fixed s ≡ worker mod workers
+  // assignment) resp. worker 0 between the snapshot barriers.
+  std::vector<std::uint64_t> tel_prev_events_;
+  std::vector<std::uint64_t> tel_snap_events_;
+  // Per-worker barrier stats, folded into the registry after the join.
+  std::vector<rt::Barrier::WaitStats> tel_wait_;
 };
 
 }  // namespace stank::sim

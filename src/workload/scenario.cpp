@@ -59,7 +59,23 @@ std::string ScenarioResult::verdict_line() const {
                 static_cast<unsigned long long>(reads_ok),
                 static_cast<unsigned long long>(writes_ok),
                 static_cast<unsigned long long>(ops_failed));
-  return std::string(head) + ops + net.summary();
+  std::string line = std::string(head) + ops + net.summary();
+  // Telemetry caveats: a trace that overwrote events cannot prove where a
+  // bad run started, and watchdog trips mean an invariant probe left its
+  // band mid-run — both belong on the one line people actually read.
+  if (trace_dropped > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " | trace dropped=%llu",
+                  static_cast<unsigned long long>(trace_dropped));
+    line += buf;
+  }
+  if (watchdog_trips > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " | watchdog trips=%llu",
+                  static_cast<unsigned long long>(watchdog_trips));
+    line += buf;
+  }
+  return line;
 }
 
 void Scenario::build() {
@@ -159,6 +175,43 @@ void Scenario::build() {
       return static_cast<double>(s.dropped_partition + s.dropped_random + s.dropped_burst +
                                  s.dropped_detached);
     });
+
+    // Invariant watchdog, evaluated on the same lease-timer cadence as the
+    // sampler (sample_lease_state). It never schedules engine events of its
+    // own, so arming it cannot perturb the event sequence.
+    watchdog_ = std::make_unique<obs::Watchdog>(*rec_);
+    const auto n = static_cast<double>(cfg_.workload.num_clients);
+    if (cfg_.strategy == core::LeaseStrategy::kStorageTank) {
+      // More than half the population simultaneously suspect means the
+      // failure detector is melting down, not detecting failures.
+      watchdog_->add_probe(
+          "suspect_clients",
+          [this]() { return static_cast<double>(server_->authority().suspect_count()); },
+          0.0, std::max(1.0, n / 2.0));
+      // Lease-phase residency drift: clients stuck in the disruption phases
+      // (suspect/flush/expired) outside an injected failure episode.
+      watchdog_->add_probe(
+          "clients_disrupted",
+          [this]() {
+            std::size_t disrupted = 0;
+            for (const auto& cl : clients_) {
+              if (static_cast<std::uint64_t>(cl->lease_phase()) >= 3) ++disrupted;
+            }
+            return static_cast<double>(disrupted);
+          },
+          0.0, std::max(1.0, n / 2.0));
+    }
+    // Any ring overwrite between two evaluations is an anomaly worth a
+    // typed event: a violating run's trace may have lost its root cause.
+    watchdog_->add_rate_probe(
+        "trace_dropped", [this]() { return static_cast<double>(rec_->dropped_events()); },
+        0.0);
+    // Lock-convoy bound: the whole population queued four deep is a convoy,
+    // not contention.
+    watchdog_->add_probe(
+        "lock_waiters",
+        [this]() { return static_cast<double>(server_->locks().queued_waiters()); }, 0.0,
+        std::max(4.0, 4.0 * n));
   }
 }
 
@@ -452,6 +505,9 @@ void Scenario::sample_lease_state() {
   if (sampler_) {
     sampler_->snapshot(now_s());
   }
+  if (watchdog_) {
+    watchdog_->evaluate(engine_.now());
+  }
   const double horizon = cfg_.workload.run_seconds + settle_seconds_;
   if (now_s() < horizon) {
     engine_.schedule_after(sim::millis(250), [this]() { sample_lease_state(); });
@@ -550,6 +606,8 @@ ScenarioResult Scenario::finish() {
   r.op_latency_recovery_ms = op_latency_recovery_ms_;
   r.sim_seconds = now_s();
   r.engine_events = engine_.events_executed();
+  r.trace_dropped = rec_ != nullptr ? rec_->dropped_events() : 0;
+  r.watchdog_trips = watchdog_ != nullptr ? watchdog_->trips() : 0;
   return r;
 }
 

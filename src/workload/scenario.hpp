@@ -18,6 +18,7 @@
 #include "metrics/histogram.hpp"
 #include "net/control_net.hpp"
 #include "obs/sampler.hpp"
+#include "obs/watchdog.hpp"
 #include "server/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -117,6 +118,13 @@ struct ScenarioResult {
   double sim_seconds{0.0};
   std::uint64_t engine_events{0};
 
+  // Flight-recorder events lost to ring overwrite (0 when untraced). A
+  // nonzero count on a violating run means the retained trace window may
+  // not reach back to the root cause.
+  std::uint64_t trace_dropped{0};
+  // Invariant-watchdog threshold crossings during the run (0 when untraced).
+  std::uint64_t watchdog_trips{0};
+
   // One-line final verdict: consistency outcome, op counts, and the network
   // summary (what the fabric did to the traffic explains a bad run).
   [[nodiscard]] std::string verdict_line() const;
@@ -150,6 +158,8 @@ class Scenario {
   // The typed flight recorder behind the trace log (always present; only fed
   // when cfg.enable_trace attached it to the nodes).
   [[nodiscard]] obs::Recorder& recorder() { return trace_.recorder(); }
+  // Null unless cfg.enable_trace armed it alongside the sampler.
+  [[nodiscard]] obs::Watchdog* watchdog() { return watchdog_.get(); }
   [[nodiscard]] verify::HistoryRecorder& history() { return history_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   [[nodiscard]] NodeId server_node() const;
@@ -203,6 +213,7 @@ class Scenario {
   // spans cost one branch in untraced benches.
   obs::Recorder* rec_{nullptr};
   std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
   verify::HistoryRecorder history_;
 
   std::unique_ptr<net::ControlNet> net_;

@@ -18,7 +18,9 @@
 #include "client/client.hpp"
 #include "net/control_net.hpp"
 #include "net/sharded_net.hpp"
+#include "obs/counters.hpp"
 #include "obs/recorder.hpp"
+#include "obs/watchdog.hpp"
 #include "server/server.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded_engine.hpp"
@@ -123,7 +125,7 @@ struct Loop {
   }
 };
 
-RunResult run_sharded(unsigned k, unsigned threads) {
+RunResult run_sharded(unsigned k, unsigned threads, bool telemetry = false) {
   sim::ShardedEngine::Config ecfg;
   ecfg.shards = k;
   ecfg.threads = threads;
@@ -131,6 +133,28 @@ RunResult run_sharded(unsigned k, unsigned threads) {
   sim::Rng root(0xDEC0DEu);
   auto fabric = std::make_unique<net::ShardedNet>(engine, root);
   (void)root.fork(1);  // the stream the fabric consumed from its copy
+
+  // Armed telemetry must be invisible to everything RunResult captures: the
+  // counters observe, the watchdog records to its own recorder (never one of
+  // the per-shard trace recorders below), and neither schedules events.
+  obs::Counters ctr;
+  obs::Recorder wd_rec;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (telemetry) {
+    watchdog = std::make_unique<obs::Watchdog>(wd_rec);
+    obs::Watchdog* wd = watchdog.get();
+    sim::ShardedEngine::Telemetry tel;
+    tel.counters = &ctr;
+    tel.snapshot_every_windows = 64;
+    tel.on_snapshot = [wd](sim::SimTime at) { wd->evaluate(at); };
+    engine.set_telemetry(std::move(tel));
+    fabric->set_counters(&ctr);
+    ctr.freeze(k);
+    watchdog->add_probe(
+        "mailbox_hw",
+        [f = fabric.get()] { return static_cast<double>(f->mailbox_high_water()); }, 0.0,
+        1e6);
+  }
 
   // One recorder per shard: rings are single-threaded, exactly like every
   // other piece of shard state.
@@ -336,6 +360,26 @@ TEST(ShardedSwarm, SingleShardMatchesPlainSerialStack) {
   const RunResult sharded = run_sharded(1, 1);
   const RunResult plain = run_plain_serial();
   EXPECT_EQ(sharded, plain);
+}
+
+// The ISSUE's core telemetry contract: arming the counter registry and the
+// watchdog changes NOTHING the determinism digest folds — same member op
+// outcomes, same NetStats, same events_executed, same recorded trace — at
+// every worker thread count. Counters observe; they never schedule or draw.
+TEST(ShardedSwarm, InstrumentedRunBitIdenticalToDark) {
+  const RunResult dark = run_sharded(2, 2, /*telemetry=*/false);
+  const RunResult armed1 = run_sharded(2, 1, /*telemetry=*/true);
+  const RunResult armed2 = run_sharded(2, 2, /*telemetry=*/true);
+  const RunResult armed8 = run_sharded(2, 8, /*telemetry=*/true);
+  EXPECT_EQ(dark, armed1);
+  EXPECT_EQ(dark, armed2);
+  EXPECT_EQ(dark, armed8);
+}
+
+TEST(ShardedSwarm, InstrumentedK1FastPathMatchesPlainSerial) {
+  const RunResult armed = run_sharded(1, 1, /*telemetry=*/true);
+  const RunResult plain = run_plain_serial();
+  EXPECT_EQ(armed, plain);
 }
 
 }  // namespace

@@ -235,6 +235,20 @@ EpisodeResult run_episode(const workload::ScenarioConfig& cfg, std::ostream* tra
   if (!trace_save.empty()) {
     std::ofstream f(trace_save, std::ios::binary);
     sc.recorder().save(f);
+    // A violating replay whose ring wrapped may have silently lost the
+    // events that explain the violation — say so next to the artifact
+    // instead of letting someone triage a truncated timeline.
+    if (const std::uint64_t lost = sc.recorder().dropped_events(); lost > 0) {
+      std::printf(
+          "WARNING: trace ring overwrote %llu event(s) during this replay; the retained\n"
+          "         window may start after the root cause. Re-run with a larger\n"
+          "         RecorderConfig::ring_capacity before trusting the timeline.\n",
+          static_cast<unsigned long long>(lost));
+    }
+    if (r.watchdog_trips > 0) {
+      std::printf("note: invariant watchdog tripped %llu time(s) during the replay\n",
+                  static_cast<unsigned long long>(r.watchdog_trips));
+    }
   }
   if (trace_to != nullptr) {
     sc.trace().print(*trace_to);
